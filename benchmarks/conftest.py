@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables and prints
+the paper-vs-measured comparison.  Scale and horizon come from environment
+variables so the same files serve both CI smoke runs and full paper-scale
+reproduction:
+
+    REPRO_BENCH_SCALE     population scale factor (default 0.3;
+                          1.0 = 259 satellites x 173 stations)
+    REPRO_BENCH_DURATION  simulated seconds (default 43200 = 12 h;
+                          86400 = the paper's full day)
+
+Full reproduction (the numbers recorded in EXPERIMENTS.md):
+
+    REPRO_BENCH_SCALE=1.0 REPRO_BENCH_DURATION=86400 \
+        pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+def bench_duration_s() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", str(12 * 3600)))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def duration_s() -> float:
+    return bench_duration_s()

@@ -1,0 +1,21 @@
+"""Benchmark: design-choice ablations (matching, tx fraction, weather,
+forecast error).
+
+These back the Sec. 3 discussion quantitatively; there is no paper figure
+to match, so the output is the measured table alone.
+"""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark, scale, duration_s):
+    # Ablations are a 4-way sweep of multi-variant sims: run them at a
+    # fraction of the headline horizon to keep the bench affordable.
+    result = benchmark.pedantic(
+        ablations.run,
+        kwargs={"duration_s": min(duration_s, 6 * 3600.0), "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert len(result.notes) == 8  # one table per ablation dimension

@@ -1,0 +1,102 @@
+"""Component micro-benchmarks: the hot paths of the simulation loop.
+
+Unlike the figure benches (one long pedantic round), these use
+pytest-benchmark's statistical timing: SGP4 propagation, vectorized
+visibility, contact-graph pricing, and the three matchers.  They guard
+against performance regressions that would make full-scale reproduction
+impractical (a simulated day is ~1440 of each of these per scenario).
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.scenarios import build_paper_fleet, build_paper_weather
+from repro.groundstations.network import satnogs_like_network
+from repro.orbits.sgp4 import SGP4
+from repro.scheduling.graph import GeometryEngine
+from repro.scheduling.matching import (
+    gale_shapley,
+    greedy_matching,
+    max_weight_matching,
+)
+from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.value_functions import LatencyValue
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def world():
+    fleet = build_paper_fleet(100, seed=7)
+    for sat in fleet:
+        sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+    network = satnogs_like_network(80, seed=11)
+    scheduler = DownlinkScheduler(
+        fleet, network, LatencyValue(), weather=build_paper_weather()
+    )
+    return fleet, network, scheduler
+
+
+def test_bench_sgp4_propagation(benchmark, world):
+    fleet, _network, _scheduler = world
+    propagator = SGP4(fleet[0].tle)
+
+    def propagate_one_day():
+        for minutes in range(0, 1440, 10):
+            propagator.propagate_tsince(float(minutes))
+
+    benchmark(propagate_one_day)
+
+
+def test_bench_visibility_matrix(benchmark, world):
+    fleet, network, _scheduler = world
+    engine = GeometryEngine(network)
+    benchmark(engine.visibility, fleet, EPOCH)
+
+
+def test_bench_contact_graph(benchmark, world):
+    _fleet, _network, scheduler = world
+    benchmark(scheduler.contact_graph, EPOCH)
+
+
+def test_bench_full_schedule_step(benchmark, world):
+    _fleet, _network, scheduler = world
+    benchmark(scheduler.schedule_step, EPOCH)
+
+
+@pytest.fixture(scope="module")
+def dense_graph(world):
+    """A denser graph than a single instant gives, for matcher timing."""
+    _fleet, _network, scheduler = world
+    graph = scheduler.contact_graph(EPOCH)
+    if len(graph.edges) < 20:
+        # Merge a few instants so matchers have real work.
+        edges = list(graph.edges)
+        for minute in (30, 60, 90, 120):
+            extra = scheduler.contact_graph(EPOCH + timedelta(minutes=minute))
+            seen = {(e.satellite_index, e.station_index) for e in edges}
+            edges.extend(
+                e for e in extra.edges
+                if (e.satellite_index, e.station_index) not in seen
+            )
+        from repro.scheduling.graph import ContactGraph
+
+        graph = ContactGraph(EPOCH, edges, graph.num_satellites,
+                             graph.num_stations)
+    return graph
+
+
+def test_bench_gale_shapley(benchmark, dense_graph):
+    result = benchmark(gale_shapley, dense_graph)
+    assert isinstance(result, list)
+
+
+def test_bench_hungarian_matching(benchmark, dense_graph):
+    result = benchmark(max_weight_matching, dense_graph)
+    assert isinstance(result, list)
+
+
+def test_bench_greedy_matching(benchmark, dense_graph):
+    result = benchmark(greedy_matching, dense_graph)
+    assert isinstance(result, list)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 3a (data-backlog CDF).
+
+Prints the paper-vs-measured percentile table for Baseline, DGS, and
+DGS(25%).  The benchmarked quantity is the full experiment (three one-day
+simulations, memoized across figures within the session).
+"""
+
+from repro.experiments import fig3a
+
+
+def test_bench_fig3a(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        fig3a.run,
+        kwargs={"duration_s": duration_s, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # The contention regime DGS targets needs enough satellites; below
+    # ~scale 0.25 the 5-station baseline is legitimately unloaded (the
+    # paper's own Sec. 1 point), so the ordering is only asserted above it.
+    if scale >= 0.25:
+        import numpy as np
+
+        dgs = np.median(result.series["dgs"])
+        baseline = np.median(result.series["baseline"])
+        assert dgs <= baseline, (
+            f"DGS median backlog {dgs} should not exceed baseline {baseline}"
+        )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 3c (value-function adaptability)."""
+
+import numpy as np
+
+from repro.experiments import fig3c
+
+
+def test_bench_fig3c(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        fig3c.run,
+        kwargs={"duration_s": duration_s, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # The paper's claim: optimizing for throughput inflates tail latency
+    # relative to the latency-optimized run of the same network.
+    p90_latency_phi = np.percentile(result.series["dgs25-L"], 90)
+    p90_throughput_phi = np.percentile(result.series["dgs25-T"], 90)
+    assert p90_throughput_phi >= 0.9 * p90_latency_phi, (
+        "throughput-optimized p90 latency should not be materially better "
+        "than latency-optimized"
+    )

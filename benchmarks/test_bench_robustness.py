@@ -1,0 +1,29 @@
+"""Benchmark: robustness under station failures (Sec. 1 claim).
+
+No paper figure exists for this -- the paper asserts the single-point-of-
+failure argument without measuring it -- so the output is the measured
+degradation table, with the qualitative claim asserted.
+"""
+
+from repro.experiments import robustness
+
+
+def test_bench_robustness(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        robustness.run,
+        kwargs={"duration_s": min(duration_s, 12 * 3600.0), "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Losing the busiest station must hurt the 5-station baseline more
+    # than the many-station DGS network (announced case; relative terms).
+    base_healthy = result.series["baseline:healthy"][0]
+    base_hit = result.series["baseline:worst-announced"][0]
+    dgs_healthy = result.series["dgs:healthy"][0]
+    dgs_hit = result.series["dgs:worst-announced"][0]
+    base_loss = (base_healthy - base_hit) / base_healthy if base_healthy else 0.0
+    dgs_loss = (dgs_healthy - dgs_hit) / dgs_healthy if dgs_healthy else 0.0
+    assert dgs_loss <= base_loss + 0.02, (
+        f"DGS should degrade less: baseline -{base_loss:.1%}, DGS -{dgs_loss:.1%}"
+    )

@@ -1,0 +1,20 @@
+"""Benchmark: validate the environment claims of Secs. 2 and 4.
+
+Pass durations, the ~1.6 Gbps peak baseline link, the ~80 GB best
+single-pass download, pass counts, and the 10x node-throughput ratio.
+"""
+
+from repro.experiments import setup_validation
+
+
+def test_bench_setup_validation(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        setup_validation.run,
+        kwargs={"duration_s": duration_s, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    metrics = {m: (paper, measured) for m, paper, measured in result.tables[0].rows}
+    paper_peak, measured_peak = metrics["peak baseline link (Gbps)"]
+    assert abs(measured_peak - paper_peak) / paper_peak < 0.25

@@ -1,0 +1,24 @@
+"""Benchmark: onboard storage requirement (Sec. 3.3 claim)."""
+
+import numpy as np
+
+from repro.experiments import storage_requirement
+
+
+def test_bench_storage_requirement(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        storage_requirement.run,
+        kwargs={"duration_s": duration_s, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # The claim: delayed acks do not blow up the recorder requirement.
+    # Allow DGS up to ~3x the baseline's median peak -- well under the
+    # "store a whole day" catastrophe the design avoids.
+    base = np.median(result.series["baseline_peak_gb"])
+    dgs = np.median(result.series["dgs_peak_gb"])
+    if base > 0:
+        assert dgs <= 3.0 * base + 2.0, (
+            f"DGS median recorder peak {dgs:.1f} GB vs baseline {base:.1f} GB"
+        )

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's Sec. 1 headline summary numbers."""
+
+from repro.experiments import summary
+
+
+def test_bench_summary(benchmark, scale, duration_s):
+    result = benchmark.pedantic(
+        summary.run,
+        kwargs={"duration_s": duration_s, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.tables

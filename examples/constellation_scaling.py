@@ -1,0 +1,57 @@
+"""Contention vs constellation size: why centralized stations stop scaling.
+
+Run:  python examples/constellation_scaling.py
+
+Sec. 1: "the ground stations are under-utilized when the constellation
+size is small.  As the constellation size grows to hundreds, the system
+suffers from contention since multiple satellites become visible at the
+same time to the ground station."  This example sweeps the fleet size and
+prints median latency and delivery fraction for the 5-station baseline
+versus a DGS network -- the crossover where distribution starts winning is
+the paper's whole argument.
+"""
+
+from datetime import datetime
+
+from repro.core.scenarios import (
+    build_paper_weather,
+    make_baseline_scenario,
+    make_dgs_scenario,
+)
+
+EPOCH = datetime(2020, 6, 1)
+FLEET_SIZES = (10, 40, 100, 180)
+DURATION_S = 6 * 3600.0
+
+
+def run_point(kind: str, num_satellites: int) -> tuple[float, float]:
+    if kind == "baseline":
+        _f, _n, sim = make_baseline_scenario(
+            num_satellites=num_satellites, duration_s=DURATION_S
+        )
+    else:
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_satellites, num_stations=120,
+            duration_s=DURATION_S,
+        )
+    report = sim.run()
+    median = report.latency_percentiles_min((50,))[50]
+    return median, report.delivery_fraction
+
+
+def main() -> None:
+    print(f"{'fleet':>6} | {'baseline lat (min)':>19} | {'DGS lat (min)':>14} "
+          f"| {'baseline dlvr':>13} | {'DGS dlvr':>9}")
+    print("-" * 75)
+    for size in FLEET_SIZES:
+        base_lat, base_frac = run_point("baseline", size)
+        dgs_lat, dgs_frac = run_point("dgs", size)
+        print(f"{size:>6} | {base_lat:>19.1f} | {dgs_lat:>14.1f} "
+              f"| {base_frac:>12.0%} | {dgs_frac:>8.0%}")
+    print("\nAs the fleet grows the baseline's 5 stations saturate (latency "
+          "climbs,\ndelivery fraction falls) while the distributed network "
+          "degrades gracefully.")
+
+
+if __name__ == "__main__":
+    main()

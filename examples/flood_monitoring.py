@@ -1,0 +1,78 @@
+"""Latency-sensitive disaster imaging: the paper's flood/forest-fire case.
+
+Run:  python examples/flood_monitoring.py
+
+Sec. 1 motivates DGS with "time-sensitive applications of satellite data
+like flood modeling and forest fires".  This example tags a slice of one
+satellite's imagery as urgent flood imagery and uses the priority value
+function with a region multiplier, then compares how fast the urgent
+chunks reach the ground versus ordinary imagery on the same network.
+"""
+
+from datetime import datetime, timedelta
+
+from repro.core.scenarios import build_paper_fleet, build_paper_weather
+from repro.groundstations import satnogs_like_network
+from repro.satellites.data import DataChunk
+from repro.satellites.storage import highest_priority_first
+from repro.scheduling.value_functions import PriorityValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+FLOOD_REGION = "ganges-delta"
+
+
+def main() -> None:
+    satellites = build_paper_fleet(count=30, seed=7)
+    # Order each queue by operator priority, then age.
+    for sat in satellites:
+        sat.storage.queue_key = highest_priority_first
+    network = satnogs_like_network(60, seed=11)
+
+    # The flood mapper: one satellite captured urgent imagery two hours
+    # ago, mixed into its ordinary backlog.
+    mapper = satellites[0]
+    for minutes_ago in (120, 110, 100, 90):
+        mapper.storage.capture(
+            DataChunk(
+                satellite_id=mapper.satellite_id,
+                size_bits=8e9,
+                capture_time=EPOCH - timedelta(minutes=minutes_ago),
+                priority=3.0,
+                region=FLOOD_REGION,
+            )
+        )
+    for sat in satellites:
+        sat.generate_data(EPOCH - timedelta(hours=2), 7200.0)
+
+    value_function = PriorityValue(region_multipliers={FLOOD_REGION: 4.0})
+    config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0, step_s=60.0)
+    sim = Simulation(satellites, network, value_function, config,
+                     truth_weather=build_paper_weather(seed=3))
+    report = sim.run()
+
+    urgent = [
+        c for c in mapper.storage.acked_chunks
+        + mapper.storage.delivered_unacked_chunks
+        if c.region == FLOOD_REGION and c.latency_seconds() is not None
+    ]
+    print("=== Flood imagery delivery ===")
+    for chunk in urgent:
+        # Age already accrued before the window is part of the latency.
+        print(f"chunk {chunk.chunk_id}: capture->ground "
+              f"{chunk.latency_seconds() / 60:.0f} min")
+    if urgent:
+        worst = max(c.latency_seconds() for c in urgent) / 60.0
+        print(f"all {len(urgent)} urgent chunks delivered; slowest {worst:.0f} min")
+    else:
+        print("no urgent chunks delivered in the window -- try more stations")
+
+    everyone = report.latency_percentiles_min((50, 90))
+    print(f"\nnetwork-wide latency: median {everyone[50]:.0f} min, "
+          f"p90 {everyone[90]:.0f} min over "
+          f"{sum(len(v) for v in report.latency_s.values())} chunks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Hybrid uplink operations: plans, delayed acks, and retransmission.
+
+Run:  python examples/hybrid_operations.py
+
+Walks the paper's Sec. 3.3 "Ack-free Downlink" machinery explicitly:
+receive-only stations post receipts to the backend over the Internet, the
+backend collates them, and the next transmit-capable contact uploads the
+ack batch -- at which point the satellite finally frees its recorder.
+Also shows the wire messages themselves, then sweeps the transmit-capable
+fraction to show how few uplink stations the hybrid design really needs.
+"""
+
+from datetime import datetime, timedelta
+
+from repro.core.scenarios import build_paper_fleet, build_paper_weather
+from repro.groundstations import satnogs_like_network
+from repro.network.messages import decode_message, encode_message
+from repro.scheduling.value_functions import LatencyValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def ack_lifecycle_demo() -> None:
+    print("=== Delayed-ack lifecycle ===")
+    satellites = build_paper_fleet(count=12, seed=7)
+    network = satnogs_like_network(40, tx_capable_fraction=0.1, seed=11)
+    for sat in satellites:
+        sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+    config = SimulationConfig(start=EPOCH, duration_s=6 * 3600.0)
+    sim = Simulation(satellites, network, LatencyValue(), config,
+                     truth_weather=build_paper_weather(seed=3))
+    report = sim.run()
+
+    delivered = sum(len(v) for v in report.latency_s.values())
+    acked = sum(len(s.storage.acked_chunks) for s in satellites)
+    waiting = sum(len(s.storage.delivered_unacked_chunks) for s in satellites)
+    print(f"chunks delivered to the ground:     {delivered}")
+    print(f"chunks acked back to satellites:    {acked}")
+    print(f"delivered but awaiting ack:         {waiting}")
+    print("(delivered data stays on the recorder until a transmit-capable "
+          "contact\n relays the backend's collated acknowledgements)")
+
+    # Ack latency: delivery -> ack, for chunks that completed the loop.
+    gaps = []
+    for sat in satellites:
+        for chunk in sat.storage.acked_chunks:
+            gaps.append((chunk.ack_time - chunk.delivery_time).total_seconds())
+    if gaps:
+        gaps.sort()
+        print(f"delivery->ack gap: median {gaps[len(gaps) // 2] / 60:.0f} min, "
+              f"max {gaps[-1] / 60:.0f} min across {len(gaps)} chunks")
+
+
+def wire_message_demo() -> None:
+    print("\n=== Wire messages ===")
+    from repro.network.messages import AckBatchMessage, ChunkReceiptMessage
+
+    receipt = ChunkReceiptMessage(
+        station_id="gs-042", satellite_id="SYN-EO-003", chunk_id=1217,
+        received_at=EPOCH + timedelta(hours=1, minutes=12), size_bits=8e9,
+    )
+    wire = encode_message(receipt)
+    print(f"station -> backend ({len(wire)} bytes):")
+    print(f"  {wire}")
+    batch = AckBatchMessage(
+        satellite_id="SYN-EO-003", chunk_ids=(1215, 1216, 1217),
+        issued_at=EPOCH + timedelta(hours=3),
+    )
+    print("backend -> satellite via tx-capable station:")
+    print(f"  {encode_message(batch)}")
+    assert decode_message(wire) == receipt
+
+
+def tx_fraction_sweep() -> None:
+    print("\n=== How many uplink stations does the hybrid design need? ===")
+    print(f"{'tx fraction':>12} | {'delivered GB':>12} | {'acked chunks':>12}")
+    print("-" * 44)
+    for fraction in (0.02, 0.05, 0.10, 0.25):
+        satellites = build_paper_fleet(count=12, seed=7)
+        network = satnogs_like_network(40, tx_capable_fraction=fraction, seed=11)
+        config = SimulationConfig(
+            start=EPOCH, duration_s=6 * 3600.0,
+            enforce_plan_distribution=True, plan_max_age_s=12 * 3600.0,
+        )
+        sim = Simulation(satellites, network, LatencyValue(), config,
+                         truth_weather=build_paper_weather(seed=3))
+        report = sim.run()
+        acked = sum(len(s.storage.acked_chunks) for s in satellites)
+        print(f"{fraction:>11.0%} | {report.delivered_bits / 8e9:>12.1f} "
+              f"| {acked:>12}")
+    print("\nEven a few percent of transmit-capable stations keeps plans and "
+          "acks flowing --\nthe paper's case for licensing only 'a very small "
+          "number' of uplink sites.")
+
+
+def main() -> None:
+    ack_lifecycle_demo()
+    wire_message_demo()
+    tx_fraction_sweep()
+
+
+if __name__ == "__main__":
+    main()

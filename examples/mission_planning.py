@@ -1,0 +1,95 @@
+"""Earth-observation mission planning: revisit, eclipse, and power budgets.
+
+Run:  python examples/mission_planning.py
+
+Before any ground-segment question matters, an EO operator sizes the
+space segment: how often does the constellation revisit a target, how
+much of each orbit is sunlit, and can the power system sustain the
+downlink duty cycle the DGS schedule wants?  This example runs those
+checks with the library's orbit, sun, and power models, then runs a
+power-gated simulation to show the energy-limited downlink in action.
+"""
+
+from datetime import datetime
+
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.orbits.groundtrack import constellation_revisit
+from repro.orbits.sgp4 import SGP4
+from repro.orbits.sun import sunlit_fraction
+from repro.satellites.power import PowerModel
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def revisit_analysis(tles) -> None:
+    print("=== Revisit analysis (600 km swath, 24 h) ===")
+    propagators = [SGP4(t).propagate for t in tles]
+    targets = (
+        ("Nairobi", -1.29, 36.82),
+        ("Seattle", 47.61, -122.33),
+        ("Svalbard", 78.22, 15.64),
+    )
+    for name, lat, lon in targets:
+        stats = constellation_revisit(
+            propagators, lat, lon, swath_km=600.0,
+            start=EPOCH, duration_s=86400.0, step_s=60.0,
+        )
+        gap = (f"mean gap {stats['mean_gap_h']:.1f} h"
+               if stats["visits"] > 1 else "single visit")
+        print(f"  {name:10s}: {stats['visits']:3d} visits/day, {gap}")
+    print("  (high-latitude targets see polar orbiters every orbit -- the "
+          "same\n   geometry that concentrates commercial ground stations "
+          "near the poles)")
+
+
+def power_budget(tles) -> None:
+    print("\n=== Power budget ===")
+    power = PowerModel()  # 20 W panels, 40 Wh battery, 25 W transmitter
+    for tle in tles[:4]:
+        prop = SGP4(tle)
+        fraction = sunlit_fraction(prop.propagate, EPOCH,
+                                   duration_s=2 * 5760.0)
+        duty = power.sustainable_transmit_duty(fraction)
+        print(f"  {tle.name} (incl {tle.inclination_deg:5.1f}): "
+              f"sunlit {fraction:.0%} of orbit -> sustainable transmit "
+              f"duty {duty:.0%}")
+    need = 100e9 * 8 / 100e6 / 86400.0  # 100 GB/day at 100 Mbps
+    print(f"  downlinking 100 GB/day at ~100 Mbps needs ~{need:.0%} duty -- "
+          "comfortably inside the envelope")
+
+
+def power_gated_simulation(tles) -> None:
+    print("\n=== Power-gated downlink simulation (4 h) ===")
+    from repro.core.scenarios import build_paper_weather
+    from repro.groundstations import satnogs_like_network
+    from repro.satellites import Satellite
+    from repro.scheduling.value_functions import LatencyValue
+    from repro.simulation import Simulation, SimulationConfig
+
+    for label, battery in (("healthy 40 Wh", 40.0), ("degraded 6 Wh", 6.0)):
+        sats = [
+            Satellite(tle=t, chunk_size_gb=0.5,
+                      power=PowerModel(battery_capacity_wh=battery,
+                                       energy_wh=battery * 0.5))
+            for t in tles
+        ]
+        network = satnogs_like_network(40, seed=11)
+        config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
+        sim = Simulation(sats, network, LatencyValue(), config,
+                         truth_weather=build_paper_weather())
+        report = sim.run()
+        soc = sum(s.power.state_of_charge for s in sats) / len(sats)
+        print(f"  {label:15s}: delivered {report.delivered_bits / 8e9:6.1f} GB, "
+              f"blocked passes {sim.power_blocked_steps:3d}, "
+              f"mean SoC at end {soc:.0%}")
+
+
+def main() -> None:
+    tles = synthetic_leo_constellation(12, EPOCH, seed=7)
+    revisit_analysis(tles)
+    power_budget(tles)
+    power_gated_simulation(tles)
+
+
+if __name__ == "__main__":
+    main()

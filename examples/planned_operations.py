@@ -1,0 +1,77 @@
+"""Planned execution: running DGS the way Sec. 3 actually describes.
+
+Run:  python examples/planned_operations.py
+
+The paper's operational loop: the backend computes a downlink plan,
+distributes it to every ground station over the Internet, and uploads it
+to each satellite at its next transmit-capable contact.  Satellites then
+follow the plan they hold -- which may be older than the one the stations
+follow.  This example runs the same world in ``live`` mode (the paper's
+simulation idealization) and ``planned`` mode, showing the cost of plan
+distribution, then reconstructs operator-style contact reports from the
+event log.
+"""
+
+from datetime import datetime
+
+from repro.analysis.contacts import contacts_from_events, summarize_contacts
+from repro.core.scenarios import build_paper_fleet, build_paper_weather
+from repro.groundstations import satnogs_like_network
+from repro.scheduling.value_functions import LatencyValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def run_mode(mode: str):
+    satellites = build_paper_fleet(count=30, seed=7)
+    network = satnogs_like_network(50, tx_capable_fraction=0.12, seed=11)
+    config = SimulationConfig(
+        start=EPOCH, duration_s=6 * 3600.0,
+        execution_mode=mode,
+        plan_refresh_s=3600.0, plan_horizon_s=2 * 3600.0,
+        record_events=True,
+    )
+    sim = Simulation(satellites, network, LatencyValue(), config,
+                     truth_weather=build_paper_weather(seed=3))
+    report = sim.run()
+    return sim, report
+
+
+def main() -> None:
+    print("=== Live vs planned execution (6 h, 30 satellites) ===")
+    results = {}
+    for mode in ("live", "planned"):
+        sim, report = run_mode(mode)
+        results[mode] = (sim, report)
+        lat = report.latency_percentiles_min((50, 90))
+        extra = ""
+        if mode == "planned":
+            extra = (f"  plan mismatches: {sim.plan_mismatch_steps} steps, "
+                     f"{len(sim._satellite_plans)}/{len(sim.satellites)} "
+                     f"satellites bootstrapped")
+        print(f"{mode:8s}: delivered {report.delivered_bits / 8e9:6.1f} GB, "
+              f"latency p50/p90 {lat[50]:.0f}/{lat[90]:.0f} min{extra}")
+    live_gb = results["live"][1].delivered_bits / 8e9
+    planned_gb = results["planned"][1].delivered_bits / 8e9
+    if live_gb > 0:
+        print(f"\nplan-distribution cost: {1 - planned_gb / live_gb:.0%} of "
+              "live-mode throughput\n(satellites idle until their first "
+              "tx-capable contact, and fly stale plans between uploads)")
+
+    print("\n=== Operator contact report (planned mode) ===")
+    sim, _report = results["planned"]
+    contacts = contacts_from_events(sim.events, step_s=60.0)
+    summary = summarize_contacts(contacts)
+    print(summary.render())
+    longest = sorted(contacts, key=lambda c: -c.bits)[:5]
+    for contact in longest:
+        print(f"  {contact.start:%H:%M} {contact.satellite_id:>12s} @ "
+              f"{contact.station_id:<8s} {contact.duration_s / 60:4.1f} min  "
+              f"{contact.bits / 8e9:5.1f} GB  "
+              f"{contact.mean_rate_bps / 1e6:5.0f} Mbps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: build a DGS network, inspect geometry, schedule a downlink.
+
+Run:  python examples/quickstart.py
+
+Builds a small synthetic world (20 satellites, 40 ground stations), then
+walks the public API end to end: pass prediction, link-quality estimation,
+one scheduling instant, and a short data-transfer simulation.
+"""
+
+from datetime import datetime, timedelta
+
+from repro import DGSNetwork
+from repro.core.scenarios import build_paper_fleet, build_paper_weather
+from repro.groundstations import satnogs_like_network
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def main() -> None:
+    satellites = build_paper_fleet(count=20, seed=7)
+    network = satnogs_like_network(40, seed=11)
+    dgs = DGSNetwork(
+        satellites=satellites,
+        network=network,
+        weather=build_paper_weather(seed=3),
+    )
+
+    # Give the fleet an hour of imagery so there is something to schedule.
+    for sat in satellites:
+        sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+
+    print("=== Pass prediction ===")
+    sat, station = satellites[0], network[0]
+    windows = dgs.predict_passes(sat, station, EPOCH, EPOCH + timedelta(days=1))
+    print(f"{sat.satellite_id} over {station.station_id} "
+          f"({station.latitude_deg:.1f}N, {station.longitude_deg:.1f}E): "
+          f"{len(windows)} passes in 24 h")
+    for w in windows[:3]:
+        print(f"  rise {w.rise_time:%H:%M:%S}  set {w.set_time:%H:%M:%S}  "
+              f"dur {w.duration_seconds / 60:.1f} min  "
+              f"max el {w.max_elevation_deg:.0f} deg")
+
+    print("\n=== Link quality at culmination ===")
+    if windows:
+        peak = windows[0].culmination_time
+        link = dgs.link_quality(sat, station, peak)
+        modcod = link.modcod.name if link.modcod else "no link"
+        print(f"Es/N0 {link.esn0_db:.1f} dB -> {modcod} "
+              f"-> {link.bitrate_bps / 1e6:.0f} Mbps "
+              f"(FSPL {link.fspl_db:.0f} dB, rain {link.rain_db:.2f} dB)")
+
+    print("\n=== One scheduling instant ===")
+    step = dgs.schedule(EPOCH)
+    print(f"{step.num_edges} feasible links, {len(step.assignments)} scheduled:")
+    for a in step.assignments[:8]:
+        print(f"  {satellites[a.satellite_index].satellite_id:12s} -> "
+              f"{network[a.station_index].station_id}  "
+              f"{a.bitrate_bps / 1e6:6.0f} Mbps  value {a.weight:.0f}")
+
+    print("\n=== Two-hour data-transfer simulation ===")
+    report = dgs.simulate(EPOCH, duration_s=2 * 3600.0)
+    pct = report.latency_percentiles_min((50, 90))
+    print(f"generated {report.generated_bits / 8e9:6.1f} GB, "
+          f"delivered {report.delivered_bits / 8e9:6.1f} GB")
+    if report.all_latencies_s().size:
+        print(f"latency median {pct[50]:.1f} min, p90 {pct[90]:.1f} min")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""DGS: a distributed and hybrid ground station network for LEO satellites.
+
+A full reproduction of Vasisht & Chandra, "A Distributed and Hybrid Ground
+Station Network for Low Earth Orbit Satellites", HotNets 2020 -- the
+scheduler, link-quality model, hybrid uplink design, and every substrate
+the evaluation needs (SGP4 orbit propagation, ITU-R atmosphere models,
+DVB-S2 rate adaptation, synthetic weather and SatNOGS-like datasets, and a
+data-transfer simulator).
+
+Quickstart::
+
+    from datetime import datetime
+    from repro import DGSNetwork
+    from repro.core import build_paper_fleet, build_paper_weather
+    from repro.groundstations import satnogs_like_network
+
+    net = DGSNetwork(
+        satellites=build_paper_fleet(count=20),
+        network=satnogs_like_network(40),
+        weather=build_paper_weather(),
+    )
+    step = net.schedule(datetime(2020, 6, 1, 12, 0))
+    for a in step.assignments:
+        print(a.satellite_index, "->", a.station_index, f"{a.bitrate_bps/1e6:.0f} Mbps")
+"""
+
+from repro.core.api import DGSNetwork
+
+__version__ = "1.0.0"
+
+__all__ = ["DGSNetwork", "__version__"]

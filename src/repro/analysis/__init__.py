@@ -1,0 +1,35 @@
+"""Result analysis: CDFs, tables, fairness metrics, terminal plots."""
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.contacts import (
+    Contact,
+    ContactSummary,
+    contacts_from_events,
+    summarize_contacts,
+)
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    gini_coefficient,
+    jain_index,
+    matching_fairness,
+)
+from repro.analysis.plots import render_cdfs, render_histogram
+from repro.analysis.tables import ComparisonTable, format_table
+
+__all__ = [
+    "EmpiricalCDF",
+    "ComparisonTable",
+    "format_table",
+    "jain_index",
+    "gini_coefficient",
+    "fairness_report",
+    "FairnessReport",
+    "matching_fairness",
+    "render_cdfs",
+    "render_histogram",
+    "Contact",
+    "ContactSummary",
+    "contacts_from_events",
+    "summarize_contacts",
+]

@@ -1,0 +1,62 @@
+"""Empirical CDFs -- the paper's plots are all CDFs (Fig. 3a-c)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """An empirical cumulative distribution over a sample.
+
+    Evaluation uses the right-continuous step definition
+    F(x) = (# samples <= x) / n, and the inverse uses linear interpolation
+    between order statistics (numpy's default percentile), matching how
+    the paper reads off medians and tail percentiles.
+    """
+
+    def __init__(self, samples) -> None:
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        if np.any(np.isnan(data)):
+            raise ValueError("samples contain NaN")
+        self._sorted = np.sort(data)
+
+    @property
+    def n(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    def evaluate(self, x: float) -> float:
+        """F(x): fraction of samples <= x."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.n
+
+    def percentile(self, q: float) -> float:
+        """Inverse CDF at percentile q in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self._sorted, q))
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def curve(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays for plotting, sampled at ``points`` quantiles."""
+        if points < 2:
+            raise ValueError("need at least 2 points")
+        qs = np.linspace(0.0, 100.0, points)
+        xs = np.percentile(self._sorted, qs)
+        return xs, qs / 100.0
+
+    def summary(self, percentiles=(50, 90, 99)) -> dict[int, float]:
+        return {int(p): self.percentile(p) for p in percentiles}

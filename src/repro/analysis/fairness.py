@@ -1,0 +1,113 @@
+"""Fairness metrics for allocation comparisons.
+
+The paper prefers stable matching over the globally optimal one because
+"an optimal matching leaves space for a satellite-ground station pair to
+achieve sub-optimal results for itself" (Sec. 3.1) -- a fairness argument.
+These metrics make it measurable: Jain's index and min/median share over
+per-satellite delivered bytes, so the matching ablation can report not
+just total value but its distribution across operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def jain_index(allocations) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 = perfectly equal shares; 1/n = one participant gets everything.
+    Zero-allocation participants count (they are the unfairness).
+    """
+    values = np.asarray(list(allocations), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(values < 0):
+        raise ValueError("allocations cannot be negative")
+    total = values.sum()
+    if total == 0.0:
+        return 1.0  # everyone equally got nothing
+    # Normalize first so subnormal allocations cannot underflow x^2 to 0.
+    shares = values / total
+    return float(1.0 / (values.size * np.square(shares).sum()))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Distributional summary of one allocation."""
+
+    jain: float
+    min_share: float  # worst participant / equal share
+    median_share: float
+    participants: int
+    starved: int  # participants with zero allocation
+
+    def render(self) -> str:
+        return (
+            f"Jain {self.jain:.3f}, worst/equal {self.min_share:.2f}, "
+            f"median/equal {self.median_share:.2f}, "
+            f"{self.starved}/{self.participants} starved"
+        )
+
+
+def fairness_report(allocations) -> FairnessReport:
+    """Full fairness summary of per-participant allocations."""
+    values = np.asarray(list(allocations), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one allocation")
+    equal_share = values.mean()
+    if equal_share == 0.0:
+        return FairnessReport(1.0, 1.0, 1.0, int(values.size),
+                              int(values.size))
+    return FairnessReport(
+        jain=jain_index(values),
+        min_share=float(values.min() / equal_share),
+        median_share=float(np.median(values) / equal_share),
+        participants=int(values.size),
+        starved=int(np.count_nonzero(values == 0.0)),
+    )
+
+
+def per_satellite_delivered_gb(report) -> dict[str, float]:
+    """Delivered GB per satellite from a SimulationReport.
+
+    Satellites that delivered nothing appear with 0.0 (read from the
+    final-backlog keys, which cover the whole fleet).
+    """
+    delivered = {sid: 0.0 for sid in report.final_backlog_gb}
+    for sid, bits in report.satellite_bits.items():
+        delivered[sid] = bits / 8e9
+    return delivered
+
+
+def matching_fairness(report) -> FairnessReport:
+    """Fairness of a run's deliveries across its satellite fleet."""
+    return fairness_report(per_satellite_delivered_gb(report).values())
+
+
+def gini_coefficient(allocations) -> float:
+    """Gini coefficient in [0, 1): 0 = perfect equality.
+
+    Included alongside Jain because networking papers use Jain and
+    economics-flavoured ones use Gini; they rank allocations differently
+    in the tails.
+    """
+    values = np.sort(np.asarray(list(allocations), dtype=float))
+    if values.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(values < 0):
+        raise ValueError("allocations cannot be negative")
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    n = values.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * values) / (n * total)) - (n + 1.0) / n)
+
+
+def _self_check() -> None:  # pragma: no cover - sanity invariant
+    assert math.isclose(jain_index([1, 1, 1, 1]), 1.0)
+    assert jain_index([1, 0, 0, 0]) == 0.25

@@ -1,0 +1,95 @@
+"""Terminal plots: render the paper's CDF figures as Unicode art.
+
+The benchmark harness and CLI run in terminals without a display, so the
+figures are drawn with block characters.  ``render_cdfs`` produces the
+Fig. 3-style plot: one curve per system over a shared x-axis.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import EmpiricalCDF
+
+_MARKERS = "*o+x#@"
+
+
+def render_cdfs(
+    series: dict[str, list[float]],
+    title: str = "",
+    x_label: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_max: float | None = None,
+) -> str:
+    """ASCII CDF plot of several labelled samples.
+
+    ``x_max`` clips the axis (defaults to the p99 of the widest series so
+    one outlier does not flatten every curve).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot too small to be legible")
+    cdfs = {label: EmpiricalCDF(values) for label, values in series.items()
+            if values}
+    if not cdfs:
+        raise ValueError("all series are empty")
+    if x_max is None:
+        x_max = max(cdf.percentile(99.0) for cdf in cdfs.values())
+    if x_max <= 0:
+        x_max = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, cdf) in enumerate(cdfs.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for col in range(width):
+            x = x_max * col / (width - 1)
+            prob = cdf.evaluate(x)
+            row = height - 1 - round(prob * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        prob = 1.0 - row_index / (height - 1)
+        axis = f"{prob:4.2f} |"
+        lines.append(axis + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = "0"
+    right = f"{x_max:.0f}"
+    middle = f"{x_max / 2:.0f}"
+    pad = width - len(left) - len(middle) - len(right)
+    lines.append("      " + left + " " * (pad // 2) + middle
+                 + " " * (pad - pad // 2) + right)
+    if x_label:
+        lines.append(f"      {x_label}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(cdfs)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(values: list[float], bins: int = 20, width: int = 50,
+                     title: str = "") -> str:
+    """Horizontal ASCII histogram."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - low) / (high - low) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for b, count in enumerate(counts):
+        lo = low + (high - low) * b / bins
+        bar = "#" * round(width * count / peak) if peak else ""
+        lines.append(f"{lo:10.1f} | {bar} {count}")
+    return "\n".join(lines)

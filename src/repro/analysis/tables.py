@@ -1,0 +1,61 @@
+"""Plain-text result tables: paper value vs measured value, side by side.
+
+The benchmark harness prints one of these per figure so EXPERIMENTS.md and
+CI logs read like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """Monospace-align a table for terminal output."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """Accumulates (metric, paper value, measured value) rows for one figure."""
+
+    title: str
+    unit: str = ""
+    rows: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def add(self, metric: str, paper: float, measured: float) -> None:
+        self.rows.append((metric, paper, measured))
+
+    def ratio_errors(self) -> dict[str, float]:
+        """measured/paper ratio per metric (1.0 = exact reproduction)."""
+        out = {}
+        for metric, paper, measured in self.rows:
+            out[metric] = measured / paper if paper else float("inf")
+        return out
+
+    def render(self) -> str:
+        headers = ["metric", f"paper ({self.unit})", f"measured ({self.unit})",
+                   "measured/paper"]
+        body = []
+        for metric, paper, measured in self.rows:
+            ratio = measured / paper if paper else float("inf")
+            body.append(
+                [metric, f"{paper:.1f}", f"{measured:.1f}", f"{ratio:.2f}x"]
+            )
+        return format_table(headers, body, title=self.title)

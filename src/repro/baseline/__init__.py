@@ -1,0 +1,5 @@
+"""The centralized baseline system (paper Sec. 4, "Baseline")."""
+
+from repro.baseline.system import CentralizedBaseline, measured_node_throughput_ratio
+
+__all__ = ["CentralizedBaseline", "measured_node_throughput_ratio"]

@@ -1,0 +1,86 @@
+"""The state-of-the-art centralized baseline the paper compares against.
+
+From Sec. 4: "This method uses 6 parallel channels as well as high-end
+receivers with 4 m diameter dish antennas.  As in [10], we model 5 such
+high-end ground stations across the planet.  Each baseline ground station
+achieves 10x the median throughput achieved by a DGS node."
+
+The baseline is *not* a different algorithm -- it runs the same scheduler
+over a different (tiny, polar, high-end, all-uplink-capable) network.
+This module packages that network plus helpers to verify the 10x
+throughput relationship emerges from the physics rather than being
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.groundstations.network import (
+    GroundStationNetwork,
+    baseline_polar_network,
+)
+from repro.linkbudget.budget import (
+    LinkBudget,
+    RadioConfig,
+    baseline_receiver,
+    dgs_node_receiver,
+)
+
+
+@dataclass
+class CentralizedBaseline:
+    """The 5-station high-end baseline system."""
+
+    station_count: int = 5
+    min_elevation_deg: float = 5.0
+
+    def network(self) -> GroundStationNetwork:
+        """Build the baseline station network (all transmit-capable)."""
+        return baseline_polar_network(
+            count=self.station_count,
+            min_elevation_deg=self.min_elevation_deg,
+        )
+
+
+def measured_node_throughput_ratio(
+    radio: RadioConfig | None = None,
+    samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """Median baseline-station / DGS-node throughput ratio over pass geometry.
+
+    Draws slant-range/elevation pairs from the LEO pass distribution and
+    compares the DVB-S2 rates a 4 m 6-channel baseline receiver and a 1 m
+    single-channel DGS node achieve on the identical geometry.  The paper
+    asserts this ratio is 10x; the test suite checks our physics lands in
+    that neighbourhood.
+    """
+    import math
+    import random
+
+    rng = random.Random(seed)
+    radio = radio or RadioConfig()
+    base = LinkBudget(radio, baseline_receiver())
+    node = LinkBudget(radio, dgs_node_receiver())
+    base_rates = []
+    node_rates = []
+    for _ in range(samples):
+        # Elevation from the geometric pass distribution; slant range from
+        # a 500 km circular orbit at that elevation.
+        u = rng.random()
+        el = min(90.0, max(5.0, 90.0 * (1.0 - u) ** 2.2 + 5.0))
+        re, alt = 6371.0, 500.0
+        el_rad = math.radians(el)
+        rng_km = (
+            -re * math.sin(el_rad)
+            + math.sqrt((re * math.sin(el_rad)) ** 2 + alt * (alt + 2 * re))
+        )
+        base_rates.append(base.evaluate(rng_km, el, 60.0).bitrate_bps)
+        node_rates.append(node.evaluate(rng_km, el, 45.0).bitrate_bps)
+    node_median = float(np.median(node_rates))
+    if node_median == 0.0:
+        return float("inf")
+    return float(np.median(base_rates)) / node_median

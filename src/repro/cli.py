@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``passes``      -- predict contact windows for a synthetic satellite
+                     over a ground site.
+* ``schedule``    -- print one scheduling instant for a synthetic world.
+* ``simulate``    -- run a data-transfer simulation and print the report.
+* ``experiment``  -- run one paper experiment (fig3a, fig3b, fig3c,
+                     summary, setup, ablations, robustness).
+* ``dataset``     -- generate a SatNOGS-like dataset as JSON.
+
+Everything is synthetic and seeded, so runs are reproducible; this is the
+operational face of the library for people who want numbers without
+writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timedelta
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    from repro.orbits.constellation import synthetic_leo_constellation
+    from repro.orbits.passes import PassPredictor
+    from repro.orbits.sgp4 import SGP4
+
+    tles = synthetic_leo_constellation(args.satellites, EPOCH, seed=args.seed)
+    predictor_start = EPOCH
+    for tle in tles[: args.satellites]:
+        predictor = PassPredictor(
+            SGP4(tle).propagate, args.lat, args.lon, 0.0,
+            min_elevation_deg=args.min_elevation,
+        )
+        windows = list(
+            predictor.passes(predictor_start,
+                             predictor_start + timedelta(hours=args.hours))
+        )
+        print(f"{tle.name} (incl {tle.inclination_deg:.1f} deg): "
+              f"{len(windows)} passes")
+        for w in windows:
+            print(f"  {w.rise_time:%Y-%m-%d %H:%M:%S} -> "
+                  f"{w.set_time:%H:%M:%S}  {w.duration_seconds / 60:4.1f} min  "
+                  f"max el {w.max_elevation_deg:4.1f} deg")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import build_paper_fleet, build_paper_weather
+    from repro.groundstations.network import satnogs_like_network
+    from repro.scheduling.scheduler import DownlinkScheduler
+    from repro.scheduling.value_functions import LatencyValue
+
+    fleet = build_paper_fleet(args.satellites, seed=args.seed)
+    for sat in fleet:
+        sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+    network = satnogs_like_network(args.stations, seed=args.seed + 1)
+    scheduler = DownlinkScheduler(
+        fleet, network, LatencyValue(),
+        matcher=args.matcher, weather=build_paper_weather(),
+    )
+    when = EPOCH + timedelta(minutes=args.minute)
+    step = scheduler.schedule_step(when)
+    print(f"{when:%Y-%m-%d %H:%M} UTC: {step.num_edges} feasible links, "
+          f"{len(step.assignments)} scheduled ({args.matcher} matching)")
+    for a in sorted(step.assignments, key=lambda a: -a.weight):
+        print(f"  {fleet[a.satellite_index].satellite_id:>12s} -> "
+              f"{network[a.station_index].station_id:<8s} "
+              f"{a.bitrate_bps / 1e6:7.1f} Mbps  el {a.elevation_deg:4.1f}  "
+              f"value {a.weight:.1f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import make_baseline_scenario, make_dgs_scenario
+
+    if args.system == "baseline":
+        _f, _n, sim = make_baseline_scenario(
+            value=args.value, num_satellites=args.satellites,
+            duration_s=args.hours * 3600.0,
+        )
+    else:
+        _f, _n, sim = make_dgs_scenario(
+            station_fraction=args.fraction, value=args.value,
+            num_satellites=args.satellites, num_stations=args.stations,
+            duration_s=args.hours * 3600.0,
+        )
+    report = sim.run()
+    lat = report.latency_percentiles_min((50, 90, 99))
+    backlog = report.backlog_percentiles_gb((50, 90, 99))
+    print(f"system: {args.system} (value function: {args.value})")
+    print(f"generated: {report.generated_bits / 8e12:8.2f} TB")
+    print(f"delivered: {report.delivered_tb:8.2f} TB "
+          f"({report.delivery_fraction:.1%})")
+    print(f"latency  p50/p90/p99: {lat[50]:.1f} / {lat[90]:.1f} / "
+          f"{lat[99]:.1f} min  (mean {report.mean_latency_min():.1f})")
+    print(f"backlog  p50/p90/p99: {backlog[50]:.2f} / {backlog[90]:.2f} / "
+          f"{backlog[99]:.2f} GB")
+    if args.plot and report.all_latencies_s().size:
+        from repro.analysis.plots import render_cdfs
+
+        print()
+        print(render_cdfs(
+            {"latency": [v / 60.0 for v in report.all_latencies_s()]},
+            title="latency CDF", x_label="minutes",
+        ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    modules = {
+        "fig3a": experiments.fig3a,
+        "fig3b": experiments.fig3b,
+        "fig3c": experiments.fig3c,
+        "summary": experiments.summary,
+        "setup": experiments.setup_validation,
+        "ablations": experiments.ablations,
+        "robustness": experiments.robustness,
+        "storage": experiments.storage_requirement,
+    }
+    module = modules[args.name]
+    result = module.run(duration_s=args.hours * 3600.0, scale=args.scale)
+    print(result.render())
+    if args.plot and result.series:
+        from repro.analysis.plots import render_cdfs
+
+        plottable = {k: v for k, v in result.series.items() if len(v) > 1}
+        if plottable:
+            print()
+            print(render_cdfs(plottable, title=result.description))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.satnogs.dataset import generate_dataset
+
+    dataset = generate_dataset(
+        num_stations=args.stations, num_satellites=args.satellites,
+        days=args.days, seed=args.seed,
+    )
+    if args.filter:
+        dataset = dataset.filter_operational()
+    text = dataset.to_json()
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(dataset.stations)} stations, "
+              f"{len(dataset.satellites)} satellites, "
+              f"{len(dataset.observations)} observations to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DGS: distributed hybrid ground station network (HotNets '20)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("passes", help="predict contact windows")
+    p.add_argument("--lat", type=float, default=47.6)
+    p.add_argument("--lon", type=float, default=-122.3)
+    p.add_argument("--min-elevation", type=float, default=5.0)
+    p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("--satellites", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_passes)
+
+    p = sub.add_parser("schedule", help="print one scheduling instant")
+    p.add_argument("--satellites", type=int, default=30)
+    p.add_argument("--stations", type=int, default=40)
+    p.add_argument("--minute", type=int, default=0,
+                   help="minutes after the scenario epoch")
+    p.add_argument("--matcher", choices=("stable", "optimal", "greedy"),
+                   default="stable")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("simulate", help="run a data-transfer simulation")
+    p.add_argument("--system", choices=("dgs", "baseline"), default="dgs")
+    p.add_argument("--satellites", type=int, default=50)
+    p.add_argument("--stations", type=int, default=60)
+    p.add_argument("--fraction", type=float, default=1.0)
+    p.add_argument("--value", choices=("latency", "throughput"),
+                   default="latency")
+    p.add_argument("--hours", type=float, default=6.0)
+    p.add_argument("--plot", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="run one paper experiment")
+    p.add_argument("name", choices=("fig3a", "fig3b", "fig3c", "summary",
+                                    "setup", "ablations", "robustness",
+                                    "storage"))
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--hours", type=float, default=12.0)
+    p.add_argument("--plot", action="store_true")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("dataset", help="generate a SatNOGS-like dataset")
+    p.add_argument("--stations", type=int, default=200)
+    p.add_argument("--satellites", type=int, default=259)
+    p.add_argument("--days", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--filter", action="store_true",
+                   help="apply the paper's operational/1k-observation filter")
+    p.add_argument("--output", default="-")
+    p.set_defaults(func=_cmd_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Public facade of the DGS reproduction library.
+
+Most users need only this package:
+
+* :class:`~repro.core.api.DGSNetwork` -- construct a network, ask it for
+  contact graphs, schedules, pass predictions, link quality, plans, or a
+  full data-transfer simulation.
+* :mod:`repro.core.scenarios` -- one-call builders for the paper's
+  evaluation scenarios (DGS, DGS(25%), the centralized baseline) and the
+  variants the ablations sweep.
+"""
+
+from repro.core.api import DGSNetwork
+from repro.core.scenarios import (
+    ScenarioResult,
+    build_paper_fleet,
+    build_paper_weather,
+    make_baseline_scenario,
+    make_dgs_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "DGSNetwork",
+    "ScenarioResult",
+    "build_paper_fleet",
+    "build_paper_weather",
+    "make_dgs_scenario",
+    "make_baseline_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,163 @@
+"""Scenario builders for the paper's evaluation (Sec. 4).
+
+One place defines "the paper's setup": 259 satellites generating
+100 GB/day with the Planet-class X-band radio; 173 SatNOGS-like DGS
+stations (or a 25% subset, or the 5-station baseline); the synthetic
+weather month; stable matching at 60 s cadence.  Experiments and
+benchmarks build everything through here so the variants differ in
+exactly one dimension at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.baseline.system import CentralizedBaseline
+from repro.groundstations.network import GroundStationNetwork, satnogs_like_network
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.satellites.satellite import Satellite
+from repro.scheduling.scheduler import MatcherName
+from repro.scheduling.value_functions import (
+    LatencyValue,
+    ThroughputValue,
+    ValueFunction,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+from repro.simulation.metrics import SimulationReport
+from repro.weather.cells import RainCellField
+from repro.weather.provider import QuantizedWeatherCache, WeatherProvider
+
+#: The paper's population sizes.
+PAPER_SATELLITES = 259
+PAPER_STATIONS = 173
+PAPER_EPOCH = datetime(2020, 6, 1)
+
+
+def build_paper_fleet(
+    count: int = PAPER_SATELLITES,
+    epoch: datetime = PAPER_EPOCH,
+    generation_gb_per_day: float = 100.0,
+    chunk_size_gb: float = 1.0,
+    seed: int = 7,
+) -> list[Satellite]:
+    """The satellite fleet: synthetic EO constellation, 100 GB/day each."""
+    tles = synthetic_leo_constellation(count, epoch, seed=seed)
+    return [
+        Satellite(
+            tle=tle,
+            generation_gb_per_day=generation_gb_per_day,
+            chunk_size_gb=chunk_size_gb,
+        )
+        for tle in tles
+    ]
+
+
+def build_paper_weather(seed: int = 3,
+                        intensity_scale: float = 1.0) -> WeatherProvider:
+    """The synthetic weather month, memoized at 5-minute resolution."""
+    return QuantizedWeatherCache(
+        RainCellField(seed=seed, intensity_scale=intensity_scale)
+    )
+
+
+def value_function_by_name(name: str) -> ValueFunction:
+    """'latency' (paper's Phi = t) or 'throughput' (Phi = |x|)."""
+    if name == "latency":
+        return LatencyValue()
+    if name == "throughput":
+        return ThroughputValue()
+    raise ValueError(f"unknown value function {name!r}")
+
+
+@dataclass
+class ScenarioResult:
+    """A finished scenario: its label, networks sizes, and the report."""
+
+    label: str
+    num_satellites: int
+    num_stations: int
+    report: SimulationReport
+
+
+def make_dgs_scenario(
+    station_fraction: float = 1.0,
+    value: str = "latency",
+    matcher: MatcherName = "stable",
+    num_satellites: int = PAPER_SATELLITES,
+    num_stations: int = PAPER_STATIONS,
+    duration_s: float = 86400.0,
+    step_s: float = 60.0,
+    weather_seed: int = 3,
+    network_seed: int = 11,
+    fleet_seed: int = 7,
+    use_forecast: bool = False,
+    enforce_plan_distribution: bool = False,
+    tx_capable_fraction: float = 0.1,
+) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
+    """Assemble a DGS simulation (full network or a fraction of it)."""
+    fleet = build_paper_fleet(num_satellites, seed=fleet_seed)
+    network = satnogs_like_network(
+        num_stations, tx_capable_fraction=tx_capable_fraction, seed=network_seed
+    )
+    if station_fraction < 1.0:
+        network = network.subset_fraction(station_fraction, seed=network_seed)
+    weather = build_paper_weather(weather_seed)
+    config = SimulationConfig(
+        start=PAPER_EPOCH,
+        duration_s=duration_s,
+        step_s=step_s,
+        matcher=matcher,
+        use_forecast=use_forecast,
+        enforce_plan_distribution=enforce_plan_distribution,
+    )
+    sim = Simulation(
+        satellites=fleet,
+        network=network,
+        value_function=value_function_by_name(value),
+        config=config,
+        truth_weather=weather,
+    )
+    return fleet, network, sim
+
+
+def make_baseline_scenario(
+    value: str = "latency",
+    matcher: MatcherName = "stable",
+    num_satellites: int = PAPER_SATELLITES,
+    duration_s: float = 86400.0,
+    step_s: float = 60.0,
+    weather_seed: int = 3,
+    fleet_seed: int = 7,
+    station_count: int = 5,
+) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
+    """Assemble the centralized-baseline simulation."""
+    fleet = build_paper_fleet(num_satellites, seed=fleet_seed)
+    network = CentralizedBaseline(station_count=station_count).network()
+    weather = build_paper_weather(weather_seed)
+    config = SimulationConfig(
+        start=PAPER_EPOCH,
+        duration_s=duration_s,
+        step_s=step_s,
+        matcher=matcher,
+    )
+    sim = Simulation(
+        satellites=fleet,
+        network=network,
+        value_function=value_function_by_name(value),
+        config=config,
+        truth_weather=weather,
+    )
+    return fleet, network, sim
+
+
+def run_scenario(label: str, sim: Simulation) -> ScenarioResult:
+    """Run an assembled simulation into a labelled result."""
+    report = sim.run()
+    return ScenarioResult(
+        label=label,
+        num_satellites=len(sim.satellites),
+        num_stations=len(sim.network),
+        report=report,
+    )

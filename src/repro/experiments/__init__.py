@@ -1,0 +1,38 @@
+"""Experiment harness: one module per paper figure plus ablations.
+
+Each experiment module exposes a ``run(duration_s, scale)`` function that
+executes the scenarios behind one figure of the paper and returns an
+:class:`ExperimentResult` carrying the raw per-series samples, the
+paper-vs-measured comparison table, and a rendered report.  ``scale``
+shrinks the populations proportionally (satellites, stations, baseline
+rate pressure) so tests and quick benches exercise the identical code path
+at laptop-seconds cost; ``scale=1.0`` is the paper's full setup.
+
+Shared headline runs (baseline / DGS / DGS 25%) are computed once and
+memoized in :mod:`repro.experiments.paper_runs` because Figs. 3a and 3b
+read different metrics off the same three simulations.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    ablations,
+    fig3a,
+    fig3b,
+    fig3c,
+    robustness,
+    setup_validation,
+    storage_requirement,
+    summary,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "summary",
+    "setup_validation",
+    "ablations",
+    "robustness",
+    "storage_requirement",
+]

@@ -1,0 +1,292 @@
+"""Ablations over DGS's design choices (Sec. 3 discussion points).
+
+The paper motivates several design decisions without evaluating them all;
+these ablations quantify each on the same simulation substrate:
+
+* **matching algorithm** -- stable (the paper's choice) vs optimal vs
+  greedy: how much global value does stability cost?
+* **transmit-capable fraction** -- the hybrid knob: how few uplink
+  stations can DGS run on before plan/ack starvation bites?
+  (Run with plan distribution enforced, i.e. satellites must hold a fresh
+  plan to use receive-only stations.)
+* **weather sensitivity** -- clear skies vs the synthetic month vs a
+  doubled-intensity month: how much does geographic diversity buy?
+* **forecast error** -- scheduling on forecasts instead of truth: losses
+  from rate over-prediction in the ack-free design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.scenarios import (
+    build_paper_fleet,
+    build_paper_weather,
+    make_dgs_scenario,
+)
+from repro.experiments.common import ExperimentResult, scaled_counts
+
+
+@dataclass
+class AblationRow:
+    label: str
+    median_latency_min: float
+    p90_latency_min: float
+    median_backlog_gb: float
+    delivered_tb: float
+    extra: str = ""
+
+    def cells(self) -> list[str]:
+        return [
+            self.label,
+            f"{self.median_latency_min:.1f}",
+            f"{self.p90_latency_min:.1f}",
+            f"{self.median_backlog_gb:.2f}",
+            f"{self.delivered_tb:.2f}",
+            self.extra,
+        ]
+
+
+_HEADERS = ["variant", "lat p50 (min)", "lat p90 (min)",
+            "backlog p50 (GB)", "delivered (TB)", "notes"]
+
+
+def _row(label: str, report, extra: str = "") -> AblationRow:
+    lat = report.latency_percentiles_min((50, 90))
+    backlog = report.backlog_percentiles_gb((50,))
+    return AblationRow(
+        label=label,
+        median_latency_min=lat[50],
+        p90_latency_min=lat[90],
+        median_backlog_gb=backlog[50],
+        delivered_tb=report.delivered_tb,
+        extra=extra,
+    )
+
+
+def run_matching(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
+    """Stable vs optimal vs greedy matching on identical scenarios.
+
+    Reports fairness alongside totals: the paper picks stable matching
+    *because* a fragmented network needs no participant to lose out; the
+    Jain index over per-satellite deliveries is that claim in one number.
+    """
+    from repro.analysis.fairness import matching_fairness
+
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for matcher in ("stable", "optimal", "greedy"):
+        _f, _n, sim = make_dgs_scenario(
+            matcher=matcher,
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        report = sim.run()
+        fairness = matching_fairness(report)
+        rows.append(_row(
+            matcher, report,
+            extra=f"Jain={fairness.jain:.3f} slews={sim.link_changes}",
+        ))
+    return rows
+
+
+def run_tx_fraction(duration_s: float = 21600.0, scale: float = 0.3,
+                    fractions=(0.02, 0.05, 0.1, 0.3)) -> list[AblationRow]:
+    """Sweep the hybrid knob with plan distribution enforced."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for fraction in fractions:
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+            enforce_plan_distribution=True,
+            tx_capable_fraction=fraction,
+        )
+        report = sim.run()
+        rows.append(_row(f"tx={fraction:.0%}", report,
+                         extra=f"requeued={report.retransmitted_chunks}"))
+    return rows
+
+
+def run_weather(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
+    """Clear sky vs nominal vs doubled rain intensity."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for label, intensity in (("clear", 0.0), ("nominal", 1.0), ("stormy", 2.5)):
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        sim.truth_weather = build_paper_weather(seed=3, intensity_scale=intensity)
+        sim.scheduler.weather = sim.truth_weather
+        rows.append(_row(label, sim.run()))
+    return rows
+
+
+def run_horizon(duration_s: float = 21600.0, scale: float = 0.3,
+                horizons=(1, 5, 15)) -> list[AblationRow]:
+    """Per-instant (the paper) vs receding-horizon scheduling (future work).
+
+    H=1 is the paper's scheduler; larger windows trade instantaneous value
+    for lookahead.  The paper conjectured cross-time optimization "can
+    further benefit DGS"; this ablation measures it.
+    """
+    from repro.scheduling.horizon import HorizonScheduler
+
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for horizon in horizons:
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        if horizon > 1:
+            base = sim.scheduler
+            sim.scheduler = HorizonScheduler(
+                base.satellites, base.network, base.value_function,
+                matcher=base.matcher_name, weather=base.weather,
+                step_s=base.step_s, horizon_steps=horizon,
+                replan_steps=max(1, horizon // 2),
+            )
+        rows.append(_row(f"H={horizon}", sim.run()))
+    return rows
+
+
+def run_beamforming(duration_s: float = 21600.0, scale: float = 0.3,
+                    beam_counts=(1, 2, 4)) -> list[AblationRow]:
+    """Station beamforming (Sec. 3.3 future work): beams vs throughput.
+
+    Power-split beams serve more satellites at lower per-link rate; the
+    interesting question is where the trade nets out for a contended
+    network.
+    """
+    from repro.scheduling.beamforming import BeamformingScheduler
+
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for beams in beam_counts:
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        if beams > 1:
+            base = sim.scheduler
+            sim.scheduler = BeamformingScheduler(
+                base.satellites, base.network, base.value_function,
+                matcher=base.matcher_name, weather=base.weather,
+                step_s=base.step_s, beams=beams,
+            )
+        rows.append(_row(f"beams={beams}", sim.run()))
+    return rows
+
+
+def run_forecast_error(duration_s: float = 21600.0,
+                       scale: float = 0.3) -> list[AblationRow]:
+    """Truth scheduling vs forecast-based scheduling (rate mispredictions)."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for label, use_forecast in (("oracle weather", False), ("forecast", True)):
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+            use_forecast=use_forecast,
+        )
+        report = sim.run()
+        lost_gb = report.lost_transmission_bits / 8e9
+        rows.append(_row(label, report, extra=f"lost={lost_gb:.1f} GB"))
+    return rows
+
+
+def run_band_sweep(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
+    """Downlink band sweep: X (the paper's default) vs Ku vs Ka.
+
+    Sec. 2: "Some designs are also exploring higher frequencies (Ku band
+    ... and Ka band ...) for downlink."  Dish gain and FSPL both scale as
+    f^2 and cancel; what changes is rain sensitivity, which grows steeply
+    with frequency -- exactly why the geographic diversity argument
+    strengthens at Ku/Ka.
+    """
+    from dataclasses import replace
+
+    from repro.linkbudget.budget import RadioConfig
+
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for label, freq in (("X 8.2 GHz", 8.2), ("Ku 14 GHz", 14.0),
+                        ("Ka 26.5 GHz", 26.5)):
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        radio = RadioConfig(frequency_ghz=freq)
+        for sat in sim.satellites:
+            sat.radio = radio
+        # Use stormier weather so the band differences are visible.
+        sim.truth_weather = build_paper_weather(seed=3, intensity_scale=2.0)
+        sim.scheduler.weather = sim.truth_weather
+        sim.scheduler._budgets.clear()
+        rows.append(_row(label, sim.run()))
+    return rows
+
+
+def run_execution_mode(duration_s: float = 21600.0,
+                       scale: float = 0.3) -> list[AblationRow]:
+    """Live matching (the paper's simulation) vs planned execution.
+
+    Planned mode is Sec. 3's actual operational model: stations follow the
+    newest Internet-distributed plan while satellites follow whatever plan
+    they last received at a transmit-capable contact.  The delta between
+    the rows is the cost of plan distribution latency and staleness.
+    """
+    num_sats, num_stations, _ = scaled_counts(scale)
+    rows = []
+    for label, mode in (("live", "live"), ("planned 1h refresh", "planned")):
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+        if mode == "planned":
+            sim.config.execution_mode = "planned"
+        report = sim.run()
+        extra = ""
+        if mode == "planned":
+            extra = f"mismatch steps={sim.plan_mismatch_steps}"
+        rows.append(_row(label, report, extra=extra))
+    return rows
+
+
+def run(duration_s: float = 21600.0, scale: float = 0.3) -> ExperimentResult:
+    """Run every ablation; render one table per design dimension."""
+    result = ExperimentResult(
+        experiment_id="ablations",
+        description="design-choice ablations (Sec. 3 discussion)",
+    )
+    from repro.analysis.tables import ComparisonTable
+
+    sections = (
+        ("matching algorithm", run_matching),
+        ("tx-capable fraction", run_tx_fraction),
+        ("weather intensity", run_weather),
+        ("forecast error", run_forecast_error),
+        ("scheduling horizon", run_horizon),
+        ("station beamforming", run_beamforming),
+        ("downlink band", run_band_sweep),
+        ("execution mode", run_execution_mode),
+    )
+    for title, fn in sections:
+        rows = fn(duration_s, scale)
+        rendered = format_table(_HEADERS, [r.cells() for r in rows],
+                                title=f"-- {title} --")
+        result.notes.append(rendered)
+        for r in rows:
+            result.series[f"{title}:{r.label}"] = [r.median_latency_min]
+    return result

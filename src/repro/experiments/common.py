@@ -1,0 +1,88 @@
+"""Shared experiment plumbing: results, scaling, and report rendering."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.tables import ComparisonTable
+
+
+@dataclass
+class ExperimentResult:
+    """One figure's reproduction: raw series + the paper comparison."""
+
+    experiment_id: str
+    description: str
+    #: series label -> raw sample values (latency minutes, backlog GB, ...)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    tables: list[ComparisonTable] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def cdf(self, label: str) -> EmpiricalCDF:
+        return EmpiricalCDF(self.series[label])
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.description} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable result: series, table rows, and notes."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "description": self.description,
+                "series": self.series,
+                "tables": [
+                    {
+                        "title": t.title,
+                        "unit": t.unit,
+                        "rows": [
+                            {"metric": m, "paper": p, "measured": v}
+                            for m, p, v in t.rows
+                        ],
+                    }
+                    for t in self.tables
+                ],
+                "notes": self.notes,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        raw = json.loads(text)
+        result = cls(
+            experiment_id=raw["experiment_id"],
+            description=raw["description"],
+            series={k: list(v) for k, v in raw["series"].items()},
+            notes=list(raw["notes"]),
+        )
+        for table_raw in raw["tables"]:
+            table = ComparisonTable(title=table_raw["title"],
+                                    unit=table_raw["unit"])
+            for row in table_raw["rows"]:
+                table.add(row["metric"], row["paper"], row["measured"])
+            result.tables.append(table)
+        return result
+
+
+def scaled_counts(scale: float) -> tuple[int, int, int]:
+    """(satellites, DGS stations, baseline stations) for a scale factor.
+
+    The baseline keeps its 5 stations down to very small scales -- the
+    paper's contrast is 'many cheap vs 5 expensive', and shrinking 5
+    proportionally would destroy the scenario's meaning long before it
+    saved any time.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    satellites = max(5, round(259 * scale))
+    stations = max(8, round(173 * scale))
+    baseline_stations = 5 if scale >= 0.05 else 3
+    return satellites, stations, baseline_stations

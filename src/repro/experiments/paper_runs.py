@@ -1,0 +1,60 @@
+"""Memoized headline scenario runs shared across figures.
+
+Figs. 3a and 3b are two views (backlog, latency) of the same three
+simulations -- Baseline, DGS, DGS(25%), all latency-optimized -- and
+Fig. 3c adds the throughput-optimized DGS(25%).  Running a full-scale day
+takes minutes, so each distinct (variant, duration, scale) runs exactly
+once per process.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenarios import (
+    ScenarioResult,
+    make_baseline_scenario,
+    make_dgs_scenario,
+    run_scenario,
+)
+from repro.experiments.common import scaled_counts
+
+_CACHE: dict[tuple, ScenarioResult] = {}
+
+
+def get_run(variant: str, duration_s: float = 86400.0,
+            scale: float = 1.0) -> ScenarioResult:
+    """Run (or fetch) one named scenario.
+
+    Variants: ``baseline-L``, ``dgs-L``, ``dgs25-L``, ``dgs25-T``,
+    ``dgs-T`` -- suffix L/T is the latency/throughput value function.
+    """
+    key = (variant, round(duration_s), round(scale, 4))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    num_sats, num_stations, baseline_stations = scaled_counts(scale)
+    if variant.startswith("baseline"):
+        value = "latency" if variant.endswith("L") else "throughput"
+        _fleet, _net, sim = make_baseline_scenario(
+            value=value,
+            num_satellites=num_sats,
+            duration_s=duration_s,
+            station_count=baseline_stations,
+        )
+    else:
+        fraction = 0.25 if variant.startswith("dgs25") else 1.0
+        value = "latency" if variant.endswith("L") else "throughput"
+        _fleet, _net, sim = make_dgs_scenario(
+            station_fraction=fraction,
+            value=value,
+            num_satellites=num_sats,
+            num_stations=num_stations,
+            duration_s=duration_s,
+        )
+    result = run_scenario(variant, sim)
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to force fresh simulations)."""
+    _CACHE.clear()

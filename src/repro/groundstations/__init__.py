@@ -1,0 +1,37 @@
+"""Ground-station models and network generators.
+
+A DGS ground station (paper Sec. 3) is geographically fixed, Internet
+connected, usually receive-only, low complexity, and carries per-satellite
+downlink constraints (the M-bit bitmap of Sec. 3.1).  This package defines
+the :class:`~repro.groundstations.station.GroundStation` model and
+generators for the two populations the paper evaluates: a SatNOGS-like
+global volunteer network and the 5-station high-end polar baseline.
+"""
+
+from repro.groundstations.station import (
+    DownlinkConstraints,
+    GroundStation,
+    StationCapability,
+)
+from repro.groundstations.network import (
+    GroundStationNetwork,
+    baseline_polar_network,
+    satnogs_like_network,
+)
+from repro.groundstations.registry import (
+    RegistryError,
+    network_from_json,
+    network_to_json,
+)
+
+__all__ = [
+    "GroundStation",
+    "StationCapability",
+    "DownlinkConstraints",
+    "GroundStationNetwork",
+    "satnogs_like_network",
+    "baseline_polar_network",
+    "RegistryError",
+    "network_to_json",
+    "network_from_json",
+]

@@ -1,0 +1,182 @@
+"""Ground-station network generators.
+
+Two populations from the paper's evaluation (Sec. 4):
+
+* :func:`satnogs_like_network` -- 173 stations "deployed by amateur radio
+  enthusiasts".  The real SatNOGS snapshot is not redistributable, so we
+  sample a population with the same footprint as the paper's Fig. 2:
+  heavily clustered in Europe and North America, secondary clusters in
+  East Asia and Oceania, sparse elsewhere, none in open ocean.  A
+  configurable small fraction is transmit-capable (the hybrid design).
+* :func:`baseline_polar_network` -- the 5 high-end stations of the
+  baseline [10], polar-sited because polar-orbiting satellites pass every
+  orbit (Sec. 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.groundstations.station import (
+    GroundStation,
+    StationCapability,
+)
+from repro.linkbudget.budget import baseline_receiver, dgs_node_receiver
+
+# (name, center lat, center lon, lat sigma, lon sigma, weight) -- the
+# sampling mixture approximating SatNOGS's geographic density (Fig. 2).
+_REGION_CLUSTERS = (
+    ("western-europe", 49.0, 7.0, 5.0, 8.0, 0.33),
+    ("eastern-europe", 50.0, 25.0, 5.0, 8.0, 0.10),
+    ("north-america-east", 40.0, -78.0, 6.0, 8.0, 0.12),
+    ("north-america-west", 41.0, -115.0, 7.0, 8.0, 0.10),
+    ("uk-ireland", 53.0, -2.5, 2.5, 3.0, 0.08),
+    ("japan-korea", 36.0, 137.0, 3.5, 5.0, 0.06),
+    ("australia-nz", -33.0, 148.0, 6.0, 10.0, 0.07),
+    ("south-america", -25.0, -55.0, 8.0, 8.0, 0.04),
+    ("south-asia", 15.0, 78.0, 8.0, 8.0, 0.04),
+    ("southern-africa", -29.0, 25.0, 6.0, 6.0, 0.03),
+    ("scandinavia", 62.0, 15.0, 4.0, 8.0, 0.03),
+    # A thin global scatter: lone operators far from the big clusters
+    # (visible in the paper's Fig. 2 across Africa, the Middle East,
+    # Southeast Asia, and island sites).
+    ("global-scatter", 10.0, 0.0, 30.0, 120.0, 0.06),
+)
+
+
+@dataclass
+class GroundStationNetwork:
+    """An ordered collection of ground stations with convenience queries."""
+
+    stations: list[GroundStation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def __iter__(self):
+        return iter(self.stations)
+
+    def __getitem__(self, index: int) -> GroundStation:
+        return self.stations[index]
+
+    def by_id(self, station_id: str) -> GroundStation:
+        for station in self.stations:
+            if station.station_id == station_id:
+                return station
+        raise KeyError(f"no station with id {station_id!r}")
+
+    @property
+    def transmit_capable(self) -> list[GroundStation]:
+        return [s for s in self.stations if s.can_transmit]
+
+    @property
+    def receive_only(self) -> list[GroundStation]:
+        return [s for s in self.stations if not s.can_transmit]
+
+    def subset_fraction(self, fraction: float, seed: int = 0) -> "GroundStationNetwork":
+        """A deterministic random subset keeping ``fraction`` of stations.
+
+        Used for the paper's DGS(25%) variant.  At least one
+        transmit-capable station is always retained so the hybrid design
+        stays functional.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        rng = random.Random(seed)
+        count = max(1, round(len(self.stations) * fraction))
+        chosen = rng.sample(self.stations, count)
+        if not any(s.can_transmit for s in chosen) and self.transmit_capable:
+            chosen[0] = rng.choice(self.transmit_capable)
+        # Preserve original network order for determinism downstream.
+        chosen_ids = {s.station_id for s in chosen}
+        return GroundStationNetwork(
+            [s for s in self.stations if s.station_id in chosen_ids]
+        )
+
+
+def satnogs_like_network(
+    count: int = 173,
+    tx_capable_fraction: float = 0.1,
+    seed: int = 0,
+    min_elevation_deg: float = 5.0,
+) -> GroundStationNetwork:
+    """Generate a SatNOGS-like global volunteer network.
+
+    ``tx_capable_fraction`` of stations (rounded, at least 1) are
+    transmit-capable; the paper says "a very small number".  Station
+    hardware is the low-complexity 1 m single-channel DGS node.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0.0 <= tx_capable_fraction <= 1.0:
+        raise ValueError("tx_capable_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    weights = [c[5] for c in _REGION_CLUSTERS]
+    stations: list[GroundStation] = []
+    for idx in range(count):
+        name, clat, clon, slat, slon, _w = rng.choices(
+            _REGION_CLUSTERS, weights=weights
+        )[0]
+        lat = max(-85.0, min(85.0, rng.gauss(clat, slat)))
+        lon = ((rng.gauss(clon, slon) + 180.0) % 360.0) - 180.0
+        stations.append(
+            GroundStation(
+                station_id=f"gs-{idx:03d}",
+                latitude_deg=lat,
+                longitude_deg=lon,
+                altitude_km=max(0.0, rng.gauss(0.3, 0.25)),
+                capability=StationCapability.RECEIVE_ONLY,
+                receiver=dgs_node_receiver(),
+                min_elevation_deg=min_elevation_deg,
+                owner=f"volunteer-{name}",
+                backhaul_latency_s=rng.uniform(0.05, 0.4),
+            )
+        )
+    tx_count = max(1, round(count * tx_capable_fraction)) if tx_capable_fraction > 0 else 0
+    for station in rng.sample(stations, tx_count):
+        station.capability = StationCapability.TRANSMIT_CAPABLE
+    return GroundStationNetwork(stations)
+
+
+# Real-world polar/high-latitude teleport sites used by commercial EO
+# operators; the baseline [10] deploys "5 such high-end ground stations
+# across the planet", preferentially near the poles (Sec. 2: operators
+# deploy "preferably close to the Earth's poles" to see polar orbiters
+# every pass).  The polar concentration is exactly what starves
+# mid-inclination satellites and produces the baseline's latency tail.
+_BASELINE_SITES = (
+    ("svalbard", 78.23, 15.39),
+    ("troll", -72.01, 2.53),
+    ("inuvik", 68.32, -133.55),
+    ("fairbanks", 64.86, -147.85),
+    ("awarua", -46.53, 168.38),
+)
+
+
+def baseline_polar_network(
+    count: int = 5,
+    min_elevation_deg: float = 5.0,
+) -> GroundStationNetwork:
+    """The centralized baseline: up to 5 high-end, mostly-polar stations.
+
+    All are transmit-capable (centralized operators own full uplink
+    licenses) and use the 4 m, 6-channel receiver of [10].
+    """
+    if not 1 <= count <= len(_BASELINE_SITES):
+        raise ValueError(f"count must be 1..{len(_BASELINE_SITES)}")
+    stations = [
+        GroundStation(
+            station_id=f"baseline-{name}",
+            latitude_deg=lat,
+            longitude_deg=lon,
+            altitude_km=0.1,
+            capability=StationCapability.TRANSMIT_CAPABLE,
+            receiver=baseline_receiver(),
+            min_elevation_deg=min_elevation_deg,
+            owner="operator",
+            backhaul_latency_s=0.1,
+        )
+        for name, lat, lon in _BASELINE_SITES[:count]
+    ]
+    return GroundStationNetwork(stations)

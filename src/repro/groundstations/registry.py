@@ -1,0 +1,117 @@
+"""Network persistence: save/load ground-station networks as JSON.
+
+A real DGS deployment manages its station roster as configuration --
+operators join, change hardware, adjust constraints.  This module
+round-trips :class:`GroundStationNetwork` (including receiver hardware
+and constraint bitmaps) through a versioned JSON document, so networks
+can live in files/repos rather than code.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.groundstations.network import GroundStationNetwork
+from repro.groundstations.station import (
+    DownlinkConstraints,
+    GroundStation,
+    StationCapability,
+)
+from repro.linkbudget.antennas import AntennaSpec, ReceiverSpec
+
+_FORMAT_VERSION = 1
+
+
+class RegistryError(ValueError):
+    """Raised for malformed network documents."""
+
+
+def _encode_station(station: GroundStation) -> dict:
+    receiver = station.receiver
+    return {
+        "station_id": station.station_id,
+        "latitude_deg": station.latitude_deg,
+        "longitude_deg": station.longitude_deg,
+        "altitude_km": station.altitude_km,
+        "capability": station.capability.value,
+        "constraints_bitmap": (
+            "-1" if station.constraints.bitmap == -1
+            else format(station.constraints.bitmap, "x")
+        ),
+        "min_elevation_deg": station.min_elevation_deg,
+        "owner": station.owner,
+        "backhaul_latency_s": station.backhaul_latency_s,
+        "receiver": {
+            "diameter_m": receiver.antenna.diameter_m,
+            "efficiency": receiver.antenna.efficiency,
+            "pointing_loss_db": receiver.antenna.pointing_loss_db,
+            "noise_figure_db": receiver.noise_figure_db,
+            "feed_loss_db": receiver.feed_loss_db,
+            "antenna_temperature_k": receiver.antenna_temperature_k,
+            "channels": receiver.channels,
+            "implementation_loss_db": receiver.implementation_loss_db,
+        },
+    }
+
+
+def _decode_station(raw: dict) -> GroundStation:
+    try:
+        rx = raw["receiver"]
+        receiver = ReceiverSpec(
+            antenna=AntennaSpec(
+                diameter_m=float(rx["diameter_m"]),
+                efficiency=float(rx["efficiency"]),
+                pointing_loss_db=float(rx["pointing_loss_db"]),
+            ),
+            noise_figure_db=float(rx["noise_figure_db"]),
+            feed_loss_db=float(rx["feed_loss_db"]),
+            antenna_temperature_k=float(rx["antenna_temperature_k"]),
+            channels=int(rx["channels"]),
+            implementation_loss_db=float(rx["implementation_loss_db"]),
+        )
+        bitmap_text = str(raw["constraints_bitmap"])
+        bitmap = -1 if bitmap_text == "-1" else int(bitmap_text, 16)
+        return GroundStation(
+            station_id=str(raw["station_id"]),
+            latitude_deg=float(raw["latitude_deg"]),
+            longitude_deg=float(raw["longitude_deg"]),
+            altitude_km=float(raw["altitude_km"]),
+            capability=StationCapability(raw["capability"]),
+            constraints=DownlinkConstraints(bitmap=bitmap),
+            receiver=receiver,
+            min_elevation_deg=float(raw["min_elevation_deg"]),
+            owner=str(raw["owner"]),
+            backhaul_latency_s=float(raw["backhaul_latency_s"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RegistryError(f"malformed station entry: {exc}") from exc
+
+
+def network_to_json(network: GroundStationNetwork) -> str:
+    """Serialize a network, hardware and constraints included."""
+    return json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "stations": [_encode_station(s) for s in network],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def network_from_json(text: str) -> GroundStationNetwork:
+    """Load a network document produced by :func:`network_to_json`."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RegistryError(f"invalid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+        raise RegistryError("unsupported network document version")
+    stations = raw.get("stations")
+    if not isinstance(stations, list):
+        raise RegistryError("document must contain a station list")
+    network = GroundStationNetwork([_decode_station(s) for s in stations])
+    ids = [s.station_id for s in network]
+    if len(set(ids)) != len(ids):
+        raise RegistryError("duplicate station ids in document")
+    return network

@@ -1,0 +1,111 @@
+"""The ground-station model.
+
+Sec. 3.1: "each ground station g_j is represented by its latitude,
+longitude, ownership information, and data downlink constraints.  The
+downlink constraints are represented as a M-bit bitmap, where bit i is 1 if
+data downlink from s_i is allowed."  We keep exactly that representation
+(arbitrary-size Python int as the bitmap) plus the hybrid-capability flag
+and the receiver hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.linkbudget.antennas import ReceiverSpec
+from repro.linkbudget.budget import dgs_node_receiver
+
+
+class StationCapability(enum.Enum):
+    """What a station's RF chain can do.
+
+    The paper's hybrid design (Sec. 3): most stations are RECEIVE_ONLY;
+    a small set is TRANSMIT_CAPABLE and carries the uplink (plans, acks).
+    """
+
+    RECEIVE_ONLY = "receive_only"
+    TRANSMIT_CAPABLE = "transmit_capable"
+
+
+@dataclass
+class DownlinkConstraints:
+    """Per-satellite downlink permissions as the paper's M-bit bitmap.
+
+    ``bitmap`` bit ``i`` is 1 when downlink from satellite index ``i`` is
+    allowed.  ``allow_all`` (bitmap=-1 conceptually) is the common case for
+    volunteer stations.
+    """
+
+    bitmap: int = -1  # -1 = all satellites allowed
+
+    @classmethod
+    def allow_all(cls) -> "DownlinkConstraints":
+        return cls(bitmap=-1)
+
+    @classmethod
+    def deny_all(cls) -> "DownlinkConstraints":
+        return cls(bitmap=0)
+
+    @classmethod
+    def from_allowed_indices(cls, indices, total: int) -> "DownlinkConstraints":
+        bitmap = 0
+        for idx in indices:
+            if not 0 <= idx < total:
+                raise ValueError(f"satellite index {idx} out of range 0..{total-1}")
+            bitmap |= 1 << idx
+        return cls(bitmap=bitmap)
+
+    def allows(self, satellite_index: int) -> bool:
+        if satellite_index < 0:
+            raise ValueError("satellite index cannot be negative")
+        if self.bitmap == -1:
+            return True
+        return bool((self.bitmap >> satellite_index) & 1)
+
+    def allow(self, satellite_index: int) -> None:
+        if self.bitmap == -1:
+            return
+        self.bitmap |= 1 << satellite_index
+
+    def deny(self, satellite_index: int) -> None:
+        if self.bitmap == -1:
+            raise ValueError(
+                "cannot deny on an allow-all constraint; build an explicit bitmap"
+            )
+        self.bitmap &= ~(1 << satellite_index)
+
+
+@dataclass
+class GroundStation:
+    """One ground station: location, capability, constraints, hardware."""
+
+    station_id: str
+    latitude_deg: float
+    longitude_deg: float
+    altitude_km: float = 0.0
+    capability: StationCapability = StationCapability.RECEIVE_ONLY
+    constraints: DownlinkConstraints = field(default_factory=DownlinkConstraints.allow_all)
+    receiver: ReceiverSpec = field(default_factory=dgs_node_receiver)
+    min_elevation_deg: float = 5.0
+    owner: str = "volunteer"
+    #: One-way Internet latency from this station to the backend, seconds.
+    backhaul_latency_s: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude_deg}")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude_deg}")
+        if self.min_elevation_deg < 0.0:
+            raise ValueError("minimum elevation cannot be negative")
+
+    @property
+    def can_transmit(self) -> bool:
+        return self.capability is StationCapability.TRANSMIT_CAPABLE
+
+    def allows_satellite(self, satellite_index: int) -> bool:
+        return self.constraints.allows(satellite_index)
+
+    def __hash__(self) -> int:
+        return hash(self.station_id)

@@ -1,0 +1,56 @@
+"""Link-quality model for satellite-ground links (paper Sec. 3.2).
+
+The paper predicts link quality *before* communication begins -- receive-only
+stations cannot send feedback -- by combining:
+
+* free-space path loss (paper Eq. 1), :mod:`repro.linkbudget.fspl`;
+* ITU-R rain and cloud attenuation models (P.838, P.839, P.840) driven by
+  weather forecasts, :mod:`repro.linkbudget.itu`;
+* hardware terms (dish gain, system noise), :mod:`repro.linkbudget.antennas`;
+* the DVB-S2 MODCOD table to turn SNR into a data rate,
+  :mod:`repro.linkbudget.dvbs2`;
+* an end-to-end budget calculator, :mod:`repro.linkbudget.budget`.
+"""
+
+from repro.linkbudget.fspl import free_space_path_loss_db, free_space_loss_linear
+from repro.linkbudget.itu import (
+    cloud_attenuation_db,
+    gaseous_attenuation_db,
+    rain_attenuation_db,
+    rain_height_km,
+    rain_specific_attenuation_db_km,
+)
+from repro.linkbudget.antennas import (
+    AntennaSpec,
+    ReceiverSpec,
+    parabolic_gain_dbi,
+    system_noise_temperature_k,
+)
+from repro.linkbudget.dvbs2 import (
+    DVBS2_MODCODS,
+    ModCod,
+    best_modcod,
+    required_esn0_db,
+)
+from repro.linkbudget.budget import LinkBudget, LinkResult, RadioConfig
+
+__all__ = [
+    "free_space_path_loss_db",
+    "free_space_loss_linear",
+    "rain_specific_attenuation_db_km",
+    "rain_height_km",
+    "rain_attenuation_db",
+    "cloud_attenuation_db",
+    "gaseous_attenuation_db",
+    "AntennaSpec",
+    "ReceiverSpec",
+    "parabolic_gain_dbi",
+    "system_noise_temperature_k",
+    "DVBS2_MODCODS",
+    "ModCod",
+    "best_modcod",
+    "required_esn0_db",
+    "LinkBudget",
+    "LinkResult",
+    "RadioConfig",
+]

@@ -1,0 +1,188 @@
+"""End-to-end link budget: geometry + weather + hardware -> data rate.
+
+This is the paper's Sec. 3.2 pipeline: free-space path loss from slant
+range (Eq. 1), ITU rain/cloud/gas attenuation from the weather forecast,
+static hardware terms, then Es/N0 through the DVB-S2 ACM table to a
+predicted bitrate.  ``LinkBudget.evaluate`` is the single function the
+scheduler calls per (satellite, station, time) edge.
+
+Calibration note: the satellite radio defaults follow the Planet
+high-speed-radio description the paper cites [10] -- X-band, six parallel
+channels, ~1.6 Gbps aggregate at the best 4 m-dish link.  A 1 m DGS dish
+then lands near one-tenth of that per-station throughput, reproducing the
+paper's stated 10x baseline-to-DGS node ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.linkbudget.antennas import AntennaSpec, ReceiverSpec
+from repro.linkbudget.dvbs2 import ModCod, best_modcod
+from repro.linkbudget.fspl import free_space_path_loss_db
+from repro.linkbudget.itu import (
+    cloud_attenuation_db,
+    gaseous_attenuation_db,
+    rain_attenuation_db,
+)
+from repro.orbits.constants import BOLTZMANN_DBW
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """The satellite transmit side of the link.
+
+    ``channels`` is how many parallel frequency/polarization channels the
+    spacecraft radio can emit; a contact uses
+    ``min(radio.channels, receiver.channels)`` of them.  The transmitter is
+    power-limited: ``total_eirp_dbw`` is split evenly across the active
+    channels, so a single-channel DGS node receives the full EIRP on its
+    one channel while a 6-channel baseline contact pays ~7.8 dB per channel
+    for its parallelism.  This is what makes the baseline's aggregate
+    advantage ~10x rather than 6 x (12 dB of dish) x.
+    """
+
+    frequency_ghz: float = 8.2  # X-band EO downlink
+    #: Calibrated so a 4 m 6-channel baseline contact peaks at ~1.6 Gbps
+    #: aggregate -- the best known published rate [10] -- and a 1 m DGS
+    #: node peaks near 150 Mbps, putting the baseline near the paper's
+    #: stated 10x median-node-throughput multiple.
+    total_eirp_dbw: float = 10.5
+    symbol_rate_baud: float = 75e6
+    channels: int = 6
+    polarization: str = "circular"
+
+    def eirp_dbw_per_channel(self, active_channels: int) -> float:
+        """EIRP available to each of ``active_channels`` parallel channels."""
+        if not 1 <= active_channels <= self.channels:
+            raise ValueError(
+                f"active channels must be 1..{self.channels}, got {active_channels}"
+            )
+        return self.total_eirp_dbw - 10.0 * math.log10(active_channels)
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.symbol_rate_baud <= 0:
+            raise ValueError("symbol rate must be positive")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """Everything the budget predicts for one link at one instant."""
+
+    esn0_db: float
+    modcod: ModCod | None
+    bitrate_bps: float  # aggregate over active channels
+    active_channels: int
+    fspl_db: float
+    rain_db: float
+    cloud_db: float
+    gas_db: float
+
+    @property
+    def closes(self) -> bool:
+        """True when at least the most robust MODCOD is supported."""
+        return self.modcod is not None
+
+    @property
+    def total_atmospheric_db(self) -> float:
+        return self.rain_db + self.cloud_db + self.gas_db
+
+
+@dataclass
+class LinkBudget:
+    """A calculator binding one satellite radio to one ground receiver."""
+
+    radio: RadioConfig
+    receiver: ReceiverSpec
+    acm_margin_db: float = 1.0
+    #: Static per-pair calibration term (paper: "hardware dependent loss is
+    #: static ... and can be calibrated for").  Positive values are losses.
+    hardware_calibration_db: float = 0.0
+    #: Account pilot-symbol overhead via the framing layer (EN 302 307
+    #: PLFRAME structure) instead of the ideal Table-13 efficiency.
+    pilots: bool = False
+
+    def esn0_db(
+        self,
+        range_km: float,
+        elevation_deg: float,
+        station_latitude_deg: float = 45.0,
+        rain_rate_mm_h: float = 0.0,
+        cloud_water_kg_m2: float = 0.0,
+        station_altitude_km: float = 0.0,
+    ) -> LinkResult:
+        """Predict Es/N0 and the resulting DVB-S2 operating point.
+
+        A link below the horizon (elevation <= 0) never closes, regardless
+        of hardware.
+        """
+        freq = self.radio.frequency_ghz
+        fspl = free_space_path_loss_db(range_km, freq)
+        rain = rain_attenuation_db(
+            rain_rate_mm_h, freq, elevation_deg,
+            station_latitude_deg, station_altitude_km,
+            self.radio.polarization,
+        )
+        cloud = cloud_attenuation_db(cloud_water_kg_m2, freq, elevation_deg)
+        gas = gaseous_attenuation_db(freq, elevation_deg)
+        channels = min(self.radio.channels, self.receiver.channels)
+        cn0_dbhz = (
+            self.radio.eirp_dbw_per_channel(channels)
+            + self.receiver.g_over_t_db(freq)
+            - fspl
+            - rain
+            - cloud
+            - gas
+            - self.receiver.antenna.pointing_loss_db
+            - self.receiver.implementation_loss_db
+            - self.hardware_calibration_db
+            - BOLTZMANN_DBW
+        )
+        esn0 = cn0_dbhz - 10.0 * math.log10(self.radio.symbol_rate_baud)
+        if elevation_deg <= 0.0:
+            return LinkResult(esn0, None, 0.0, 0, fspl, rain, cloud, gas)
+        modcod = best_modcod(esn0, self.acm_margin_db)
+        bitrate = 0.0
+        if modcod is not None:
+            if self.pilots:
+                from repro.linkbudget.dvbs2_framing import FrameSpec
+
+                spec = FrameSpec(modcod, pilots=True)
+                bitrate = spec.net_bitrate_bps(self.radio.symbol_rate_baud) * channels
+            else:
+                bitrate = modcod.bitrate_bps(self.radio.symbol_rate_baud) * channels
+        return LinkResult(esn0, modcod, bitrate, channels if modcod else 0,
+                          fspl, rain, cloud, gas)
+
+    def evaluate(self, *args, **kwargs) -> LinkResult:
+        """Alias for :meth:`esn0_db`; kept for readable call sites."""
+        return self.esn0_db(*args, **kwargs)
+
+
+def dgs_node_receiver(channels: int = 1) -> ReceiverSpec:
+    """The paper's low-complexity DGS node: 1 m dish, single channel.
+
+    A well-fed 1 m offset dish with a modern LNB: 65% efficiency, 0.9 dB
+    noise figure.  Together with the power-split advantage of a
+    single-channel link this puts a baseline station at ~10x the median
+    DGS-node throughput, the paper's stated calibration point.
+    """
+    return ReceiverSpec(
+        antenna=AntennaSpec(diameter_m=1.0, efficiency=0.65, pointing_loss_db=0.4),
+        noise_figure_db=0.9,
+        channels=channels,
+    )
+
+
+def baseline_receiver() -> ReceiverSpec:
+    """The paper's baseline: high-end receiver, 4 m dish, 6 channels [10]."""
+    return ReceiverSpec(
+        antenna=AntennaSpec(diameter_m=4.0, efficiency=0.65, pointing_loss_db=0.3),
+        noise_figure_db=0.8,
+        channels=6,
+    )

@@ -1,0 +1,111 @@
+"""Doppler prediction and blind-acquisition budgets for receive-only nodes.
+
+A DGS receive-only station cannot ask the satellite for a beacon sweep:
+it must predict the downlink frequency from orbit knowledge and open its
+acquisition window around that prediction.  This module computes the
+Doppler profile of a pass from the propagated orbit, and the *residual*
+frequency uncertainty caused by TLE staleness -- tying the orbit catalog's
+position error to a receiver design number (how wide the FLL/PLL pull-in
+range must be).
+
+LEO X-band numbers for intuition: +-7.4 km/s line-of-sight worst case is
++-200 kHz at 8.2 GHz, slewing through zero at up to ~3.5 kHz/s at
+closest approach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Callable
+
+from repro.orbits.constants import SPEED_OF_LIGHT_M_S
+from repro.orbits.frames import teme_to_ecef
+from repro.orbits.timebase import datetime_to_jd
+from repro.orbits.topocentric import look_angles
+
+Propagator = Callable[[datetime], tuple]
+
+
+def doppler_shift_hz(range_rate_km_s: float, carrier_hz: float) -> float:
+    """Received-minus-transmitted frequency for a line-of-sight range rate.
+
+    Negative range rate (approaching) gives a positive (blue) shift.
+    """
+    return -range_rate_km_s * 1000.0 / SPEED_OF_LIGHT_M_S * carrier_hz
+
+
+def max_doppler_hz(carrier_hz: float, orbital_speed_km_s: float = 7.6) -> float:
+    """Worst-case LEO Doppler magnitude at a carrier frequency."""
+    if carrier_hz <= 0:
+        raise ValueError("carrier must be positive")
+    return orbital_speed_km_s * 1000.0 / SPEED_OF_LIGHT_M_S * carrier_hz
+
+
+@dataclass(frozen=True)
+class DopplerSample:
+    when: datetime
+    shift_hz: float
+    rate_hz_s: float
+
+
+def pass_doppler_profile(
+    propagate: Propagator,
+    site_lat_deg: float,
+    site_lon_deg: float,
+    site_alt_km: float,
+    start: datetime,
+    duration_s: float,
+    carrier_hz: float,
+    step_s: float = 10.0,
+) -> list[DopplerSample]:
+    """Doppler shift and slew rate over a pass, sampled at ``step_s``."""
+    if duration_s <= 0 or step_s <= 0:
+        raise ValueError("duration and step must be positive")
+
+    def shift_at(when: datetime) -> float:
+        pos_teme, vel_teme = propagate(when)
+        pos_ecef, vel_ecef = teme_to_ecef(
+            pos_teme, datetime_to_jd(when), vel_teme
+        )
+        topo = look_angles(site_lat_deg, site_lon_deg, site_alt_km,
+                           pos_ecef, vel_ecef)
+        return doppler_shift_hz(topo.range_rate_km_s, carrier_hz)
+
+    samples = []
+    steps = int(duration_s // step_s) + 1
+    previous = None
+    for k in range(steps):
+        when = start + timedelta(seconds=k * step_s)
+        shift = shift_at(when)
+        rate = 0.0 if previous is None else (shift - previous) / step_s
+        samples.append(DopplerSample(when, shift, rate))
+        previous = shift
+    return samples
+
+
+def acquisition_window_hz(
+    position_error_km: float,
+    carrier_hz: float,
+    pass_geometry_range_km: float = 800.0,
+    oscillator_ppm: float = 0.5,
+) -> float:
+    """Half-width of the frequency window a blind receiver must search.
+
+    Two contributions: the frequency error from mispredicting the
+    satellite's along-track position (a position error ``d`` at slant
+    range ``R`` mispredicts the range-rate profile by roughly
+    ``v * d / R`` at closest approach), and local oscillator offset.
+    TLE-grade ephemerides (<= a few km) keep X-band windows in the tens
+    of kHz -- comfortably a one-shot FFT acquisition.
+    """
+    if position_error_km < 0 or pass_geometry_range_km <= 0:
+        raise ValueError("invalid geometry")
+    orbital_speed_m_s = 7600.0
+    rate_error_m_s = orbital_speed_m_s * (
+        position_error_km / pass_geometry_range_km
+    )
+    ephemeris_term = rate_error_m_s / SPEED_OF_LIGHT_M_S * carrier_hz
+    oscillator_term = carrier_hz * oscillator_ppm * 1e-6
+    return ephemeris_term + oscillator_term

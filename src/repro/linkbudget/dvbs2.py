@@ -1,0 +1,111 @@
+"""DVB-S2 (ETSI EN 302 307) MODCOD table and adaptive rate selection.
+
+The paper converts predicted SNR into a data rate through "the
+specifications of the DVB-S2 protocol used for downlink in Earth
+observation satellites" (Sec. 3.2).  This module carries the full table of
+28 MODCODs from EN 302 307 Table 13 -- modulation, LDPC code rate, ideal
+Es/N0 threshold for quasi-error-free operation, and spectral efficiency --
+and implements ACM: pick the highest-efficiency MODCOD whose threshold the
+link clears with margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModCod:
+    """One DVB-S2 modulation-and-coding point."""
+
+    name: str
+    modulation: str
+    code_rate: str
+    esn0_db: float  # ideal Es/N0 for QEF (PER 1e-7), AWGN, from Table 13
+    spectral_efficiency: float  # information bits per symbol (normal FECFRAME)
+
+    def bitrate_bps(self, symbol_rate_baud: float) -> float:
+        return self.spectral_efficiency * symbol_rate_baud
+
+
+def _mc(name: str, esn0: float, eff: float) -> ModCod:
+    modulation, code_rate = name.split(" ")
+    return ModCod(name, modulation, code_rate, esn0, eff)
+
+
+#: EN 302 307 Table 13, ordered by required Es/N0 (equivalently efficiency
+#: within each modulation).  Efficiencies are for normal FECFRAMEs with
+#: pilots off.
+DVBS2_MODCODS: tuple[ModCod, ...] = (
+    _mc("QPSK 1/4", -2.35, 0.490243),
+    _mc("QPSK 1/3", -1.24, 0.656448),
+    _mc("QPSK 2/5", -0.30, 0.789412),
+    _mc("QPSK 1/2", 1.00, 0.988858),
+    _mc("QPSK 3/5", 2.23, 1.188304),
+    _mc("QPSK 2/3", 3.10, 1.322253),
+    _mc("QPSK 3/4", 4.03, 1.487473),
+    _mc("QPSK 4/5", 4.68, 1.587196),
+    _mc("QPSK 5/6", 5.18, 1.654663),
+    _mc("8PSK 3/5", 5.50, 1.779991),
+    _mc("QPSK 8/9", 6.20, 1.766451),
+    _mc("QPSK 9/10", 6.42, 1.788612),
+    _mc("8PSK 2/3", 6.62, 1.980636),
+    _mc("8PSK 3/4", 7.91, 2.228124),
+    _mc("16APSK 2/3", 8.97, 2.637201),
+    _mc("8PSK 5/6", 9.35, 2.478562),
+    _mc("16APSK 3/4", 10.21, 2.966728),
+    _mc("8PSK 8/9", 10.69, 2.646012),
+    _mc("8PSK 9/10", 10.98, 2.679207),
+    _mc("16APSK 4/5", 11.03, 3.165623),
+    _mc("16APSK 5/6", 11.61, 3.300184),
+    _mc("32APSK 3/4", 12.73, 3.703295),
+    _mc("16APSK 8/9", 12.89, 3.523143),
+    _mc("16APSK 9/10", 13.13, 3.567342),
+    _mc("32APSK 4/5", 13.64, 3.951571),
+    _mc("32APSK 5/6", 14.28, 4.119540),
+    _mc("32APSK 8/9", 15.69, 4.397854),
+    _mc("32APSK 9/10", 16.05, 4.453027),
+)
+
+_BY_NAME = {mc.name: mc for mc in DVBS2_MODCODS}
+
+
+def modcod_by_name(name: str) -> ModCod:
+    """Look up a MODCOD by its canonical name, e.g. ``"8PSK 3/4"``."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown DVB-S2 MODCOD {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def required_esn0_db(name: str) -> float:
+    """Ideal Es/N0 threshold (dB) for a named MODCOD."""
+    return modcod_by_name(name).esn0_db
+
+
+def best_modcod(esn0_db: float, margin_db: float = 1.0) -> ModCod | None:
+    """ACM selection: the most efficient MODCOD supported at this Es/N0.
+
+    ``margin_db`` is the implementation/fade margin subtracted before the
+    threshold comparison (real modems never run at the ideal AWGN
+    threshold).  Returns ``None`` when even QPSK 1/4 does not close --
+    i.e. the link carries no data.
+    """
+    available = esn0_db - margin_db
+    best: ModCod | None = None
+    for mc in DVBS2_MODCODS:
+        if mc.esn0_db <= available:
+            if best is None or mc.spectral_efficiency > best.spectral_efficiency:
+                best = mc
+    return best
+
+
+def achievable_bitrate_bps(esn0_db: float, symbol_rate_baud: float,
+                           margin_db: float = 1.0) -> float:
+    """Information bitrate achievable at an Es/N0, or 0.0 if no MODCOD closes."""
+    mc = best_modcod(esn0_db, margin_db)
+    if mc is None:
+        return 0.0
+    return mc.bitrate_bps(symbol_rate_baud)

@@ -1,0 +1,40 @@
+"""Ground-segment networking: the backend, ack relay, and wire messages.
+
+DGS's receive-only stations cannot acknowledge over the air; instead
+(Sec. 3.3) receptions are reported to a backend over the Internet, the
+backend collates per-satellite acknowledgements, and the next
+transmit-capable contact uploads the collated acks (and a fresh downlink
+plan) to the satellite.  This package implements that whole loop plus the
+serializable message formats the components exchange.
+"""
+
+from repro.network.messages import (
+    AckBatchMessage,
+    ChunkReceiptMessage,
+    MessageError,
+    PlanUploadMessage,
+    decode_message,
+    encode_message,
+)
+from repro.network.backend import BackendCollator, PendingReceipt
+from repro.network.backhaul import (
+    StationUplink,
+    backhaul_reduction_factor,
+    decoded_backhaul_mbps,
+    raw_iq_backhaul_mbps,
+)
+
+__all__ = [
+    "StationUplink",
+    "raw_iq_backhaul_mbps",
+    "decoded_backhaul_mbps",
+    "backhaul_reduction_factor",
+    "ChunkReceiptMessage",
+    "AckBatchMessage",
+    "PlanUploadMessage",
+    "MessageError",
+    "encode_message",
+    "decode_message",
+    "BackendCollator",
+    "PendingReceipt",
+]

@@ -1,0 +1,97 @@
+"""The DGS backend: receipt collation and delayed-ack bookkeeping.
+
+The backend is the Internet-side brain of Fig. 1: every station reports
+chunk receipts to it (after their backhaul latency), it collates them per
+satellite, and when a satellite touches a transmit-capable station the
+backend hands over the batch of not-yet-acknowledged chunk ids for upload.
+
+The collator is deliberately ignorant of orbits and scheduling -- it is a
+pure data-plane component, which keeps it independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.network.messages import AckBatchMessage, ChunkReceiptMessage
+
+
+@dataclass(frozen=True)
+class PendingReceipt:
+    """A receipt in flight over a station's Internet backhaul."""
+
+    message: ChunkReceiptMessage
+    arrives_at: datetime
+
+
+@dataclass
+class BackendCollator:
+    """Collates chunk receipts and issues delayed ack batches."""
+
+    #: Receipts still traversing the Internet, ordered by arrival.
+    _in_flight: list[PendingReceipt] = field(default_factory=list)
+    #: satellite_id -> chunk ids received but not yet uploaded as acks.
+    _unacked: dict[str, set[int]] = field(default_factory=dict)
+    #: satellite_id -> chunk ids already acked (for idempotence/audit).
+    _acked: dict[str, set[int]] = field(default_factory=dict)
+    total_receipts: int = 0
+    total_bits_received: float = 0.0
+
+    def submit_receipt(self, message: ChunkReceiptMessage,
+                       backhaul_latency_s: float) -> None:
+        """A station posts a receipt; it lands after its backhaul latency."""
+        if backhaul_latency_s < 0:
+            raise ValueError("backhaul latency cannot be negative")
+        from datetime import timedelta
+
+        arrives = message.received_at + timedelta(seconds=backhaul_latency_s)
+        self._in_flight.append(PendingReceipt(message, arrives))
+
+    def advance(self, now: datetime) -> int:
+        """Land every in-flight receipt that has arrived by ``now``."""
+        landed = 0
+        still_flying = []
+        for pending in self._in_flight:
+            if pending.arrives_at <= now:
+                msg = pending.message
+                already = self._acked.get(msg.satellite_id, set())
+                if msg.chunk_id not in already:
+                    self._unacked.setdefault(msg.satellite_id, set()).add(
+                        msg.chunk_id
+                    )
+                self.total_receipts += 1
+                self.total_bits_received += msg.size_bits
+                landed += 1
+            else:
+                still_flying.append(pending)
+        self._in_flight = still_flying
+        return landed
+
+    def pending_acks(self, satellite_id: str) -> set[int]:
+        """Chunk ids awaiting upload to a satellite (read-only view)."""
+        return set(self._unacked.get(satellite_id, set()))
+
+    def issue_ack_batch(self, satellite_id: str,
+                        now: datetime) -> AckBatchMessage | None:
+        """Issue (and mark as uploaded) the ack batch for a tx contact.
+
+        Returns None when there is nothing to acknowledge.  Chunks move to
+        the acked set, so a re-contact does not re-send them.
+        """
+        chunk_ids = self._unacked.pop(satellite_id, set())
+        if not chunk_ids:
+            return None
+        self._acked.setdefault(satellite_id, set()).update(chunk_ids)
+        return AckBatchMessage(
+            satellite_id=satellite_id,
+            chunk_ids=tuple(sorted(chunk_ids)),
+            issued_at=now,
+        )
+
+    def acked_count(self, satellite_id: str) -> int:
+        return len(self._acked.get(satellite_id, set()))
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)

@@ -1,0 +1,127 @@
+"""Station backhaul: Internet uplink capacity and edge-compute prioritization.
+
+Two pieces of the paper live here:
+
+* **The VERGE comparison (Sec. 2).**  Lockheed's VERGE streams raw RF to
+  the cloud for software demodulation; DGS co-locates compute with the
+  antenna and ships only decoded data, cutting required backhaul "by
+  orders of magnitude".  :func:`raw_iq_backhaul_mbps` vs
+  :func:`decoded_backhaul_mbps` quantifies that claim for any link.
+
+* **Edge compute on the ground station (Sec. 3.3).**  A station with a
+  finite uplink cannot forward a whole pass instantly;
+  :class:`StationUplink` models the upload queue, and edge compute means
+  latency-sensitive chunks jump it ("deliver latency-sensitive data to
+  the cloud faster and upload the other data at a lower priority").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+
+def raw_iq_backhaul_mbps(symbol_rate_baud: float,
+                         bits_per_sample: int = 16,
+                         oversampling: float = 1.25) -> float:
+    """Backhaul needed to stream raw complex baseband (the VERGE design).
+
+    I/Q pairs at ``oversampling`` x the symbol rate, ``bits_per_sample``
+    per component: a single 75 Mbaud X-band channel needs ~3 Gbit/s of
+    Internet uplink before any data has even been demodulated.
+    """
+    if symbol_rate_baud <= 0:
+        raise ValueError("symbol rate must be positive")
+    if bits_per_sample < 1 or oversampling < 1.0:
+        raise ValueError("invalid sampling parameters")
+    samples_per_s = symbol_rate_baud * oversampling
+    return samples_per_s * 2 * bits_per_sample / 1e6
+
+
+def decoded_backhaul_mbps(bitrate_bps: float) -> float:
+    """Backhaul needed to forward demodulated+decoded data (the DGS design)."""
+    if bitrate_bps < 0:
+        raise ValueError("bitrate cannot be negative")
+    return bitrate_bps / 1e6
+
+
+def backhaul_reduction_factor(symbol_rate_baud: float,
+                              bitrate_bps: float,
+                              bits_per_sample: int = 16) -> float:
+    """How many times less backhaul DGS needs than raw-RF streaming.
+
+    Infinite when the link is down (raw streaming still ships samples!).
+    """
+    decoded = decoded_backhaul_mbps(bitrate_bps)
+    raw = raw_iq_backhaul_mbps(symbol_rate_baud, bits_per_sample)
+    if decoded == 0.0:
+        return math.inf
+    return raw / decoded
+
+
+@dataclass(order=True)
+class _QueuedUpload:
+    sort_key: tuple = field(init=False, repr=False)
+    priority: float = 0.0  # higher = uploads sooner
+    enqueued_at: datetime = None
+    chunk_id: int = -1
+    remaining_bits: float = 0.0
+    size_bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.sort_key = (-self.priority, self.enqueued_at)
+
+
+class StationUplink:
+    """A station's finite Internet uplink with priority queueing.
+
+    Chunks received off the air are enqueued; :meth:`drain` advances the
+    uplink clock, uploading in priority order (edge compute decides the
+    priorities).  Completed uploads are returned with their cloud-arrival
+    times so the caller can account end-to-end latency.
+    """
+
+    def __init__(self, capacity_mbps: float):
+        if capacity_mbps <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.capacity_bps = capacity_mbps * 1e6
+        self._queue: list[_QueuedUpload] = []
+
+    def enqueue(self, chunk_id: int, size_bits: float, when: datetime,
+                priority: float = 0.0) -> None:
+        if size_bits <= 0:
+            raise ValueError("chunk size must be positive")
+        self._queue.append(_QueuedUpload(
+            priority=priority, enqueued_at=when,
+            chunk_id=chunk_id, remaining_bits=size_bits, size_bits=size_bits,
+        ))
+        self._queue.sort()
+
+    @property
+    def queued_bits(self) -> float:
+        return sum(u.remaining_bits for u in self._queue)
+
+    def backlog_delay_s(self) -> float:
+        """Time to clear the current queue at full capacity."""
+        return self.queued_bits / self.capacity_bps
+
+    def drain(self, start: datetime, duration_s: float) -> list[tuple[int, datetime]]:
+        """Upload for an interval; returns (chunk_id, cloud_arrival) pairs."""
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        budget = self.capacity_bps * duration_s
+        elapsed = 0.0
+        completed: list[tuple[int, datetime]] = []
+        while budget > 1e-9 and self._queue:
+            head = self._queue[0]
+            sendable = min(budget, head.remaining_bits)
+            head.remaining_bits -= sendable
+            budget -= sendable
+            elapsed += sendable / self.capacity_bps
+            if head.remaining_bits <= 1e-9:
+                self._queue.pop(0)
+                completed.append(
+                    (head.chunk_id, start + timedelta(seconds=elapsed))
+                )
+        return completed

@@ -1,0 +1,122 @@
+"""Wire messages exchanged between stations, the backend, and satellites.
+
+Three message types cover the DGS control loop:
+
+* :class:`ChunkReceiptMessage` -- station -> backend over the Internet:
+  "I fully received chunk C of satellite S at time T".
+* :class:`AckBatchMessage` -- backend -> satellite via a transmit-capable
+  station: the collated delayed acknowledgements (Sec. 3.3).
+* :class:`PlanUploadMessage` -- backend -> satellite via a transmit-capable
+  station: the timed downlink plan ("the data-dump plan", Sec. 1).
+
+Messages serialize to/from JSON; the format is versioned so a deployed
+fleet can evolve.  Timestamps are ISO-8601 UTC strings on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from datetime import datetime
+
+_FORMAT_VERSION = 1
+
+
+class MessageError(ValueError):
+    """Raised on malformed or unknown wire messages."""
+
+
+@dataclass(frozen=True)
+class ChunkReceiptMessage:
+    """A station's report that it fully received a chunk."""
+
+    station_id: str
+    satellite_id: str
+    chunk_id: int
+    received_at: datetime
+    size_bits: float
+
+    type_name = "chunk_receipt"
+
+
+@dataclass(frozen=True)
+class AckBatchMessage:
+    """Collated acknowledgements for one satellite."""
+
+    satellite_id: str
+    chunk_ids: tuple[int, ...]
+    issued_at: datetime
+
+    type_name = "ack_batch"
+
+
+@dataclass(frozen=True)
+class PlanUploadMessage:
+    """A downlink plan for one satellite: timed (start, station) entries."""
+
+    satellite_id: str
+    issued_at: datetime
+    #: (ISO start time, station_id, expected bitrate bps)
+    entries: tuple[tuple[str, str, float], ...] = field(default_factory=tuple)
+
+    type_name = "plan_upload"
+
+
+_TYPES = {
+    cls.type_name: cls
+    for cls in (ChunkReceiptMessage, AckBatchMessage, PlanUploadMessage)
+}
+
+
+def _encode_value(value):
+    if isinstance(value, datetime):
+        return {"__dt__": value.isoformat()}
+    if isinstance(value, tuple):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__dt__" in value:
+        return datetime.fromisoformat(value["__dt__"])
+    if isinstance(value, list):
+        decoded = [_decode_value(v) for v in value]
+        return tuple(decoded)
+    return value
+
+
+def encode_message(message) -> str:
+    """Serialize a message to its JSON wire form."""
+    type_name = getattr(message, "type_name", None)
+    if type_name not in _TYPES:
+        raise MessageError(f"not a wire message: {type(message).__name__}")
+    payload = {k: _encode_value(v) for k, v in asdict(message).items()}
+    return json.dumps(
+        {"version": _FORMAT_VERSION, "type": type_name, "payload": payload},
+        sort_keys=True,
+    )
+
+
+def decode_message(wire: str):
+    """Parse a JSON wire message back into its dataclass."""
+    try:
+        obj = json.loads(wire)
+    except json.JSONDecodeError as exc:
+        raise MessageError(f"invalid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise MessageError("message must be a JSON object")
+    if obj.get("version") != _FORMAT_VERSION:
+        raise MessageError(f"unsupported version: {obj.get('version')}")
+    cls = _TYPES.get(obj.get("type"))
+    if cls is None:
+        raise MessageError(f"unknown message type: {obj.get('type')}")
+    payload = obj.get("payload")
+    if not isinstance(payload, dict):
+        raise MessageError("payload must be an object")
+    try:
+        decoded = {k: _decode_value(v) for k, v in payload.items()}
+        return cls(**decoded)
+    except TypeError as exc:
+        raise MessageError(f"payload does not match {cls.__name__}: {exc}") from exc

@@ -1,0 +1,92 @@
+"""Orbital mechanics substrate for the DGS reproduction.
+
+This package implements everything DGS needs to know about where satellites
+are: TLE parsing and emission, orbit propagation (a full SGP4 implementation
+plus a lighter Kepler+J2 analytic propagator), coordinate frames
+(TEME -> ECEF -> geodetic), topocentric geometry (azimuth / elevation /
+slant range), contact-window ("pass") prediction, and synthetic
+constellation generation.
+
+The public surface re-exported here is what the rest of the library uses;
+the submodules carry the numerical detail.
+"""
+
+from repro.orbits.constants import (
+    EARTH_RADIUS_KM,
+    MU_EARTH_KM3_S2,
+    WGS72,
+    WGS84,
+    EarthModel,
+)
+from repro.orbits.timebase import (
+    datetime_to_jd,
+    gmst_rad,
+    jd_to_datetime,
+    tle_epoch_to_datetime,
+)
+from repro.orbits.tle import TLE, TLEError, checksum
+from repro.orbits.kepler import (
+    KeplerianElements,
+    KeplerJ2Propagator,
+    eccentric_anomaly_from_mean,
+    true_anomaly_from_eccentric,
+)
+from repro.orbits.sgp4 import SGP4, SGP4Error
+from repro.orbits.frames import (
+    ecef_to_geodetic,
+    geodetic_to_ecef,
+    teme_to_ecef,
+)
+from repro.orbits.topocentric import (
+    Topocentric,
+    look_angles,
+)
+from repro.orbits.passes import ContactWindow, PassPredictor
+from repro.orbits.constellation import (
+    synthetic_leo_constellation,
+    sun_synchronous_inclination_deg,
+    walker_delta,
+)
+from repro.orbits.sun import is_eclipsed, sun_position_teme, sunlit_fraction
+from repro.orbits.groundtrack import (
+    ground_track,
+    target_visits,
+    constellation_revisit,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "MU_EARTH_KM3_S2",
+    "WGS72",
+    "WGS84",
+    "EarthModel",
+    "datetime_to_jd",
+    "jd_to_datetime",
+    "gmst_rad",
+    "tle_epoch_to_datetime",
+    "TLE",
+    "TLEError",
+    "checksum",
+    "KeplerianElements",
+    "KeplerJ2Propagator",
+    "eccentric_anomaly_from_mean",
+    "true_anomaly_from_eccentric",
+    "SGP4",
+    "SGP4Error",
+    "teme_to_ecef",
+    "ecef_to_geodetic",
+    "geodetic_to_ecef",
+    "Topocentric",
+    "look_angles",
+    "ContactWindow",
+    "PassPredictor",
+    "synthetic_leo_constellation",
+    "sun_synchronous_inclination_deg",
+    "walker_delta",
+    "sun_position_teme",
+    "is_eclipsed",
+    "sunlit_fraction",
+    "ground_track",
+    "target_visits",
+    "constellation_revisit",
+]

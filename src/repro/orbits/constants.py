@@ -1,0 +1,90 @@
+"""Physical and geodetic constants used throughout the orbit substrate.
+
+Two Earth gravity models are provided:
+
+* :data:`WGS72` -- the model baked into the original SGP4 definition
+  (Spacetrack Report #3).  TLE propagation must use these values to stay
+  faithful to how TLEs are fitted.
+* :data:`WGS84` -- the modern ellipsoid, used for geodetic conversions
+  (ground-station latitude/longitude to ECEF and back).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Generic values used where model choice is immaterial.
+EARTH_RADIUS_KM = 6378.137
+MU_EARTH_KM3_S2 = 398600.4418
+EARTH_ROTATION_RAD_S = 7.2921158553e-5
+SECONDS_PER_DAY = 86400.0
+MINUTES_PER_DAY = 1440.0
+SPEED_OF_LIGHT_M_S = 299792458.0
+BOLTZMANN_DBW = -228.6  # 10*log10(k), dBW/K/Hz
+
+
+@dataclass(frozen=True)
+class EarthModel:
+    """A self-consistent set of Earth gravity/ellipsoid constants.
+
+    Attributes
+    ----------
+    radius_km:
+        Equatorial radius (``aE``) in kilometres.
+    mu_km3_s2:
+        Gravitational parameter in km^3/s^2.
+    j2, j3, j4:
+        Zonal harmonic coefficients.
+    flattening:
+        Ellipsoid flattening ``f`` (0 for a spherical model).
+    """
+
+    name: str
+    radius_km: float
+    mu_km3_s2: float
+    j2: float
+    j3: float
+    j4: float
+    flattening: float
+
+    @property
+    def xke(self) -> float:
+        """SGP4 ``ke``: sqrt(mu) in units of (earth radii)^1.5 per minute."""
+        return 60.0 / math.sqrt(self.radius_km**3 / self.mu_km3_s2)
+
+    @property
+    def ck2(self) -> float:
+        """SGP4 ``k2`` = J2/2 (earth radii^2 with aE=1)."""
+        return 0.5 * self.j2
+
+    @property
+    def ck4(self) -> float:
+        """SGP4 ``k4`` = -3/8 J4 (earth radii^4 with aE=1)."""
+        return -0.375 * self.j4
+
+    @property
+    def eccentricity_sq(self) -> float:
+        """First eccentricity squared of the ellipsoid."""
+        return self.flattening * (2.0 - self.flattening)
+
+
+WGS72 = EarthModel(
+    name="WGS72",
+    radius_km=6378.135,
+    mu_km3_s2=398600.8,
+    j2=1.082616e-3,
+    j3=-2.53881e-6,
+    j4=-1.65597e-6,
+    flattening=1.0 / 298.26,
+)
+
+WGS84 = EarthModel(
+    name="WGS84",
+    radius_km=6378.137,
+    mu_km3_s2=398600.5,
+    j2=1.08262998905e-3,
+    j3=-2.53215306e-6,
+    j4=-1.61098761e-6,
+    flattening=1.0 / 298.257223563,
+)

@@ -1,0 +1,160 @@
+"""Synthetic constellation generation.
+
+The paper's dataset is 259 real satellites drawn from the SatNOGS database;
+that snapshot is not redistributable, so we generate a statistically
+matching population: sun-synchronous / polar LEO orbits at 300-600 km, the
+altitude band the paper states for Earth-observation cubesats (Sec. 1),
+spread across local times of ascending node and mean anomalies.  Walker
+Delta generation is also provided for structured constellations
+(communication-style shells) used by examples and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from datetime import datetime
+
+from repro.orbits.constants import WGS72, EarthModel
+from repro.orbits.tle import TLE
+
+_TWO_PI = 2.0 * math.pi
+
+
+def mean_motion_rev_day_for_altitude(altitude_km: float,
+                                     model: EarthModel = WGS72) -> float:
+    """Circular-orbit mean motion (rev/day) at a given altitude."""
+    sma = model.radius_km + altitude_km
+    n_rad_s = math.sqrt(model.mu_km3_s2 / sma**3)
+    return n_rad_s * 86400.0 / _TWO_PI
+
+
+def sun_synchronous_inclination_deg(altitude_km: float,
+                                    eccentricity: float = 0.0,
+                                    model: EarthModel = WGS72) -> float:
+    """Inclination giving a sun-synchronous RAAN drift (360 deg/year).
+
+    Solves the J2 nodal-regression equation for cos(i); LEO answers fall
+    near 97-98 deg, matching real Earth-observation orbits.
+    """
+    sma = model.radius_km + altitude_km
+    p = sma * (1.0 - eccentricity**2)
+    n = math.sqrt(model.mu_km3_s2 / sma**3)
+    target_raan_dot = _TWO_PI / (365.2421897 * 86400.0)  # rad/s
+    cos_i = -target_raan_dot / (1.5 * model.j2 * (model.radius_km / p) ** 2 * n)
+    if not -1.0 <= cos_i <= 1.0:
+        raise ValueError(
+            f"no sun-synchronous inclination exists at {altitude_km} km"
+        )
+    return math.degrees(math.acos(cos_i))
+
+
+#: Inclination mix of a SatNOGS-like LEO population: sun-synchronous
+#: imagers, ISS-deployed cubesats at 51.6 deg, dedicated polar rides, and
+#: miscellaneous mid-inclination launches.  The mid-inclination mass is
+#: what starves polar-sited baseline stations -- a 51.6 deg satellite
+#: never rises above the horizon of a 78 deg-latitude station.
+DEFAULT_INCLINATION_MIX = (
+    ("sso", 0.45),
+    ("iss", 0.35),
+    ("polar", 0.10),
+    ("mid", 0.10),
+)
+
+
+def synthetic_leo_constellation(
+    count: int,
+    epoch: datetime,
+    seed: int = 0,
+    altitude_range_km: tuple[float, float] = (300.0, 600.0),
+    inclination_mix: tuple[tuple[str, float], ...] = DEFAULT_INCLINATION_MIX,
+    first_satnum: int = 50000,
+) -> list[TLE]:
+    """Generate ``count`` synthetic Earth-observation LEO TLEs.
+
+    Orbits are drawn from ``inclination_mix``: ``sso`` (sun-synchronous,
+    ~97-98 deg), ``iss`` (51.6 deg rideshare deployments), ``polar``
+    (80-100 deg), and ``mid`` (45-70 deg).  RAAN, argument of perigee, and
+    mean anomaly are uniform, so satellites are well spread in phase -- the
+    property that matters for contention and pass-diversity results.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    lo_alt, hi_alt = altitude_range_km
+    categories = [name for name, _ in inclination_mix]
+    weights = [w for _, w in inclination_mix]
+    tles = []
+    for idx in range(count):
+        altitude = rng.uniform(lo_alt, hi_alt)
+        category = rng.choices(categories, weights=weights)[0]
+        if category == "sso":
+            inclination = sun_synchronous_inclination_deg(altitude)
+        elif category == "iss":
+            inclination = rng.gauss(51.6, 0.3)
+        elif category == "polar":
+            inclination = rng.uniform(80.0, 100.0)
+        elif category == "mid":
+            inclination = rng.uniform(45.0, 70.0)
+        else:
+            raise ValueError(f"unknown inclination category {category!r}")
+        tles.append(
+            TLE.from_elements(
+                satnum=first_satnum + idx,
+                epoch=epoch,
+                inclination_deg=inclination,
+                raan_deg=rng.uniform(0.0, 360.0),
+                eccentricity=rng.uniform(0.0001, 0.002),
+                argp_deg=rng.uniform(0.0, 360.0),
+                mean_anomaly_deg=rng.uniform(0.0, 360.0),
+                mean_motion_rev_day=mean_motion_rev_day_for_altitude(altitude),
+                bstar=rng.uniform(1e-5, 3e-4),
+                name=f"SYN-EO-{idx:03d}",
+            )
+        )
+    return tles
+
+
+def walker_delta(
+    total_satellites: int,
+    planes: int,
+    phasing: int,
+    inclination_deg: float,
+    altitude_km: float,
+    epoch: datetime,
+    first_satnum: int = 70000,
+) -> list[TLE]:
+    """Generate a Walker Delta constellation i:t/p/f as TLEs.
+
+    ``total_satellites`` must divide evenly into ``planes``; ``phasing``
+    is the Walker f parameter (inter-plane phase offset units).
+    """
+    if total_satellites % planes != 0:
+        raise ValueError("total_satellites must be divisible by planes")
+    if not 0 <= phasing < planes:
+        raise ValueError("phasing must satisfy 0 <= f < planes")
+    per_plane = total_satellites // planes
+    mean_motion = mean_motion_rev_day_for_altitude(altitude_km)
+    tles = []
+    for plane in range(planes):
+        raan = 360.0 * plane / planes
+        for slot in range(per_plane):
+            mean_anomaly = (
+                360.0 * slot / per_plane
+                + 360.0 * phasing * plane / total_satellites
+            )
+            index = plane * per_plane + slot
+            tles.append(
+                TLE.from_elements(
+                    satnum=first_satnum + index,
+                    epoch=epoch,
+                    inclination_deg=inclination_deg,
+                    raan_deg=raan,
+                    eccentricity=0.0005,
+                    argp_deg=0.0,
+                    mean_anomaly_deg=mean_anomaly % 360.0,
+                    mean_motion_rev_day=mean_motion,
+                    name=f"WALKER-{plane}-{slot}",
+                )
+            )
+    return tles

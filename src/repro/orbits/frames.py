@@ -1,0 +1,97 @@
+"""Coordinate frames: TEME <-> ECEF rotation and geodetic conversions.
+
+SGP4 emits state vectors in TEME (True Equator, Mean Equinox), a
+quasi-inertial frame.  Ground stations live on the rotating Earth, so
+link geometry needs everything in ECEF.  We rotate by GMST about the
+z-axis, which is the standard TLE-grade TEME->ECEF approximation (ignores
+polar motion, ~10 m -- far below TLE error).
+
+Geodetic conversions use the WGS84 ellipsoid with the closed-form Bowring
+method for ECEF->geodetic (sub-millimetre for Earth-surface and LEO
+altitudes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.orbits.constants import WGS84, EarthModel
+from repro.orbits.timebase import gmst_rad
+
+
+def teme_to_ecef(position_teme_km: np.ndarray, jd_ut1: float,
+                 velocity_teme_km_s: np.ndarray | None = None):
+    """Rotate a TEME state into ECEF at the given Julian date.
+
+    If a velocity is supplied, the Earth-rotation (omega x r) term is
+    removed so the returned velocity is relative to the rotating frame.
+    Returns position, or (position, velocity).
+    """
+    theta = gmst_rad(jd_ut1)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    rot = np.array([[cos_t, sin_t, 0.0], [-sin_t, cos_t, 0.0], [0.0, 0.0, 1.0]])
+    pos_ecef = rot @ np.asarray(position_teme_km, dtype=float)
+    if velocity_teme_km_s is None:
+        return pos_ecef
+    omega = 7.29211514670698e-5 * 86400.0 / 86164.0905  # rad/s, UT1 rate
+    omega_vec = np.array([0.0, 0.0, 7.2921158553e-5])
+    vel_ecef = rot @ np.asarray(velocity_teme_km_s, dtype=float) - np.cross(
+        omega_vec, pos_ecef
+    )
+    del omega  # documented constant retained above for clarity
+    return pos_ecef, vel_ecef
+
+
+def ecef_to_teme(position_ecef_km: np.ndarray, jd_ut1: float) -> np.ndarray:
+    """Inverse rotation of :func:`teme_to_ecef` (position only)."""
+    theta = gmst_rad(jd_ut1)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    rot = np.array([[cos_t, -sin_t, 0.0], [sin_t, cos_t, 0.0], [0.0, 0.0, 1.0]])
+    return rot @ np.asarray(position_ecef_km, dtype=float)
+
+
+def geodetic_to_ecef(lat_deg: float, lon_deg: float, alt_km: float = 0.0,
+                     model: EarthModel = WGS84) -> np.ndarray:
+    """ECEF position (km) of a geodetic latitude/longitude/altitude."""
+    lat = math.radians(lat_deg)
+    lon = math.radians(lon_deg)
+    e2 = model.eccentricity_sq
+    sin_lat = math.sin(lat)
+    n = model.radius_km / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    x = (n + alt_km) * math.cos(lat) * math.cos(lon)
+    y = (n + alt_km) * math.cos(lat) * math.sin(lon)
+    z = (n * (1.0 - e2) + alt_km) * sin_lat
+    return np.array([x, y, z])
+
+
+def ecef_to_geodetic(position_ecef_km: np.ndarray,
+                     model: EarthModel = WGS84) -> tuple[float, float, float]:
+    """Geodetic (lat_deg, lon_deg, alt_km) of an ECEF position (Bowring)."""
+    x, y, z = (float(v) for v in position_ecef_km)
+    lon = math.atan2(y, x)
+    p = math.hypot(x, y)
+    e2 = model.eccentricity_sq
+    a = model.radius_km
+    b = a * (1.0 - model.flattening)
+    if p < 1e-9:  # on the polar axis
+        lat = math.copysign(math.pi / 2.0, z)
+        alt = abs(z) - b
+        return math.degrees(lat), math.degrees(lon), alt
+    ep2 = (a * a - b * b) / (b * b)
+    theta = math.atan2(z * a, p * b)
+    lat = math.atan2(
+        z + ep2 * b * math.sin(theta) ** 3,
+        p - e2 * a * math.cos(theta) ** 3,
+    )
+    sin_lat = math.sin(lat)
+    n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    alt = p / math.cos(lat) - n
+    return math.degrees(lat), math.degrees(lon), alt
+
+
+def subsatellite_point(position_teme_km: np.ndarray, jd_ut1: float,
+                       model: EarthModel = WGS84) -> tuple[float, float, float]:
+    """Geodetic ground-track point under a TEME position: (lat, lon, alt_km)."""
+    return ecef_to_geodetic(teme_to_ecef(position_teme_km, jd_ut1), model)

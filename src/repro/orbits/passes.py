@@ -1,0 +1,151 @@
+"""Contact-window ("pass") prediction between satellites and ground sites.
+
+A pass is the interval during which a satellite is above a station's
+elevation mask.  The paper's whole premise rests on pass structure: LEO
+passes last "seven to ten minutes" and a satellite sees a given station
+"two-to-three" times a day (Sec. 2).  The predictor here scans elevation at
+a coarse step, then bisects each horizon crossing to sub-second precision
+and locates the culmination (max elevation) by golden-section search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Callable, Iterator
+
+from repro.orbits.frames import teme_to_ecef
+from repro.orbits.timebase import datetime_to_jd
+from repro.orbits.topocentric import look_angles
+
+#: Signature of a propagator: UTC datetime -> (teme position km, velocity km/s).
+Propagator = Callable[[datetime], tuple]
+
+
+@dataclass(frozen=True)
+class ContactWindow:
+    """One satellite pass over one site."""
+
+    rise_time: datetime
+    set_time: datetime
+    culmination_time: datetime
+    max_elevation_deg: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.set_time - self.rise_time).total_seconds()
+
+    def contains(self, when: datetime) -> bool:
+        return self.rise_time <= when <= self.set_time
+
+    def overlaps(self, other: "ContactWindow") -> bool:
+        return self.rise_time < other.set_time and other.rise_time < self.set_time
+
+
+class PassPredictor:
+    """Predict passes of one propagated satellite over one geodetic site."""
+
+    def __init__(
+        self,
+        propagator: Propagator,
+        site_lat_deg: float,
+        site_lon_deg: float,
+        site_alt_km: float = 0.0,
+        min_elevation_deg: float = 0.0,
+    ):
+        self.propagator = propagator
+        self.site_lat_deg = site_lat_deg
+        self.site_lon_deg = site_lon_deg
+        self.site_alt_km = site_alt_km
+        self.min_elevation_deg = min_elevation_deg
+
+    def elevation_deg(self, when: datetime) -> float:
+        """Elevation of the satellite above the site's horizon at ``when``."""
+        pos_teme, _vel = self.propagator(when)
+        pos_ecef = teme_to_ecef(pos_teme, datetime_to_jd(when))
+        topo = look_angles(
+            self.site_lat_deg, self.site_lon_deg, self.site_alt_km, pos_ecef
+        )
+        return topo.elevation_deg
+
+    def passes(
+        self,
+        start: datetime,
+        end: datetime,
+        coarse_step_s: float = 30.0,
+    ) -> Iterator[ContactWindow]:
+        """Yield every contact window between ``start`` and ``end``.
+
+        ``coarse_step_s`` must be shorter than the shortest pass of
+        interest; 30 s is safe for LEO (passes of useful elevation last
+        minutes).  Windows already in progress at ``start`` are reported as
+        beginning at ``start``; windows still open at ``end`` are truncated.
+        """
+        if end <= start:
+            return
+        above = self.elevation_deg(start) > self.min_elevation_deg
+        rise = start if above else None
+        t = start
+        step = timedelta(seconds=coarse_step_s)
+        while t < end:
+            t_next = min(t + step, end)
+            now_above = self.elevation_deg(t_next) > self.min_elevation_deg
+            if now_above and not above:
+                rise = self._bisect_crossing(t, t_next, rising=True)
+            elif above and not now_above:
+                set_time = self._bisect_crossing(t, t_next, rising=False)
+                if rise is not None:
+                    yield self._finalize(rise, set_time)
+                rise = None
+            above = now_above
+            t = t_next
+        if above and rise is not None:
+            yield self._finalize(rise, end)
+
+    def _bisect_crossing(self, lo: datetime, hi: datetime,
+                         rising: bool, tol_s: float = 0.5) -> datetime:
+        """Bisect the horizon crossing inside (lo, hi) to ``tol_s`` precision."""
+        while (hi - lo).total_seconds() > tol_s:
+            mid = lo + (hi - lo) / 2
+            above = self.elevation_deg(mid) > self.min_elevation_deg
+            if above == rising:
+                hi = mid
+            else:
+                lo = mid
+        return lo + (hi - lo) / 2
+
+    def _finalize(self, rise: datetime, set_time: datetime) -> ContactWindow:
+        culmination, max_el = self._culmination(rise, set_time)
+        return ContactWindow(
+            rise_time=rise,
+            set_time=set_time,
+            culmination_time=culmination,
+            max_elevation_deg=max_el,
+        )
+
+    def _culmination(self, rise: datetime, set_time: datetime,
+                     tol_s: float = 1.0) -> tuple[datetime, float]:
+        """Golden-section search for the elevation maximum within a pass."""
+        inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a = 0.0
+        b = (set_time - rise).total_seconds()
+        if b <= tol_s:
+            mid = rise + timedelta(seconds=b / 2.0)
+            return mid, self.elevation_deg(mid)
+        c = b - inv_phi * (b - a)
+        d = a + inv_phi * (b - a)
+        fc = self.elevation_deg(rise + timedelta(seconds=c))
+        fd = self.elevation_deg(rise + timedelta(seconds=d))
+        while (b - a) > tol_s:
+            if fc > fd:
+                b, d, fd = d, c, fc
+                c = b - inv_phi * (b - a)
+                fc = self.elevation_deg(rise + timedelta(seconds=c))
+            else:
+                a, c, fc = c, d, fd
+                d = a + inv_phi * (b - a)
+                fd = self.elevation_deg(rise + timedelta(seconds=d))
+        best_offset = (a + b) / 2.0
+        when = rise + timedelta(seconds=best_offset)
+        return when, self.elevation_deg(when)

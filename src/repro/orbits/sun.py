@@ -1,0 +1,89 @@
+"""Solar geometry: sun position and Earth-shadow (eclipse) tests.
+
+Earth-observation satellites are solar powered; whether the spacecraft is
+in sunlight gates battery charging and therefore downlink duty cycle
+(:mod:`repro.satellites.power`).  The sun position uses the standard
+low-precision almanac (accurate to ~0.01 deg, decades around J2000) and
+the eclipse test uses the cylindrical-shadow model, which is accurate to
+a few seconds of shadow-entry time for LEO -- far finer than the
+simulation step.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime
+
+import numpy as np
+
+from repro.orbits.constants import EARTH_RADIUS_KM
+from repro.orbits.timebase import JD_J2000, datetime_to_jd
+
+#: One astronomical unit, km.
+AU_KM = 149_597_870.7
+
+
+def sun_position_teme(when: datetime) -> np.ndarray:
+    """Geocentric sun vector (km) in the TEME/ECI frame.
+
+    Low-precision almanac (Vallado Alg. 29): mean solar longitude and
+    anomaly, ecliptic longitude with two correction terms, rotated through
+    the mean obliquity.
+    """
+    t_ut1 = (datetime_to_jd(when) - JD_J2000) / 36525.0
+    mean_lon_deg = (280.460 + 36000.771 * t_ut1) % 360.0
+    mean_anom_deg = (357.5291092 + 35999.05034 * t_ut1) % 360.0
+    mean_anom = math.radians(mean_anom_deg)
+    ecliptic_lon_deg = (
+        mean_lon_deg
+        + 1.914666471 * math.sin(mean_anom)
+        + 0.019994643 * math.sin(2.0 * mean_anom)
+    )
+    ecliptic_lon = math.radians(ecliptic_lon_deg % 360.0)
+    distance_au = (
+        1.000140612
+        - 0.016708617 * math.cos(mean_anom)
+        - 0.000139589 * math.cos(2.0 * mean_anom)
+    )
+    obliquity = math.radians(23.439291 - 0.0130042 * t_ut1)
+    r = distance_au * AU_KM
+    return np.array(
+        [
+            r * math.cos(ecliptic_lon),
+            r * math.cos(obliquity) * math.sin(ecliptic_lon),
+            r * math.sin(obliquity) * math.sin(ecliptic_lon),
+        ]
+    )
+
+
+def is_eclipsed(position_teme_km: np.ndarray, when: datetime) -> bool:
+    """True when the satellite is inside Earth's (cylindrical) shadow."""
+    sun = sun_position_teme(when)
+    sun_hat = sun / np.linalg.norm(sun)
+    pos = np.asarray(position_teme_km, dtype=float)
+    along_sun = float(np.dot(pos, sun_hat))
+    if along_sun >= 0.0:
+        return False  # on the day side
+    # Distance from the shadow axis (the anti-sun line).
+    perpendicular = pos - along_sun * sun_hat
+    return float(np.linalg.norm(perpendicular)) < EARTH_RADIUS_KM
+
+
+def sunlit_fraction(propagate, start: datetime, duration_s: float,
+                    samples: int = 90) -> float:
+    """Fraction of an interval a propagated satellite spends in sunlight.
+
+    ``propagate(when) -> (pos_teme, vel)``.  LEO orbits spend ~60-70% of
+    each orbit sunlit (more for dawn-dusk sun-synchronous orbits).
+    """
+    if samples < 2:
+        raise ValueError("need at least 2 samples")
+    from datetime import timedelta
+
+    sunlit = 0
+    for k in range(samples):
+        when = start + timedelta(seconds=duration_s * k / (samples - 1))
+        pos, _vel = propagate(when)
+        if not is_eclipsed(pos, when):
+            sunlit += 1
+    return sunlit / samples

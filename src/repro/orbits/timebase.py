@@ -1,0 +1,90 @@
+"""Time scales for orbit work: Julian dates, TLE epochs, and sidereal time.
+
+Everything in this library runs on UTC ``datetime`` objects; Julian dates
+appear only at the boundary with the astronomy formulae (GMST, frame
+rotations).  Leap seconds are ignored, which is the universal convention for
+TLE-grade work (TLE epochs are themselves UTC without leap-second
+bookkeeping and orbit prediction error dwarfs the <1 s effect).
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime, timedelta, timezone
+
+#: Julian date of the Unix epoch (1970-01-01T00:00:00 UTC).
+JD_UNIX_EPOCH = 2440587.5
+#: Julian date of J2000.0 (2000-01-01T12:00:00 TT, treated as UTC here).
+JD_J2000 = 2451545.0
+
+_TWO_PI = 2.0 * math.pi
+
+
+def datetime_to_jd(when: datetime) -> float:
+    """Convert a datetime (assumed UTC if naive) to a Julian date."""
+    if when.tzinfo is not None:
+        when = when.astimezone(timezone.utc).replace(tzinfo=None)
+    delta = when - datetime(1970, 1, 1)
+    return JD_UNIX_EPOCH + delta.total_seconds() / 86400.0
+
+
+def jd_to_datetime(jd: float) -> datetime:
+    """Convert a Julian date back to a naive UTC datetime."""
+    seconds = (jd - JD_UNIX_EPOCH) * 86400.0
+    return datetime(1970, 1, 1) + timedelta(seconds=seconds)
+
+
+def tle_epoch_to_datetime(epoch_year: int, epoch_day: float) -> datetime:
+    """Convert a TLE epoch (two-digit year + fractional day of year) to UTC.
+
+    Per the TLE convention, two-digit years 57-99 map to 1957-1999 and
+    00-56 map to 2000-2056.  ``epoch_day`` is 1-based: day 1.0 is January 1,
+    00:00 UTC.
+    """
+    if epoch_year < 0 or epoch_year > 99:
+        raise ValueError(f"TLE epoch year must be two digits, got {epoch_year}")
+    year = epoch_year + (1900 if epoch_year >= 57 else 2000)
+    return datetime(year, 1, 1) + timedelta(days=epoch_day - 1.0)
+
+
+def datetime_to_tle_epoch(when: datetime) -> tuple[int, float]:
+    """Inverse of :func:`tle_epoch_to_datetime`: (two-digit year, day-of-year)."""
+    if when.tzinfo is not None:
+        when = when.astimezone(timezone.utc).replace(tzinfo=None)
+    start = datetime(when.year, 1, 1)
+    day = 1.0 + (when - start).total_seconds() / 86400.0
+    return when.year % 100, day
+
+
+def gmst_rad(jd_ut1: float) -> float:
+    """Greenwich Mean Sidereal Time (IAU 1982 model), radians in [0, 2*pi).
+
+    Accurate to well under an arcsecond over decades around J2000, which is
+    far tighter than TLE position error.
+    """
+    t = (jd_ut1 - JD_J2000) / 36525.0
+    gmst_deg = (
+        280.46061837
+        + 360.98564736629 * (jd_ut1 - JD_J2000)
+        + 0.000387933 * t * t
+        - t * t * t / 38710000.0
+    )
+    return math.radians(gmst_deg) % _TWO_PI
+
+
+def wrap_two_pi(angle: float) -> float:
+    """Wrap an angle in radians to [0, 2*pi)."""
+    wrapped = math.fmod(angle, _TWO_PI)
+    if wrapped < 0.0:
+        wrapped += _TWO_PI
+    if wrapped >= _TWO_PI:  # -epsilon + 2*pi rounds up to exactly 2*pi
+        wrapped = 0.0
+    return wrapped
+
+
+def wrap_pi(angle: float) -> float:
+    """Wrap an angle in radians to (-pi, pi]."""
+    wrapped = wrap_two_pi(angle)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    return wrapped

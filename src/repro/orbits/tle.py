@@ -1,0 +1,252 @@
+"""Two Line Element (TLE) parsing, validation, and emission.
+
+TLEs are the interchange format the paper assumes for satellite orbits
+(Sec. 3.1): every satellite is "represented by its TLE".  This module
+implements the full NORAD fixed-column format, including the modulo-10
+checksum and the implied-decimal exponent fields, and round-trips cleanly
+(``TLE.parse(t.to_lines()) == t``) so synthetic constellations can be
+serialized and reloaded.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.orbits.timebase import datetime_to_tle_epoch, tle_epoch_to_datetime
+
+
+class TLEError(ValueError):
+    """Raised when a TLE line fails structural or checksum validation."""
+
+
+def checksum(line: str) -> int:
+    """Modulo-10 TLE checksum of the first 68 columns of a line.
+
+    Digits count as their value; a minus sign counts as 1; everything else
+    (letters, periods, plus signs, spaces) counts as 0.
+    """
+    total = 0
+    for ch in line[:68]:
+        if ch.isdigit():
+            total += int(ch)
+        elif ch == "-":
+            total += 1
+    return total % 10
+
+
+def _parse_implied_decimal(fieldtext: str) -> float:
+    """Parse TLE 'implied decimal point' exponent fields like ' 66816-4'.
+
+    The field is a mantissa with an assumed leading '0.' followed by a
+    signed single-digit exponent: ``66816-4`` means 0.66816e-4.
+    """
+    text = fieldtext.strip()
+    if not text or text in {"0", "+0", "-0", "00000-0", "00000+0"}:
+        return 0.0
+    match = re.fullmatch(r"([+\-]?)(\d+)([+\-]\d)", text)
+    if match is None:
+        raise TLEError(f"malformed implied-decimal field: {fieldtext!r}")
+    sign = -1.0 if match.group(1) == "-" else 1.0
+    mantissa = int(match.group(2))
+    exponent = int(match.group(3))
+    return sign * mantissa * 10.0 ** (exponent - len(match.group(2)))
+
+
+def _format_implied_decimal(value: float) -> str:
+    """Format a float into the 8-column TLE implied-decimal field."""
+    if value == 0.0:
+        return " 00000+0"
+    sign = "-" if value < 0 else " "
+    magnitude = abs(value)
+    exponent = math.floor(math.log10(magnitude)) + 1
+    mantissa = magnitude / 10.0**exponent
+    mantissa_digits = round(mantissa * 1e5)
+    if mantissa_digits >= 100000:  # rounding carried over, e.g. 0.999999
+        mantissa_digits = 10000
+        exponent += 1
+    if exponent < -9:  # below field resolution: canonical zero
+        return " 00000+0"
+    if exponent > 9:
+        raise TLEError(f"value {value} out of TLE exponent range")
+    exp_sign = "-" if exponent < 0 else "+"
+    return f"{sign}{mantissa_digits:05d}{exp_sign}{abs(exponent)}"
+
+
+@dataclass
+class TLE:
+    """A parsed Two Line Element set.
+
+    Angles are stored in degrees and mean motion in revolutions/day, matching
+    the TLE convention; propagators convert internally.
+    """
+
+    satnum: int
+    epoch_year: int  # two-digit year, TLE convention
+    epoch_day: float  # fractional day of year, 1-based
+    ndot: float  # rev/day^2 (first derivative of mean motion / 2, as in TLE)
+    nddot: float  # rev/day^3 (second derivative / 6, as in TLE)
+    bstar: float  # drag term, 1/earth-radii
+    inclination_deg: float
+    raan_deg: float
+    eccentricity: float
+    argp_deg: float
+    mean_anomaly_deg: float
+    mean_motion_rev_day: float
+    classification: str = "U"
+    intl_designator: str = ""
+    element_set_no: int = 0
+    rev_number: int = 0
+    name: str = ""
+    ephemeris_type: int = 0
+    _epoch_cache: datetime | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def epoch(self) -> datetime:
+        """The TLE epoch as a UTC datetime."""
+        if self._epoch_cache is None:
+            self._epoch_cache = tle_epoch_to_datetime(self.epoch_year, self.epoch_day)
+        return self._epoch_cache
+
+    @property
+    def period_minutes(self) -> float:
+        """Orbital period implied by the mean motion."""
+        return 1440.0 / self.mean_motion_rev_day
+
+    @property
+    def mean_motion_rad_min(self) -> float:
+        """Mean motion in radians per minute (SGP4's native unit)."""
+        return self.mean_motion_rev_day * 2.0 * math.pi / 1440.0
+
+    @classmethod
+    def parse(cls, lines: str | list[str], validate_checksum: bool = True) -> "TLE":
+        """Parse a 2- or 3-line element set (optional name line first)."""
+        if isinstance(lines, str):
+            raw = [ln for ln in lines.splitlines() if ln.strip()]
+        else:
+            raw = [ln for ln in lines if ln.strip()]
+        name = ""
+        if len(raw) == 3:
+            name = raw[0].strip()
+            raw = raw[1:]
+        if len(raw) != 2:
+            raise TLEError(f"expected 2 element lines, got {len(raw)}")
+        line1, line2 = raw[0].rstrip(), raw[1].rstrip()
+        if len(line1) < 69 or len(line2) < 69:
+            raise TLEError("TLE lines must be at least 69 columns")
+        if line1[0] != "1" or line2[0] != "2":
+            raise TLEError("TLE lines must start with '1' and '2'")
+        if validate_checksum:
+            for line in (line1, line2):
+                expected = checksum(line)
+                actual = int(line[68])
+                if expected != actual:
+                    raise TLEError(
+                        f"checksum mismatch on line {line[0]}: "
+                        f"expected {expected}, found {actual}"
+                    )
+        satnum1 = int(line1[2:7])
+        satnum2 = int(line2[2:7])
+        if satnum1 != satnum2:
+            raise TLEError(f"satellite number mismatch: {satnum1} vs {satnum2}")
+        try:
+            tle = cls(
+                satnum=satnum1,
+                classification=line1[7],
+                intl_designator=line1[9:17].strip(),
+                epoch_year=int(line1[18:20]),
+                epoch_day=float(line1[20:32]),
+                ndot=float(line1[33:43]),
+                nddot=_parse_implied_decimal(line1[44:52]),
+                bstar=_parse_implied_decimal(line1[53:61]),
+                ephemeris_type=int(line1[62]) if line1[62].strip() else 0,
+                element_set_no=int(line1[64:68]) if line1[64:68].strip() else 0,
+                inclination_deg=float(line2[8:16]),
+                raan_deg=float(line2[17:25]),
+                eccentricity=float("0." + line2[26:33].strip()),
+                argp_deg=float(line2[34:42]),
+                mean_anomaly_deg=float(line2[43:51]),
+                mean_motion_rev_day=float(line2[52:63]),
+                rev_number=int(line2[63:68]) if line2[63:68].strip() else 0,
+                name=name,
+            )
+        except ValueError as exc:
+            raise TLEError(f"malformed TLE field: {exc}") from exc
+        tle.validate()
+        return tle
+
+    def validate(self) -> None:
+        """Check physical plausibility of the parsed elements."""
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise TLEError(f"eccentricity out of range: {self.eccentricity}")
+        if not 0.0 <= self.inclination_deg <= 180.0:
+            raise TLEError(f"inclination out of range: {self.inclination_deg}")
+        if self.mean_motion_rev_day <= 0.0:
+            raise TLEError(f"mean motion must be positive: {self.mean_motion_rev_day}")
+
+    def to_lines(self) -> tuple[str, str]:
+        """Emit the canonical 69-column line pair (with valid checksums)."""
+        # ndot occupies 10 columns: sign + ".dddddddd" (no leading zero).
+        if abs(self.ndot) >= 1.0:
+            raise TLEError(f"ndot {self.ndot} out of TLE field range")
+        ndot_text = ("-" if self.ndot < 0 else " ") + f"{abs(self.ndot):.8f}"[1:]
+        line1 = (
+            f"1 {self.satnum:05d}{self.classification} "
+            f"{self.intl_designator:<8s} "
+            f"{self.epoch_year:02d}{self.epoch_day:012.8f} "
+            f"{ndot_text} "
+            f"{_format_implied_decimal(self.nddot)} "
+            f"{_format_implied_decimal(self.bstar)} "
+            f"{self.ephemeris_type:1d} "
+            f"{self.element_set_no:4d}"
+        )
+        ecc_text = f"{self.eccentricity:.7f}"[2:]
+        line2 = (
+            f"2 {self.satnum:05d} "
+            f"{self.inclination_deg:8.4f} "
+            f"{self.raan_deg:8.4f} "
+            f"{ecc_text} "
+            f"{self.argp_deg:8.4f} "
+            f"{self.mean_anomaly_deg:8.4f} "
+            f"{self.mean_motion_rev_day:11.8f}"
+            f"{self.rev_number:5d}"
+        )
+        line1 = f"{line1:<68.68s}{checksum(line1)}"
+        line2 = f"{line2:<68.68s}{checksum(line2)}"
+        return line1, line2
+
+    @classmethod
+    def from_elements(
+        cls,
+        satnum: int,
+        epoch: datetime,
+        inclination_deg: float,
+        raan_deg: float,
+        eccentricity: float,
+        argp_deg: float,
+        mean_anomaly_deg: float,
+        mean_motion_rev_day: float,
+        bstar: float = 0.0001,
+        name: str = "",
+    ) -> "TLE":
+        """Build a TLE directly from mean elements (for synthetic satellites)."""
+        year2, day = datetime_to_tle_epoch(epoch)
+        tle = cls(
+            satnum=satnum,
+            epoch_year=year2,
+            epoch_day=day,
+            ndot=0.0,
+            nddot=0.0,
+            bstar=bstar,
+            inclination_deg=inclination_deg % 180.0,
+            raan_deg=raan_deg % 360.0,
+            eccentricity=eccentricity,
+            argp_deg=argp_deg % 360.0,
+            mean_anomaly_deg=mean_anomaly_deg % 360.0,
+            mean_motion_rev_day=mean_motion_rev_day,
+            name=name,
+        )
+        tle.validate()
+        return tle

@@ -1,0 +1,112 @@
+"""Topocentric geometry: azimuth, elevation, slant range, range rate.
+
+This is the geometry DGS's scheduler consumes every time step (paper
+Sec. 3.1, "Orbit Calculations"): whether a satellite is above the horizon
+for a station and, if so, its distance, elevation, and azimuth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.orbits.constants import WGS84, EarthModel
+from repro.orbits.frames import geodetic_to_ecef
+
+
+@dataclass(frozen=True)
+class Topocentric:
+    """Look angles and range of a target from a ground site.
+
+    Attributes
+    ----------
+    azimuth_deg:
+        Compass azimuth, 0 = North, 90 = East, in [0, 360).
+    elevation_deg:
+        Elevation above the local horizon plane, in [-90, 90].
+    range_km:
+        Slant range to the target.
+    range_rate_km_s:
+        d(range)/dt, negative while the target approaches; 0 when no
+        velocity was supplied.
+    """
+
+    azimuth_deg: float
+    elevation_deg: float
+    range_km: float
+    range_rate_km_s: float = 0.0
+
+    @property
+    def is_visible(self) -> bool:
+        """Above the geometric horizon (elevation > 0)."""
+        return self.elevation_deg > 0.0
+
+    def doppler_shift_hz(self, carrier_hz: float) -> float:
+        """Line-of-sight Doppler shift for a given carrier frequency."""
+        return -self.range_rate_km_s * 1000.0 / 299792458.0 * carrier_hz
+
+
+def _enu_basis(lat_deg: float, lon_deg: float) -> np.ndarray:
+    """Rows: East, North, Up unit vectors in ECEF at the given site."""
+    lat = math.radians(lat_deg)
+    lon = math.radians(lon_deg)
+    sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+    sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+    east = np.array([-sin_lon, cos_lon, 0.0])
+    north = np.array([-sin_lat * cos_lon, -sin_lat * sin_lon, cos_lat])
+    up = np.array([cos_lat * cos_lon, cos_lat * sin_lon, sin_lat])
+    return np.vstack([east, north, up])
+
+
+def look_angles(
+    site_lat_deg: float,
+    site_lon_deg: float,
+    site_alt_km: float,
+    target_ecef_km: np.ndarray,
+    target_vel_ecef_km_s: np.ndarray | None = None,
+    model: EarthModel = WGS84,
+) -> Topocentric:
+    """Compute azimuth/elevation/range of an ECEF target from a geodetic site."""
+    site_ecef = geodetic_to_ecef(site_lat_deg, site_lon_deg, site_alt_km, model)
+    rel = np.asarray(target_ecef_km, dtype=float) - site_ecef
+    basis = _enu_basis(site_lat_deg, site_lon_deg)
+    east, north, up = basis @ rel
+    rng = float(np.linalg.norm(rel))
+    if rng < 1e-9:
+        return Topocentric(0.0, 90.0, 0.0)
+    elevation = math.degrees(math.asin(max(-1.0, min(1.0, up / rng))))
+    azimuth = math.degrees(math.atan2(east, north)) % 360.0
+    if azimuth >= 360.0:  # float fold: -1e-15 % 360 == 360.0
+        azimuth = 0.0
+    range_rate = 0.0
+    if target_vel_ecef_km_s is not None:
+        range_rate = float(np.dot(rel, np.asarray(target_vel_ecef_km_s)) / rng)
+    return Topocentric(azimuth, elevation, rng, range_rate)
+
+
+def max_slant_range_km(altitude_km: float, min_elevation_deg: float = 0.0,
+                       model: EarthModel = WGS84) -> float:
+    """Slant range to a satellite at ``altitude_km`` seen at the minimum elevation.
+
+    Law-of-cosines geometry on a spherical Earth; used for quick visibility
+    pre-filters and for link-budget worst cases.
+    """
+    re = model.radius_km
+    rs = re + altitude_km
+    el = math.radians(min_elevation_deg)
+    # range^2 + 2*re*sin(el)*range + re^2 - rs^2 = 0, take positive root.
+    b = 2.0 * re * math.sin(el)
+    disc = b * b - 4.0 * (re * re - rs * rs)
+    return (-b + math.sqrt(disc)) / 2.0
+
+
+def coverage_radius_km(altitude_km: float, min_elevation_deg: float = 0.0,
+                       model: EarthModel = WGS84) -> float:
+    """Great-circle radius of a satellite's coverage footprint on the ground."""
+    re = model.radius_km
+    rs = re + altitude_km
+    el = math.radians(min_elevation_deg)
+    central_angle = math.acos(re * math.cos(el) / rs) - el
+    return re * central_angle

@@ -1,0 +1,16 @@
+"""Satellite-side models: imagery data, onboard storage, the spacecraft.
+
+Earth-observation satellites in the paper generate 100 GB/day of imagery
+(Sec. 4), keep it in an onboard priority queue ordered by the value
+function, downlink it per the uploaded plan, and -- because most DGS
+stations cannot ack -- retain delivered data until a transmit-capable
+contact relays the collated acknowledgements (Sec. 3.3, "Ack-free
+Downlink").
+"""
+
+from repro.satellites.data import ChunkState, DataChunk
+from repro.satellites.power import PowerModel
+from repro.satellites.storage import OnboardStorage
+from repro.satellites.satellite import Satellite
+
+__all__ = ["DataChunk", "ChunkState", "OnboardStorage", "Satellite", "PowerModel"]

@@ -1,0 +1,115 @@
+"""Imagery data chunks and their downlink lifecycle.
+
+A chunk is the unit of capture and of latency accounting: latency is
+"time elapsed between data capture and data reception at the ground
+station" (Sec. 4).  Chunks are byte-divisible on the air -- a pass can end
+mid-chunk and the remainder goes later, possibly to a different station --
+but a chunk is *received* (for latency purposes) when its last byte lands.
+
+Lifecycle::
+
+    ONBOARD -> (all bytes received somewhere) -> DELIVERED
+            -> (ack relayed via a tx-capable contact) -> ACKED (freed)
+
+In the centralized baseline every station can ack immediately, so
+DELIVERED and ACKED coincide.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime
+
+
+class ChunkState(enum.Enum):
+    ONBOARD = "onboard"
+    DELIVERED = "delivered"  # fully received on the ground, not yet acked
+    ACKED = "acked"  # safe to free onboard storage
+
+
+_chunk_counter = itertools.count()
+
+
+@dataclass
+class DataChunk:
+    """One unit of captured imagery."""
+
+    satellite_id: str
+    size_bits: float
+    capture_time: datetime
+    priority: float = 0.0  # operator-assigned boost (SLA tiers, disasters)
+    region: str = ""  # geographic tag for geography-aware value functions
+    chunk_id: int = field(default_factory=lambda: next(_chunk_counter))
+    state: ChunkState = ChunkState.ONBOARD
+    remaining_bits: float = field(default=-1.0)
+    delivery_time: datetime | None = None
+    ack_time: datetime | None = None
+    #: False when the satellite transmitted the chunk but the ground failed
+    #: to decode it (rate over-prediction in the ack-free design).  The
+    #: satellite cannot know this until acks go missing; the simulation
+    #: engine tracks the truth.
+    ground_received: bool = True
+    retransmissions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"chunk size must be positive, got {self.size_bits}")
+        if self.remaining_bits < 0:
+            self.remaining_bits = self.size_bits
+
+    @property
+    def sent_bits(self) -> float:
+        return self.size_bits - self.remaining_bits
+
+    @property
+    def is_fully_sent(self) -> bool:
+        return self.remaining_bits <= 0.0
+
+    def transmit(self, bits: float, now: datetime, decoded: bool = True) -> float:
+        """Drain up to ``bits`` from the chunk; returns bits actually sent.
+
+        Marks the chunk DELIVERED (recording ``now``) when the final bit
+        goes out.  ``decoded=False`` records that the ground failed to
+        decode this transmission (the satellite does not know).
+        """
+        if bits < 0:
+            raise ValueError("cannot transmit negative bits")
+        if self.state is not ChunkState.ONBOARD:
+            return 0.0
+        sent = min(bits, self.remaining_bits)
+        self.remaining_bits -= sent
+        if not decoded:
+            self.ground_received = False
+        if self.is_fully_sent:
+            self.state = ChunkState.DELIVERED
+            self.delivery_time = now
+        return sent
+
+    def requeue(self) -> None:
+        """Return a sent-but-lost chunk to the onboard queue for retransmit."""
+        if self.state is not ChunkState.DELIVERED:
+            raise ValueError(
+                f"chunk {self.chunk_id} cannot requeue from state {self.state}"
+            )
+        self.state = ChunkState.ONBOARD
+        self.remaining_bits = self.size_bits
+        self.delivery_time = None
+        self.ground_received = True
+        self.retransmissions += 1
+
+    def acknowledge(self, now: datetime) -> None:
+        """Mark the chunk ACKED; only valid after full delivery."""
+        if self.state is not ChunkState.DELIVERED:
+            raise ValueError(
+                f"chunk {self.chunk_id} cannot be acked from state {self.state}"
+            )
+        self.state = ChunkState.ACKED
+        self.ack_time = now
+
+    def latency_seconds(self) -> float | None:
+        """Capture-to-delivery latency, or None while onboard."""
+        if self.delivery_time is None:
+            return None
+        return (self.delivery_time - self.capture_time).total_seconds()

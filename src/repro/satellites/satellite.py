@@ -1,0 +1,129 @@
+"""The spacecraft model: orbit + radio + recorder + plan state.
+
+A :class:`Satellite` binds together an orbit propagator (SGP4 over its
+TLE), the downlink radio, the onboard storage, a continuous imagery
+generator (100 GB/day in the paper's experiments), and -- for the hybrid
+design -- the epoch of the last downlink plan it received from a
+transmit-capable station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.linkbudget.budget import RadioConfig
+from repro.orbits.sgp4 import SGP4
+from repro.orbits.tle import TLE
+from repro.satellites.data import DataChunk
+from repro.satellites.power import PowerModel
+from repro.satellites.storage import OnboardStorage
+
+GB_TO_BITS = 8e9
+
+
+@dataclass
+class Satellite:
+    """One Earth-observation satellite in the simulation.
+
+    Parameters
+    ----------
+    tle:
+        The orbit; propagation is SGP4.
+    radio:
+        Downlink radio configuration (defaults to the Planet-class X-band
+        radio of [10], which the paper gives every satellite).
+    generation_gb_per_day:
+        Continuous imagery capture rate; the paper simulates 100 GB/day.
+    chunk_size_gb:
+        Capture granularity.  Smaller chunks give finer-grained latency
+        accounting at more bookkeeping cost.
+    """
+
+    tle: TLE
+    radio: RadioConfig = field(default_factory=RadioConfig)
+    generation_gb_per_day: float = 100.0
+    chunk_size_gb: float = 1.0
+    storage: OnboardStorage = field(default_factory=OnboardStorage)
+    #: When the satellite last received a downlink plan (None = never; it
+    #: then flies blind until its first tx-capable contact).
+    plan_epoch: datetime | None = None
+    #: Optional energy-balance model; when set, the simulation gates
+    #: transmission on battery state of charge and charges in sunlight.
+    power: "PowerModel | None" = None
+
+    def __post_init__(self) -> None:
+        if self.generation_gb_per_day < 0:
+            raise ValueError("generation rate cannot be negative")
+        if self.chunk_size_gb <= 0:
+            raise ValueError("chunk size must be positive")
+        self._propagator = SGP4(self.tle)
+        self._accumulated_bits = 0.0
+
+    @property
+    def satellite_id(self) -> str:
+        return self.tle.name or f"sat-{self.tle.satnum}"
+
+    # -- orbit ---------------------------------------------------------------
+
+    def position_teme(self, when: datetime) -> tuple[np.ndarray, np.ndarray]:
+        """TEME position (km) and velocity (km/s) at ``when``."""
+        return self._propagator.propagate(when)
+
+    # -- imagery generation ----------------------------------------------------
+
+    def generate_data(self, start: datetime, duration_s: float) -> list[DataChunk]:
+        """Capture imagery over [start, start+duration) and store it.
+
+        Emits whole chunks as the continuous capture stream crosses chunk
+        boundaries; each chunk's capture time is the boundary-crossing
+        instant, so latency accounting is exact even with coarse steps.
+        """
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        rate_bits_s = self.generation_gb_per_day * GB_TO_BITS / 86400.0
+        if rate_bits_s == 0.0:
+            return []
+        chunk_bits = self.chunk_size_gb * GB_TO_BITS
+        produced: list[DataChunk] = []
+        new_bits = rate_bits_s * duration_s
+        total = self._accumulated_bits + new_bits
+        emitted = 0.0
+        while total - emitted >= chunk_bits:
+            # Time at which this chunk's last bit was captured.
+            bits_into_interval = emitted + chunk_bits - self._accumulated_bits
+            offset_s = bits_into_interval / rate_bits_s
+            chunk = DataChunk(
+                satellite_id=self.satellite_id,
+                size_bits=chunk_bits,
+                capture_time=start + timedelta(seconds=offset_s),
+            )
+            self.storage.capture(chunk)
+            produced.append(chunk)
+            emitted += chunk_bits
+        self._accumulated_bits = total - emitted
+        return produced
+
+    # -- plan state ------------------------------------------------------------
+
+    def has_current_plan(self, now: datetime, max_age_s: float) -> bool:
+        """Whether the satellite holds a plan fresh enough to act on."""
+        if self.plan_epoch is None:
+            return False
+        return (now - self.plan_epoch).total_seconds() <= max_age_s
+
+    def receive_plan(self, when: datetime) -> None:
+        """Record a plan upload during a transmit-capable contact."""
+        self.plan_epoch = when
+
+    # -- convenience metrics -----------------------------------------------------
+
+    @property
+    def backlog_gb(self) -> float:
+        return self.storage.backlog_bits / GB_TO_BITS
+
+    @property
+    def unacked_gb(self) -> float:
+        return self.storage.unacked_bits / GB_TO_BITS

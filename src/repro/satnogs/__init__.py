@@ -1,0 +1,49 @@
+"""Synthetic SatNOGS-like dataset (the paper's evaluation data substitute).
+
+The paper filters the public SatNOGS database to 173 operational stations
+with >= 1k observations and 259 satellites, and uses a month of
+observation logs to validate orbit/contact calculations.  That snapshot is
+not redistributable; this package generates a dataset with the same
+schema and the same statistical shape -- station geography matching
+Fig. 2, LEO satellites at 300-600 km, and observation logs whose
+durations/elevations follow pass geometry -- plus JSON (de)serialization
+and the paper's filtering step.
+"""
+
+from repro.satnogs.dataset import (
+    Observation,
+    SatelliteRecord,
+    SatNOGSDataset,
+    StationRecord,
+    generate_dataset,
+    generate_geometric_dataset,
+)
+from repro.satnogs.loader import (
+    SatNOGSLoaderError,
+    load_dataset,
+    load_observations_api,
+    load_stations_api,
+    stations_to_network,
+)
+from repro.satnogs.validation import (
+    ValidationResult,
+    ks_statistic,
+    validate_against_observations,
+)
+
+__all__ = [
+    "StationRecord",
+    "SatelliteRecord",
+    "Observation",
+    "SatNOGSDataset",
+    "generate_dataset",
+    "generate_geometric_dataset",
+    "SatNOGSLoaderError",
+    "load_stations_api",
+    "load_observations_api",
+    "load_dataset",
+    "stations_to_network",
+    "ValidationResult",
+    "ks_statistic",
+    "validate_against_observations",
+]

@@ -1,0 +1,162 @@
+"""Loader for real SatNOGS network API payloads.
+
+The synthetic generator (:mod:`repro.satnogs.dataset`) produces the same
+in-memory types this loader does, so a deployment with network access can
+swap in the real database: download the JSON from
+``https://network.satnogs.org/api/stations/`` and
+``.../api/observations/`` plus a TLE file, feed them here, and every
+experiment runs on real data.
+
+The field mapping follows the public API schema (v1); unknown fields are
+ignored so schema additions do not break the loader.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+from repro.groundstations.network import GroundStationNetwork
+from repro.groundstations.station import GroundStation, StationCapability
+from repro.orbits.catalog import TLECatalog
+from repro.satnogs.dataset import Observation, SatNOGSDataset, StationRecord
+
+
+class SatNOGSLoaderError(ValueError):
+    """Raised on payloads that do not match the SatNOGS API schema."""
+
+
+def _parse_time(text: str) -> datetime:
+    # The API emits e.g. "2020-06-01T12:34:56Z".
+    return datetime.fromisoformat(text.replace("Z", "+00:00")).replace(
+        tzinfo=None
+    )
+
+
+def load_stations_api(payload: str) -> list[StationRecord]:
+    """Parse a SatNOGS ``/api/stations/`` JSON array."""
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SatNOGSLoaderError(f"invalid JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise SatNOGSLoaderError("expected a JSON array of stations")
+    stations = []
+    for entry in raw:
+        try:
+            antennas = entry.get("antenna", [])
+            bands = tuple(sorted({
+                a.get("band", "UHF") for a in antennas
+            })) or ("UHF",)
+            stations.append(
+                StationRecord(
+                    station_id=int(entry["id"]),
+                    name=str(entry.get("name", f"station-{entry['id']}")),
+                    latitude_deg=float(entry["lat"]),
+                    longitude_deg=float(entry["lng"]),
+                    altitude_m=float(entry.get("altitude", 0.0)),
+                    bands=bands,
+                    status=str(entry.get("status", "online")).lower(),
+                    observation_count=int(entry.get("observations", 0)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SatNOGSLoaderError(
+                f"malformed station entry {entry!r}: {exc}"
+            ) from exc
+    return stations
+
+
+def load_observations_api(payload: str) -> list[Observation]:
+    """Parse a SatNOGS ``/api/observations/`` JSON array."""
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SatNOGSLoaderError(f"invalid JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise SatNOGSLoaderError("expected a JSON array of observations")
+    observations = []
+    for entry in raw:
+        try:
+            rise = _parse_time(entry["start"])
+            set_time = _parse_time(entry["end"])
+            observations.append(
+                Observation(
+                    observation_id=int(entry["id"]),
+                    station_id=int(entry["ground_station"]),
+                    norad_id=int(entry["norad_cat_id"]),
+                    rise_time=rise,
+                    set_time=set_time,
+                    max_elevation_deg=float(entry.get("max_altitude", 0.0)),
+                    band=str(entry.get("transmitter_mode", "UHF")),
+                    snr_db=float(entry.get("snr", 0.0) or 0.0),
+                    good=str(entry.get("vetted_status", "good")) == "good",
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SatNOGSLoaderError(
+                f"malformed observation entry {entry!r}: {exc}"
+            ) from exc
+    observations.sort(key=lambda o: o.rise_time)
+    return observations
+
+
+def load_dataset(stations_payload: str, observations_payload: str,
+                 tle_text: str = "") -> SatNOGSDataset:
+    """Assemble a full dataset from API payloads plus an optional TLE file."""
+    from repro.satnogs.dataset import SatelliteRecord
+
+    stations = load_stations_api(stations_payload)
+    observations = load_observations_api(observations_payload)
+    satellites: list[SatelliteRecord] = []
+    if tle_text.strip():
+        catalog = TLECatalog.from_3le(tle_text, validate_checksum=False)
+        for satnum in catalog.satnums:
+            tle = catalog.latest(satnum)
+            line1, line2 = tle.to_lines()
+            satellites.append(
+                SatelliteRecord(
+                    norad_id=satnum,
+                    name=tle.name or f"SAT-{satnum}",
+                    tle_line1=line1,
+                    tle_line2=line2,
+                )
+            )
+    return SatNOGSDataset(stations, satellites, observations)
+
+
+def stations_to_network(
+    records: list[StationRecord],
+    tx_capable_fraction: float = 0.1,
+    min_elevation_deg: float = 5.0,
+) -> GroundStationNetwork:
+    """Convert dataset station records into a schedulable network.
+
+    Stations keep their real locations; hardware is the standard DGS node
+    (the records describe VHF/UHF amateur hardware -- the paper likewise
+    re-equips the real sites with X-band nodes for its simulations).  The
+    first ``tx_capable_fraction`` of stations (deterministic by id order)
+    are made transmit-capable.
+    """
+    if not records:
+        raise SatNOGSLoaderError("no stations to convert")
+    ordered = sorted(records, key=lambda r: r.station_id)
+    tx_count = max(1, round(len(ordered) * tx_capable_fraction))
+    stations = []
+    for index, record in enumerate(ordered):
+        stations.append(
+            GroundStation(
+                station_id=f"satnogs-{record.station_id}",
+                latitude_deg=record.latitude_deg,
+                longitude_deg=record.longitude_deg,
+                altitude_km=record.altitude_m / 1000.0,
+                capability=(
+                    StationCapability.TRANSMIT_CAPABLE
+                    if index < tx_count
+                    else StationCapability.RECEIVE_ONLY
+                ),
+                min_elevation_deg=min_elevation_deg,
+                owner=record.name,
+            )
+        )
+    return GroundStationNetwork(stations)

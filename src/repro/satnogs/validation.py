@@ -1,0 +1,131 @@
+"""Orbit-model validation against observation logs (paper Sec. 4).
+
+"We use the SatNOGS measurements to validate other aspects of our design
+like orbit calculation, observation times, satellite-ground station link
+duration, etc."  This module implements those checks: given a dataset of
+logged observations and the TLEs, compare our predicted passes against
+what stations actually recorded.
+
+Metrics:
+
+* **coverage** -- fraction of logged observations that overlap a predicted
+  pass of the same satellite over the same station;
+* **duration agreement** -- relative error between logged and predicted
+  pass durations for the matched pairs;
+* **distribution comparison** -- a two-sample Kolmogorov-Smirnov statistic
+  between logged and predicted duration distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.orbits.passes import ContactWindow, PassPredictor
+from repro.orbits.sgp4 import SGP4
+from repro.satnogs.dataset import Observation, SatNOGSDataset
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating predictions against an observation log."""
+
+    observations_checked: int
+    observations_matched: int
+    duration_errors: list[float]  # (predicted - logged) / logged
+    ks_statistic: float
+
+    @property
+    def coverage(self) -> float:
+        if self.observations_checked == 0:
+            return float("nan")
+        return self.observations_matched / self.observations_checked
+
+    @property
+    def median_duration_error(self) -> float:
+        if not self.duration_errors:
+            return float("nan")
+        return float(np.median(np.abs(self.duration_errors)))
+
+
+def ks_statistic(sample_a, sample_b) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (no p-value machinery)."""
+    a = np.sort(np.asarray(list(sample_a), dtype=float))
+    b = np.sort(np.asarray(list(sample_b), dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def _overlaps(observation: Observation, window: ContactWindow,
+              slack_s: float) -> bool:
+    slack = timedelta(seconds=slack_s)
+    return (
+        observation.rise_time - slack < window.set_time
+        and window.rise_time < observation.set_time + slack
+    )
+
+
+def validate_against_observations(
+    dataset: SatNOGSDataset,
+    max_observations: int = 100,
+    min_elevation_deg: float = 0.0,
+    slack_s: float = 120.0,
+) -> ValidationResult:
+    """Check logged observations against SGP4 pass predictions.
+
+    For each sampled observation, predict the satellite's passes over the
+    logging station around the observation interval and test for overlap.
+    ``slack_s`` absorbs clock skew and operator-configured margins in the
+    logs.  Observations of unknown satellites are skipped.
+    """
+    tles = {record.norad_id: record.tle() for record in dataset.satellites}
+    stations = {record.station_id: record for record in dataset.stations}
+    checked = 0
+    matched = 0
+    duration_errors: list[float] = []
+    logged_durations: list[float] = []
+    predicted_durations: list[float] = []
+    for observation in dataset.observations[:max_observations]:
+        tle = tles.get(observation.norad_id)
+        station = stations.get(observation.station_id)
+        if tle is None or station is None:
+            continue
+        predictor = PassPredictor(
+            SGP4(tle).propagate,
+            station.latitude_deg,
+            station.longitude_deg,
+            station.altitude_m / 1000.0,
+            min_elevation_deg=min_elevation_deg,
+        )
+        search_start = observation.rise_time - timedelta(minutes=30)
+        search_end = observation.set_time + timedelta(minutes=30)
+        windows = list(predictor.passes(search_start, search_end))
+        checked += 1
+        logged_durations.append(observation.duration_s)
+        overlapping = [
+            w for w in windows if _overlaps(observation, w, slack_s)
+        ]
+        if overlapping:
+            matched += 1
+            best = max(overlapping, key=lambda w: w.duration_seconds)
+            predicted_durations.append(best.duration_seconds)
+            if observation.duration_s > 0:
+                duration_errors.append(
+                    (best.duration_seconds - observation.duration_s)
+                    / observation.duration_s
+                )
+    ks = float("nan")
+    if logged_durations and predicted_durations:
+        ks = ks_statistic(logged_durations, predicted_durations)
+    return ValidationResult(
+        observations_checked=checked,
+        observations_matched=matched,
+        duration_errors=duration_errors,
+        ks_statistic=ks,
+    )

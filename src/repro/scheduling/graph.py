@@ -1,0 +1,220 @@
+"""Time-instant contact graph construction (paper Sec. 3.1, steps 1-2).
+
+At each scheduling instant we need the weighted bipartite graph between
+satellites and ground stations: an edge exists when the satellite is above
+the station's elevation mask and the station's constraint bitmap allows it;
+the edge weight is the value function applied to the link-model bitrate.
+
+Geometry is vectorized: station ECEF positions and ENU bases are
+precomputed once, satellite positions once per instant, and the full
+M x N elevation/range matrix comes from a handful of numpy operations --
+this is what makes minute-cadence simulation of 259 x 173 tractable in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Callable
+
+import numpy as np
+
+from repro.groundstations.network import GroundStationNetwork
+from repro.linkbudget.budget import LinkBudget
+from repro.orbits.frames import geodetic_to_ecef
+from repro.orbits.timebase import datetime_to_jd, gmst_rad
+from repro.satellites.satellite import Satellite
+from repro.scheduling.value_functions import ValueFunction
+from repro.weather.cells import WeatherSample
+
+#: Forecast oracle: (lat, lon, valid_at) -> WeatherSample, already bound to
+#: an issue time by the caller.
+ForecastFn = Callable[[float, float, datetime], WeatherSample]
+
+
+@dataclass(frozen=True)
+class ContactEdge:
+    """One feasible satellite-station link at one instant."""
+
+    satellite_index: int
+    station_index: int
+    weight: float
+    bitrate_bps: float
+    elevation_deg: float
+    range_km: float
+    #: Ideal Es/N0 threshold (dB) of the MODCOD the plan commits to; the
+    #: transmission decodes iff the truth-weather Es/N0 clears this.
+    required_esn0_db: float = -100.0
+
+
+@dataclass
+class ContactGraph:
+    """The bipartite graph for one instant."""
+
+    when: datetime
+    edges: list[ContactEdge]
+    num_satellites: int
+    num_stations: int
+
+    def edges_for_satellite(self, sat_index: int) -> list[ContactEdge]:
+        return [e for e in self.edges if e.satellite_index == sat_index]
+
+    def edges_for_station(self, gs_index: int) -> list[ContactEdge]:
+        return [e for e in self.edges if e.station_index == gs_index]
+
+    def weight_matrix(self) -> np.ndarray:
+        """Dense M x N weight matrix (0 where no edge)."""
+        mat = np.zeros((self.num_satellites, self.num_stations))
+        for e in self.edges:
+            mat[e.satellite_index, e.station_index] = e.weight
+        return mat
+
+
+class GeometryEngine:
+    """Precomputed station geometry + vectorized visibility evaluation."""
+
+    def __init__(self, network: GroundStationNetwork):
+        self.network = network
+        positions = []
+        ups = []
+        easts = []
+        norths = []
+        for st in network:
+            positions.append(
+                geodetic_to_ecef(st.latitude_deg, st.longitude_deg, st.altitude_km)
+            )
+            lat = math.radians(st.latitude_deg)
+            lon = math.radians(st.longitude_deg)
+            ups.append(
+                [
+                    math.cos(lat) * math.cos(lon),
+                    math.cos(lat) * math.sin(lon),
+                    math.sin(lat),
+                ]
+            )
+            easts.append([-math.sin(lon), math.cos(lon), 0.0])
+            norths.append(
+                [
+                    -math.sin(lat) * math.cos(lon),
+                    -math.sin(lat) * math.sin(lon),
+                    math.cos(lat),
+                ]
+            )
+        self._station_ecef = np.array(positions)  # (N, 3)
+        self._up = np.array(ups)
+        self._east = np.array(easts)
+        self._north = np.array(norths)
+        self._min_elevation = np.array([st.min_elevation_deg for st in network])
+
+    def visibility(
+        self, satellites: list[Satellite], when: datetime
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(elevation_deg, range_km, visible_mask) matrices, shape (M, N)."""
+        jd = datetime_to_jd(when)
+        theta = gmst_rad(jd)
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        rot = np.array(
+            [[cos_t, sin_t, 0.0], [-sin_t, cos_t, 0.0], [0.0, 0.0, 1.0]]
+        )
+        sat_ecef = np.empty((len(satellites), 3))
+        for i, sat in enumerate(satellites):
+            pos_teme, _ = sat.position_teme(when)
+            sat_ecef[i] = rot @ pos_teme
+        # rel[i, j] = satellite i relative to station j.
+        rel = sat_ecef[:, None, :] - self._station_ecef[None, :, :]
+        rng = np.linalg.norm(rel, axis=2)
+        up_component = np.einsum("ijk,jk->ij", rel, self._up)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            elevation = np.degrees(np.arcsin(np.clip(up_component / rng, -1.0, 1.0)))
+        visible = elevation > self._min_elevation[None, :]
+        return elevation, rng, visible
+
+
+def build_contact_graph(
+    satellites: list[Satellite],
+    network: GroundStationNetwork,
+    when: datetime,
+    value_function: ValueFunction,
+    link_budget_for: Callable[[Satellite, int], LinkBudget],
+    forecast: ForecastFn,
+    step_s: float,
+    geometry: GeometryEngine | None = None,
+    require_current_plan: bool = False,
+    plan_max_age_s: float = float("inf"),
+    station_available: Callable[[int, datetime], bool] | None = None,
+) -> ContactGraph:
+    """Construct the weighted bipartite graph at ``when``.
+
+    ``link_budget_for(sat, station_index)`` returns the budget calculator
+    binding that pair (callers usually cache these).  When
+    ``require_current_plan`` is set, satellites without a sufficiently
+    fresh uplinked plan contribute no edges to receive-only stations --
+    they do not know where to point -- but still get edges to
+    transmit-capable stations, which can retask them in real time.
+    ``station_available(station_index, when)`` lets callers exclude
+    stations the scheduler knows to be down (announced maintenance).
+    """
+    if geometry is None:
+        geometry = GeometryEngine(network)
+    unavailable: set[int] = set()
+    if station_available is not None:
+        unavailable = {
+            j for j in range(len(network)) if not station_available(j, when)
+        }
+    elevation, rng_km, visible = geometry.visibility(satellites, when)
+    edges: list[ContactEdge] = []
+    weather_cache: dict[int, WeatherSample] = {}
+    for i, sat in enumerate(satellites):
+        visible_stations = np.nonzero(visible[i])[0]
+        if visible_stations.size == 0:
+            continue
+        has_plan = sat.has_current_plan(when, plan_max_age_s)
+        for j in visible_stations:
+            if int(j) in unavailable:
+                continue
+            station = network[int(j)]
+            if not station.allows_satellite(i):
+                continue
+            if require_current_plan and not has_plan and not station.can_transmit:
+                continue
+            sample = weather_cache.get(int(j))
+            if sample is None:
+                sample = forecast(
+                    station.latitude_deg, station.longitude_deg, when
+                )
+                weather_cache[int(j)] = sample
+            budget = link_budget_for(sat, int(j))
+            result = budget.evaluate(
+                range_km=float(rng_km[i, j]),
+                elevation_deg=float(elevation[i, j]),
+                station_latitude_deg=station.latitude_deg,
+                rain_rate_mm_h=sample.rain_rate_mm_h,
+                cloud_water_kg_m2=sample.cloud_water_kg_m2,
+                station_altitude_km=station.altitude_km,
+            )
+            if not result.closes:
+                continue
+            weight = value_function.edge_value(
+                sat, station.station_id, result.bitrate_bps, when, step_s
+            )
+            if weight <= 0.0:
+                continue
+            edges.append(
+                ContactEdge(
+                    satellite_index=i,
+                    station_index=int(j),
+                    weight=weight,
+                    bitrate_bps=result.bitrate_bps,
+                    elevation_deg=float(elevation[i, j]),
+                    range_km=float(rng_km[i, j]),
+                    required_esn0_db=result.modcod.esn0_db,
+                )
+            )
+    return ContactGraph(
+        when=when,
+        edges=edges,
+        num_satellites=len(satellites),
+        num_stations=len(network),
+    )

@@ -1,0 +1,276 @@
+"""Matching algorithms for the contact graph (paper Sec. 3.1, step 3).
+
+The paper chooses **stable matching** (Gale-Shapley) so that in a
+fragmented, multi-operator network no satellite-station pair has an
+incentive to defect from the schedule, and discusses **optimal matching**
+as the alternative that maximizes global value.  Both are here, plus a
+greedy heuristic, so experiments can compare them (the ablation benches
+do).
+
+All algorithms respect station capacity (``max_concurrent``): a station
+with multiple independently steerable antennas can serve several
+satellites, the common case being capacity 1 ("most current ground
+stations can only support point to point links").
+
+Preferences on both sides derive from the same edge weight -- the value of
+the link -- exactly as the paper constructs them; ties are broken by index
+so results are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduling.graph import ContactEdge, ContactGraph
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One scheduled link: a chosen edge of the contact graph."""
+
+    satellite_index: int
+    station_index: int
+    weight: float
+    bitrate_bps: float
+    elevation_deg: float = 90.0
+    range_km: float = 0.0
+    required_esn0_db: float = -100.0
+
+    @classmethod
+    def from_edge(cls, edge: ContactEdge) -> "Assignment":
+        return cls(
+            satellite_index=edge.satellite_index,
+            station_index=edge.station_index,
+            weight=edge.weight,
+            bitrate_bps=edge.bitrate_bps,
+            elevation_deg=edge.elevation_deg,
+            range_km=edge.range_km,
+            required_esn0_db=edge.required_esn0_db,
+        )
+
+
+def _station_capacities(graph: ContactGraph,
+                        capacities: list[int] | None) -> list[int]:
+    if capacities is None:
+        return [1] * graph.num_stations
+    if len(capacities) != graph.num_stations:
+        raise ValueError(
+            f"capacities length {len(capacities)} != stations {graph.num_stations}"
+        )
+    return capacities
+
+
+def gale_shapley(graph: ContactGraph,
+                 capacities: list[int] | None = None) -> list[Assignment]:
+    """Satellite-proposing deferred acceptance (Gale-Shapley).
+
+    Satellites propose to stations in descending edge weight; a station
+    holds its best ``capacity`` proposals and rejects the rest.  Runs in
+    O(E log E) for preference sorting plus O(E) proposal rounds -- the
+    K^2 bound the paper quotes with K = max(M, N).
+
+    The result is stable: no satellite-station pair both strictly prefer
+    each other to their assignments (verified by :func:`is_stable` in
+    tests).
+    """
+    caps = _station_capacities(graph, capacities)
+    # Preference lists: per satellite, edges sorted by descending weight.
+    prefs: dict[int, list[ContactEdge]] = {}
+    for edge in graph.edges:
+        prefs.setdefault(edge.satellite_index, []).append(edge)
+    for edge_list in prefs.values():
+        edge_list.sort(key=lambda e: (-e.weight, e.station_index))
+    next_proposal = {sat: 0 for sat in prefs}
+    # Station state: currently held edges, kept sorted ascending by weight
+    # so the weakest is at index 0.
+    held: dict[int, list[ContactEdge]] = {}
+    free = list(prefs.keys())
+    while free:
+        sat = free.pop()
+        options = prefs[sat]
+        idx = next_proposal[sat]
+        if idx >= len(options):
+            continue  # exhausted all stations; stays unmatched
+        next_proposal[sat] = idx + 1
+        edge = options[idx]
+        station_held = held.setdefault(edge.station_index, [])
+        capacity = caps[edge.station_index]
+        if len(station_held) < capacity:
+            station_held.append(edge)
+            station_held.sort(key=lambda e: (e.weight, -e.satellite_index))
+        else:
+            weakest = station_held[0]
+            if (edge.weight, -edge.satellite_index) > (
+                weakest.weight, -weakest.satellite_index
+            ):
+                station_held[0] = edge
+                station_held.sort(key=lambda e: (e.weight, -e.satellite_index))
+                free.append(weakest.satellite_index)
+            else:
+                free.append(sat)
+    return [
+        Assignment.from_edge(edge)
+        for edges in held.values()
+        for edge in edges
+    ]
+
+
+def greedy_matching(graph: ContactGraph,
+                    capacities: list[int] | None = None) -> list[Assignment]:
+    """Globally greedy: repeatedly take the heaviest remaining feasible edge.
+
+    A 1/2-approximation to the optimum; cheaper and simpler than either
+    alternative, included as the ablation straw man.
+    """
+    caps = _station_capacities(graph, capacities)
+    remaining_cap = list(caps)
+    taken_sats: set[int] = set()
+    result = []
+    for edge in sorted(
+        graph.edges,
+        key=lambda e: (-e.weight, e.satellite_index, e.station_index),
+    ):
+        if edge.satellite_index in taken_sats:
+            continue
+        if remaining_cap[edge.station_index] <= 0:
+            continue
+        taken_sats.add(edge.satellite_index)
+        remaining_cap[edge.station_index] -= 1
+        result.append(Assignment.from_edge(edge))
+    return result
+
+
+def hungarian(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-cost assignment on a rectangular cost matrix.
+
+    A from-scratch Jonker-Volgenant-style shortest-augmenting-path
+    implementation, O(n^3).  Returns (row_indices, col_indices) like
+    ``scipy.optimize.linear_sum_assignment`` (against which the test suite
+    cross-checks it).  Requires rows <= cols; transpose first otherwise.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    n_rows, n_cols = cost.shape
+    transposed = False
+    if n_rows > n_cols:
+        cost = cost.T
+        n_rows, n_cols = cost.shape
+        transposed = True
+    # Potentials (dual variables) and matching arrays, 1-indexed internally.
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    match_col = np.zeros(n_cols + 1, dtype=int)  # col -> row (0 = free)
+    way = np.zeros(n_cols + 1, dtype=int)
+    for row in range(1, n_rows + 1):
+        match_col[0] = row
+        j0 = 0
+        minv = np.full(n_cols + 1, np.inf)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = np.inf
+            j1 = -1
+            for j in range(1, n_cols + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n_cols + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+    rows = []
+    cols = []
+    for j in range(1, n_cols + 1):
+        if match_col[j] != 0:
+            rows.append(match_col[j] - 1)
+            cols.append(j - 1)
+    order = np.argsort(rows)
+    row_idx = np.array(rows)[order]
+    col_idx = np.array(cols)[order]
+    if transposed:
+        return col_idx, row_idx
+    return row_idx, col_idx
+
+
+def max_weight_matching(graph: ContactGraph,
+                        capacities: list[int] | None = None) -> list[Assignment]:
+    """Optimal (maximum total value) matching via the Hungarian algorithm.
+
+    Station capacity c is handled by replicating its column c times.
+    Zero-weight pairs are non-edges; the assignment is filtered to real
+    edges afterwards, so the optimum is over the true graph.
+    """
+    caps = _station_capacities(graph, capacities)
+    if not graph.edges:
+        return []
+    # Column expansion for capacities.
+    col_station: list[int] = []
+    for j, cap in enumerate(caps):
+        col_station.extend([j] * max(0, cap))
+    if not col_station:
+        return []
+    station_cols: dict[int, list[int]] = {}
+    for col, j in enumerate(col_station):
+        station_cols.setdefault(j, []).append(col)
+    weight = np.zeros((graph.num_satellites, len(col_station)))
+    edge_lookup: dict[tuple[int, int], ContactEdge] = {}
+    for e in graph.edges:
+        for col in station_cols.get(e.station_index, []):
+            weight[e.satellite_index, col] = e.weight
+        edge_lookup[(e.satellite_index, e.station_index)] = e
+    # Maximize weight == minimize (max - weight).
+    cost = weight.max() - weight
+    rows, cols = hungarian(cost)
+    result = []
+    for r, c in zip(rows, cols):
+        if weight[r, c] <= 0.0:
+            continue  # matched to a non-edge (padding)
+        edge = edge_lookup[(int(r), col_station[int(c)])]
+        result.append(Assignment.from_edge(edge))
+    return result
+
+
+def is_stable(graph: ContactGraph, assignments: list[Assignment],
+              capacities: list[int] | None = None) -> bool:
+    """Check the stability property of a matching.
+
+    A blocking pair is an edge (s, g) where s strictly prefers g to its
+    current assignment (or is unassigned) AND g either has spare capacity
+    or holds some satellite it values strictly less than s.
+    """
+    caps = _station_capacities(graph, capacities)
+    sat_weight: dict[int, float] = {}
+    station_held: dict[int, list[float]] = {}
+    for a in assignments:
+        sat_weight[a.satellite_index] = a.weight
+        station_held.setdefault(a.station_index, []).append(a.weight)
+    for edge in graph.edges:
+        current = sat_weight.get(edge.satellite_index)
+        sat_prefers = current is None or edge.weight > current
+        if not sat_prefers:
+            continue
+        held = station_held.get(edge.station_index, [])
+        has_room = len(held) < caps[edge.station_index]
+        would_evict = any(edge.weight > w for w in held)
+        if has_room or would_evict:
+            return False
+    return True

@@ -1,0 +1,165 @@
+"""Antenna pointing schedules: from downlink plans to rotator commands.
+
+A receive-only station executes its share of the plan by driving its
+azimuth/elevation rotator along the predicted satellite track (SatNOGS
+stations do exactly this).  This module turns a
+:class:`~repro.scheduling.scheduler.DownlinkPlan` into per-station
+pointing tracks -- timed (azimuth, elevation) samples plus the Doppler
+profile the receiver should pre-tune along -- and checks rotator
+feasibility (slew-rate limits across the pass, including the
+azimuth-wrap problem on near-overhead passes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+from repro.orbits.frames import teme_to_ecef
+from repro.orbits.timebase import datetime_to_jd
+from repro.orbits.topocentric import look_angles
+from repro.satellites.satellite import Satellite
+
+
+@dataclass(frozen=True)
+class PointingSample:
+    """One rotator command point."""
+
+    when: datetime
+    azimuth_deg: float
+    elevation_deg: float
+    doppler_hz: float = 0.0
+
+
+@dataclass
+class PointingTrack:
+    """A station's track for one scheduled contact."""
+
+    station_index: int
+    satellite_index: int
+    samples: list[PointingSample] = field(default_factory=list)
+
+    @property
+    def start(self) -> datetime:
+        return self.samples[0].when
+
+    @property
+    def end(self) -> datetime:
+        return self.samples[-1].when
+
+    def max_azimuth_rate_deg_s(self) -> float:
+        """Peak azimuth slew rate, unwrapping the 0/360 crossing."""
+        peak = 0.0
+        for a, b in zip(self.samples, self.samples[1:]):
+            dt = (b.when - a.when).total_seconds()
+            if dt <= 0:
+                continue
+            delta = (b.azimuth_deg - a.azimuth_deg + 540.0) % 360.0 - 180.0
+            peak = max(peak, abs(delta) / dt)
+        return peak
+
+    def max_elevation_rate_deg_s(self) -> float:
+        peak = 0.0
+        for a, b in zip(self.samples, self.samples[1:]):
+            dt = (b.when - a.when).total_seconds()
+            if dt <= 0:
+                continue
+            peak = max(peak, abs(b.elevation_deg - a.elevation_deg) / dt)
+        return peak
+
+    def feasible_for(self, max_rate_deg_s: float) -> bool:
+        """Whether a rotator with this slew limit can follow the track."""
+        if max_rate_deg_s <= 0:
+            raise ValueError("slew limit must be positive")
+        return (self.max_azimuth_rate_deg_s() <= max_rate_deg_s
+                and self.max_elevation_rate_deg_s() <= max_rate_deg_s)
+
+
+def pointing_tracks(
+    plan,
+    satellites: list[Satellite],
+    network,
+    sample_s: float = 10.0,
+    carrier_hz: float | None = None,
+) -> dict[int, list[PointingTrack]]:
+    """Per-station pointing tracks for every contact in a plan.
+
+    Consecutive plan entries of the same (satellite, station) pair merge
+    into one track, sampled every ``sample_s``.  With ``carrier_hz`` set,
+    each sample carries the predicted Doppler shift for receiver
+    pre-tuning.
+    """
+    if sample_s <= 0:
+        raise ValueError("sample interval must be positive")
+    # Collect contiguous contact intervals per (station, satellite).
+    intervals: list[tuple[int, int, datetime, datetime]] = []
+    for sat_index, entries in sorted(plan.entries.items()):
+        run_start: datetime | None = None
+        run_station = -1
+        previous_end: datetime | None = None
+        for entry in entries:
+            entry_end = entry.start + timedelta(seconds=plan_step_s(plan))
+            if (run_start is not None and entry.station_index == run_station
+                    and previous_end == entry.start):
+                previous_end = entry_end
+                continue
+            if run_start is not None:
+                intervals.append((run_station, sat_index, run_start,
+                                  previous_end))
+            run_start = entry.start
+            run_station = entry.station_index
+            previous_end = entry_end
+        if run_start is not None:
+            intervals.append((run_station, sat_index, run_start, previous_end))
+
+    tracks: dict[int, list[PointingTrack]] = {}
+    for station_index, sat_index, start, end in intervals:
+        station = network[station_index]
+        sat = satellites[sat_index]
+        track = PointingTrack(station_index, sat_index)
+        duration = (end - start).total_seconds()
+        count = max(2, int(duration // sample_s) + 1)
+        for k in range(count):
+            when = start + timedelta(seconds=min(k * sample_s, duration))
+            pos_teme, vel_teme = sat.position_teme(when)
+            pos_ecef, vel_ecef = teme_to_ecef(
+                pos_teme, datetime_to_jd(when), vel_teme
+            )
+            topo = look_angles(
+                station.latitude_deg, station.longitude_deg,
+                station.altitude_km, pos_ecef, vel_ecef,
+            )
+            doppler = 0.0
+            if carrier_hz is not None:
+                doppler = topo.doppler_shift_hz(carrier_hz)
+            track.samples.append(PointingSample(
+                when, topo.azimuth_deg, topo.elevation_deg, doppler,
+            ))
+        tracks.setdefault(station_index, []).append(track)
+    for station_tracks in tracks.values():
+        station_tracks.sort(key=lambda t: t.start)
+    return tracks
+
+
+def plan_step_s(plan) -> float:
+    """Infer the plan's step from its entry grid (fallback 60 s)."""
+    starts = sorted(
+        entry.start
+        for entries in plan.entries.values()
+        for entry in entries
+    )
+    deltas = [
+        (b - a).total_seconds() for a, b in zip(starts, starts[1:])
+        if b > a
+    ]
+    return min(deltas) if deltas else 60.0
+
+
+def rotator_conflicts(tracks: list[PointingTrack]) -> list[tuple[PointingTrack, PointingTrack]]:
+    """Overlapping tracks on one station (should be empty for capacity 1)."""
+    conflicts = []
+    for a, b in zip(tracks, tracks[1:]):
+        if a.end > b.start:
+            conflicts.append((a, b))
+    return conflicts

@@ -1,0 +1,140 @@
+"""Value functions Phi(x, t) weighting satellite-station edges.
+
+Sec. 3.1: "for any subset x of X_i and time t elapsed since the capture of
+the data, Phi(x, t) denotes the value of transmitting that data to Earth".
+The paper gives two canonical instances -- Phi = t to minimize latency and
+Phi = |x| to maximize throughput -- and sketches SLA/geography weighting
+and bidding.  All four are here, plus composition.
+
+A value function sees the satellite's queue head (what would actually be
+sent), the predicted link bitrate, and the step duration, and returns the
+edge weight for the matching stage.  Higher = more valuable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Protocol, runtime_checkable
+
+from repro.satellites.satellite import Satellite
+
+
+@runtime_checkable
+class ValueFunction(Protocol):
+    """Edge-weight oracle for the bipartite matching."""
+
+    def edge_value(
+        self,
+        satellite: Satellite,
+        station_id: str,
+        bitrate_bps: float,
+        now: datetime,
+        step_s: float,
+    ) -> float:
+        """Value of satellite->station transmitting for one step at this rate."""
+        ...
+
+
+@dataclass(frozen=True)
+class LatencyValue:
+    """Phi(x, t) = t, summed over the data x the link can move this step.
+
+    Per the paper (Sec. 3.2): "we compute the value corresponding to the
+    data that the satellite can send on that link using Phi".  With
+    Phi = t, that value is the total age of the queue prefix the link's
+    rate can drain during the step -- so both staleness and link rate
+    matter, and the matching drains old data over the fastest feasible
+    links.
+    """
+
+    #: Floor each chunk's age at one step so freshly captured data still
+    #: attracts downlink capacity.
+    min_age_factor: float = 1.0
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        if bitrate_bps <= 0.0:
+            return 0.0
+        value = satellite.storage.prefix_age_value(bitrate_bps * step_s, now)
+        if value <= 0.0 and satellite.storage.backlog_bits > 0.0:
+            # All-new data: value by deliverable volume at a one-step age.
+            deliverable = min(bitrate_bps * step_s, satellite.storage.backlog_bits)
+            chunk = satellite.storage.peek_sendable()
+            size = chunk.size_bits if chunk is not None else deliverable
+            value = self.min_age_factor * step_s * deliverable / max(size, 1.0)
+        return value
+
+
+@dataclass(frozen=True)
+class ThroughputValue:
+    """Phi(x, t) = |x|: the bits this link can move during the step."""
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        if bitrate_bps <= 0.0:
+            return 0.0
+        sendable = satellite.storage.backlog_bits
+        if sendable <= 0.0:
+            return 0.0
+        return min(bitrate_bps * step_s, sendable)
+
+
+@dataclass(frozen=True)
+class PriorityValue:
+    """Operator priorities: SLA tiers and geographic urgency.
+
+    Weighs the queue head's ``priority`` field (e.g. disaster imagery
+    tagged high) and an optional per-region multiplier, on top of age, so
+    urgent data preempts stale-but-ordinary data.
+    """
+
+    region_multipliers: dict[str, float] = field(default_factory=dict)
+    priority_weight: float = 3600.0  # 1 priority unit == 1 hour of age
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        if bitrate_bps <= 0.0:
+            return 0.0
+        head = satellite.storage.peek_sendable()
+        if head is None:
+            return 0.0
+        age_s = max(step_s, (now - head.capture_time).total_seconds())
+        multiplier = self.region_multipliers.get(head.region, 1.0)
+        return multiplier * (age_s + self.priority_weight * head.priority)
+
+
+@dataclass(frozen=True)
+class AuctionValue:
+    """Bidding for station time (Sec. 3.1: "bidding for priority access").
+
+    Each satellite operator posts a bid per station (or a default); the
+    edge weight is bid x deliverable bits, i.e. what the operator would
+    pay for this step.  Stations then naturally prefer the highest-paying
+    feasible satellite under stable matching.
+    """
+
+    bids: dict[tuple[str, str], float] = field(default_factory=dict)
+    default_bid: float = 1.0
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        if bitrate_bps <= 0.0 or satellite.storage.backlog_bits <= 0.0:
+            return 0.0
+        bid = self.bids.get((satellite.satellite_id, station_id), self.default_bid)
+        deliverable = min(bitrate_bps * step_s, satellite.storage.backlog_bits)
+        return bid * deliverable
+
+
+@dataclass(frozen=True)
+class CompositeValue:
+    """Weighted sum of value functions (e.g. 0.7*latency + 0.3*throughput)."""
+
+    components: tuple[tuple[ValueFunction, float], ...]
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        return sum(
+            weight * vf.edge_value(satellite, station_id, bitrate_bps, now, step_s)
+            for vf, weight in self.components
+        )

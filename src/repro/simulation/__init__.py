@@ -1,0 +1,25 @@
+"""Discrete-time data-transfer simulation (the paper's evaluation engine).
+
+Ties everything together: at each step the scheduler matches satellites to
+stations, the engine transfers bits at the *truth-weather* rate (the plan
+was made on forecasts -- over-predicted rates lose the transmission, the
+core risk of ack-free downlink), receipts flow to the backend over the
+Internet, and transmit-capable contacts upload plans and collated acks.
+
+Outputs are the paper's metrics: per-chunk capture-to-delivery latency,
+end-of-run per-satellite backlog, and totals.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.faults import Outage, OutageSchedule
+from repro.simulation.metrics import MetricsCollector, SimulationReport
+from repro.simulation.engine import Simulation
+
+__all__ = [
+    "SimulationConfig",
+    "MetricsCollector",
+    "SimulationReport",
+    "Simulation",
+    "Outage",
+    "OutageSchedule",
+]

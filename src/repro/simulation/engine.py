@@ -1,0 +1,402 @@
+"""The discrete-time data-transfer simulation engine.
+
+Each step (default 60 s, the cadence at which the paper re-runs stable
+matching):
+
+1. satellites capture imagery (100 GB/day default);
+2. in-flight Internet receipts land at the backend;
+3. the scheduler matches the contact graph (on forecast weather when
+   configured, otherwise truth);
+4. matched satellites transmit at the *planned* rate -- if truth weather
+   is worse than the forecast the ground cannot decode and the bits are
+   lost (ack-free downlink's failure mode);
+5. successfully decoded chunk completions become receipts to the backend;
+6. transmit-capable contacts upload a plan timestamp and the collated ack
+   batch; stale unacked chunks are requeued for retransmission.
+
+The engine mutates the satellites' storage in place; run a fresh fleet
+per experiment variant (``repro.core`` scenario helpers do this).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.groundstations.network import GroundStationNetwork
+from repro.network.backend import BackendCollator
+from repro.network.messages import ChunkReceiptMessage
+from repro.satellites.satellite import Satellite
+from repro.scheduling.matching import Assignment
+from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.value_functions import ValueFunction
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import GB_TO_BITS, MetricsCollector, SimulationReport
+from repro.weather.forecast import ForecastProvider
+from repro.weather.provider import ClearSkyProvider, WeatherProvider
+
+
+class Simulation:
+    """One configured data-transfer simulation."""
+
+    def __init__(
+        self,
+        satellites: list[Satellite],
+        network: GroundStationNetwork,
+        value_function: ValueFunction,
+        config: SimulationConfig,
+        truth_weather: WeatherProvider | None = None,
+        forecast: ForecastProvider | None = None,
+        capacities: list[int] | None = None,
+        outages: "OutageSchedule | None" = None,
+        outages_announced: bool = False,
+    ):
+        self.satellites = satellites
+        self.network = network
+        self.config = config
+        self.outages = outages
+        #: Announced outages (maintenance) are known to the scheduler, so
+        #: it routes around them; unannounced failures waste the pass.
+        self.outages_announced = outages_announced
+        self.truth_weather = truth_weather or ClearSkyProvider()
+        if config.use_forecast and forecast is None:
+            forecast = ForecastProvider(self.truth_weather)
+        self.forecast = forecast
+        scheduler_weather = forecast if config.use_forecast else self.truth_weather
+        station_available = None
+        if outages is not None and outages_announced:
+            def station_available(index: int, when) -> bool:
+                return not outages.is_down(network[index].station_id, when)
+        self.scheduler = DownlinkScheduler(
+            satellites=satellites,
+            network=network,
+            value_function=value_function,
+            matcher=config.matcher,
+            weather=scheduler_weather,
+            step_s=config.step_s,
+            capacities=capacities,
+            acm_margin_db=config.acm_margin_db,
+            require_current_plan=config.enforce_plan_distribution,
+            plan_max_age_s=config.plan_max_age_s,
+            station_available=station_available,
+        )
+        self.backend = BackendCollator()
+        self.metrics = MetricsCollector()
+        from repro.simulation.events import EventLog
+
+        self.events = EventLog() if config.record_events else None
+        self._power_enabled = any(s.power is not None for s in satellites)
+        self._sunlit: dict[int, bool] = {}
+        self._transmitted_this_step: set[int] = set()
+        self.power_blocked_steps = 0
+        self._previous_links: dict[int, int] = {}
+        #: Count of satellite->station link changes across the whole run
+        #: (antenna slews the network performed); exposed for churn
+        #: analysis of matching policies.
+        self.link_changes = 0
+        # Planned-execution state (config.execution_mode == "planned").
+        self._latest_plan = None  # what stations follow (Internet-fresh)
+        self._satellite_plans: dict[int, object] = {}  # what satellites hold
+        self._next_plan_issue = config.start
+        #: Steps where a satellite transmitted per its (stale) plan at a
+        #: station that was no longer pointing at it.
+        self.plan_mismatch_steps = 0
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> SimulationReport:
+        """Execute the configured run and return the report."""
+        cfg = self.config
+        last_forecast_issue = cfg.start
+        now = cfg.start
+        for k in range(cfg.num_steps):
+            now = cfg.start + timedelta(seconds=k * cfg.step_s)
+            self._generate(now)
+            self.backend.advance(now)
+            if cfg.use_forecast and (
+                (now - last_forecast_issue).total_seconds() >= cfg.forecast_refresh_s
+            ):
+                last_forecast_issue = now
+            self._transmitted_this_step = set()
+            if cfg.execution_mode == "planned":
+                executed = self._planned_step(now)
+            else:
+                step = self.scheduler.schedule_step(
+                    now,
+                    forecast_issued_at=(
+                        last_forecast_issue if cfg.use_forecast else None
+                    ),
+                )
+                for assignment in step.assignments:
+                    self._execute_assignment(assignment, now)
+                executed = {
+                    a.satellite_index: a.station_index
+                    for a in step.assignments
+                }
+            if self._power_enabled:
+                self._update_power(now, k)
+            self.metrics.record_step(len(executed))
+            self._record_churn(executed)
+            self._previous_links = executed
+            if cfg.snapshot_every_steps and k % cfg.snapshot_every_steps == 0:
+                self.metrics.record_snapshot(
+                    now,
+                    {s.satellite_id: s.storage.true_backlog_bits / GB_TO_BITS
+                     for s in self.satellites},
+                    {s.satellite_id: s.storage.stored_bits / GB_TO_BITS
+                     for s in self.satellites},
+                )
+        # Land any receipts still in flight so totals are conserved.
+        self.backend.advance(now + timedelta(seconds=3600.0))
+        return self.metrics.finalize(
+            final_backlog_gb={
+                s.satellite_id: s.storage.true_backlog_bits / GB_TO_BITS
+                for s in self.satellites
+            },
+            final_unacked_gb={
+                s.satellite_id: s.storage.unacked_bits / GB_TO_BITS
+                for s in self.satellites
+            },
+        )
+
+    # -- step pieces --------------------------------------------------------------
+
+    def _generate(self, now: datetime) -> None:
+        # Capture covers the interval that just elapsed, (now - step, now],
+        # so no chunk's capture time is in the future of the transmissions
+        # happening at ``now``.
+        interval_start = now - timedelta(seconds=self.config.step_s)
+        for sat in self.satellites:
+            chunks = sat.generate_data(interval_start, self.config.step_s)
+            for chunk in chunks:
+                self.metrics.record_generation(chunk.size_bits)
+
+    def _execute_assignment(self, assignment, now: datetime) -> None:
+        sat = self.satellites[assignment.satellite_index]
+        station = self.network[assignment.station_index]
+        if self.outages is not None and self.outages.is_down(
+            station.station_id, now
+        ):
+            # The station is dark.  With unannounced failures the satellite
+            # still transmits per plan and every bit is wasted; announced
+            # outages were already filtered out of the contact graph.
+            bits_budget = assignment.bitrate_bps * self.config.step_s
+            sent, _completed = sat.storage.transmit(
+                bits_budget, now, decoded=False
+            )
+            self.metrics.record_lost_transmission(sent)
+            return
+        if sat.power is not None and not sat.power.can_transmit():
+            # Flight rules: battery too low to power the radio this pass.
+            self.power_blocked_steps += 1
+            return
+        self._transmitted_this_step.add(assignment.satellite_index)
+        decoded = True
+        # Antenna slew/acquisition: a station that just switched to this
+        # satellite loses part of the step before bits flow.
+        usable_fraction = 1.0
+        if self.config.acquisition_overhead_s > 0.0:
+            previously = self._previous_links.get(assignment.satellite_index)
+            if previously != assignment.station_index:
+                usable_fraction = 1.0 - (
+                    self.config.acquisition_overhead_s / self.config.step_s
+                )
+        if self.config.use_forecast:
+            decoded = self._decodes_under_truth(assignment, sat, station, now)
+        bits_budget = assignment.bitrate_bps * self.config.step_s * usable_fraction
+        sent, completed = sat.storage.transmit(bits_budget, now, decoded=decoded)
+        if self.events is not None and sent > 0:
+            self.events.record(
+                now, "transmission", sat.satellite_id, station.station_id,
+                bits=sent, bitrate_bps=assignment.bitrate_bps, decoded=decoded,
+            )
+        if decoded:
+            for chunk in completed:
+                latency = (now - chunk.capture_time).total_seconds()
+                self.metrics.record_delivery(
+                    sat.satellite_id, latency, chunk.size_bits, station.station_id
+                )
+                if self.events is not None:
+                    self.events.record(
+                        now, "delivery", sat.satellite_id, station.station_id,
+                        chunk_id=chunk.chunk_id, latency_s=latency,
+                        bits=chunk.size_bits,
+                    )
+                self.backend.submit_receipt(
+                    ChunkReceiptMessage(
+                        station_id=station.station_id,
+                        satellite_id=sat.satellite_id,
+                        chunk_id=chunk.chunk_id,
+                        received_at=now,
+                        size_bits=chunk.size_bits,
+                    ),
+                    backhaul_latency_s=station.backhaul_latency_s,
+                )
+        else:
+            self.metrics.record_lost_transmission(sent)
+            if self.events is not None and sent > 0:
+                self.events.record(
+                    now, "loss", sat.satellite_id, station.station_id,
+                    bits=sent,
+                )
+        if station.can_transmit:
+            self._tx_contact(sat, now, station.station_id)
+
+    def _decodes_under_truth(self, assignment, sat: Satellite,
+                             station, now: datetime) -> bool:
+        """Would the planned MODCOD decode under the actual atmosphere?"""
+        truth = self.truth_weather.sample(
+            station.latitude_deg, station.longitude_deg, now
+        )
+        budget = self.scheduler._link_budget_for(sat, assignment.station_index)
+        result = budget.evaluate(
+            range_km=assignment.range_km,
+            elevation_deg=assignment.elevation_deg,
+            station_latitude_deg=station.latitude_deg,
+            rain_rate_mm_h=truth.rain_rate_mm_h,
+            cloud_water_kg_m2=truth.cloud_water_kg_m2,
+            station_altitude_km=station.altitude_km,
+        )
+        return result.esn0_db >= assignment.required_esn0_db
+
+    # -- planned execution (Sec. 3's operational model) ---------------------
+
+    def _planned_step(self, now: datetime) -> dict[int, int]:
+        """One step where actors follow plans instead of live matching.
+
+        Stations obey the backend's newest plan; each satellite obeys the
+        plan it last received at a tx-capable contact.  Returns the
+        executed satellite->station links.
+        """
+        from datetime import timedelta as _td
+
+        cfg = self.config
+        if self._latest_plan is None or now >= self._next_plan_issue:
+            self._latest_plan = self.scheduler.build_plan(
+                now, cfg.plan_horizon_s
+            )
+            self._next_plan_issue = now + _td(seconds=cfg.plan_refresh_s)
+        station_targets = self._latest_plan.station_targets(now)
+        executed: dict[int, int] = {}
+        for sat_index, sat in enumerate(self.satellites):
+            plan = self._satellite_plans.get(sat_index)
+            if plan is None:
+                continue
+            entry = plan.entry_at(sat_index, now)
+            if entry is None:
+                continue
+            station = self.network[entry.station_index]
+            pointing_at = station_targets.get(entry.station_index)
+            aligned = pointing_at == sat_index
+            if not aligned:
+                # The station moved on (newer plan); the satellite's
+                # transmission falls on a dish pointed elsewhere.
+                self.plan_mismatch_steps += 1
+            assignment = Assignment(
+                satellite_index=sat_index,
+                station_index=entry.station_index,
+                weight=0.0,
+                bitrate_bps=entry.expected_bitrate_bps,
+                elevation_deg=entry.elevation_deg,
+                range_km=entry.range_km,
+                required_esn0_db=entry.required_esn0_db,
+            )
+            if aligned:
+                self._execute_assignment(assignment, now)
+            else:
+                sent, _ = sat.storage.transmit(
+                    entry.expected_bitrate_bps * cfg.step_s, now,
+                    decoded=False,
+                )
+                self.metrics.record_lost_transmission(sent)
+            executed[sat_index] = entry.station_index
+        self._bootstrap_planless(now, executed)
+        return executed
+
+    def _bootstrap_planless(self, now: datetime,
+                            executed: dict[int, int]) -> None:
+        """Give plans to satellites passing tx-capable stations.
+
+        A satellite whose executed contact this step was tx-capable, or a
+        plan-less satellite merely visible from an idle tx-capable
+        station, receives the backend's newest plan (plus acks).
+        """
+        tx_indices = [
+            j for j, st in enumerate(self.network) if st.can_transmit
+        ]
+        if not tx_indices:
+            return
+        # Contacted a tx station per plan: refresh during the same pass
+        # (the ack/plan upload itself already ran in _execute_assignment).
+        for sat_index, station_index in executed.items():
+            if self.network[station_index].can_transmit:
+                self._satellite_plans[sat_index] = self._latest_plan
+        # Plan-less satellites: any visible tx station can bootstrap them
+        # (uplink is narrowband and does not occupy the downlink dish).
+        planless = [
+            i for i, _s in enumerate(self.satellites)
+            if i not in self._satellite_plans
+        ]
+        if not planless:
+            return
+        elevation, _rng, visible = self.scheduler._geometry.visibility(
+            self.satellites, now
+        )
+        for sat_index in planless:
+            for j in tx_indices:
+                if visible[sat_index, j]:
+                    self._satellite_plans[sat_index] = self._latest_plan
+                    self._tx_contact(self.satellites[sat_index], now,
+                                     self.network[j].station_id)
+                    break
+
+    def _record_churn(self, current_links: dict[int, int]) -> None:
+        """Count satellite->station link changes relative to the last step."""
+        for sat_index, station_index in current_links.items():
+            if self._previous_links.get(sat_index) != station_index:
+                self.link_changes += 1
+
+    def _update_power(self, now: datetime, step_index: int) -> None:
+        """Integrate every powered satellite's energy balance for one step.
+
+        Eclipse state is re-evaluated every 5th step (LEO shadow
+        transitions take minutes; the cache keeps the per-step cost to a
+        handful of eclipse tests).
+        """
+        from repro.orbits.sun import is_eclipsed
+
+        refresh = step_index % 5 == 0 or not self._sunlit
+        for index, sat in enumerate(self.satellites):
+            if sat.power is None:
+                continue
+            if refresh:
+                pos, _vel = sat.position_teme(now)
+                self._sunlit[index] = not is_eclipsed(pos, now)
+            sat.power.step(
+                self.config.step_s,
+                sunlit=self._sunlit.get(index, True),
+                transmitting=index in self._transmitted_this_step,
+            )
+
+    def _tx_contact(self, sat: Satellite, now: datetime,
+                    station_id: str = "") -> None:
+        """Plan upload + delayed-ack delivery during a tx-capable contact."""
+        sat.receive_plan(now)
+        if self.events is not None:
+            self.events.record(now, "plan_upload", sat.satellite_id, station_id)
+        batch = self.backend.issue_ack_batch(sat.satellite_id, now)
+        if batch is not None:
+            sat.storage.acknowledge(batch.chunk_ids, now)
+            if self.events is not None:
+                self.events.record(
+                    now, "ack_batch", sat.satellite_id, station_id,
+                    chunk_count=len(batch.chunk_ids),
+                )
+        cutoff = now - timedelta(seconds=self.config.ack_timeout_s)
+        requeued = sat.storage.requeue_stale_unacked(cutoff)
+        if requeued:
+            self.metrics.record_requeue(len(requeued))
+            if self.events is not None:
+                self.events.record(
+                    now, "requeue", sat.satellite_id, station_id,
+                    chunk_count=len(requeued),
+                )

@@ -1,0 +1,93 @@
+"""Structured event log for simulation runs.
+
+The metrics collector aggregates; the event log *narrates*.  When enabled
+(``SimulationConfig.record_events``), the engine appends one event per
+transmission, delivery, plan upload, ack batch, and requeue, giving
+post-hoc analysis and debugging the full story of a run ("why did
+satellite 17's chunk sit for four hours?").  Events serialize to JSON
+Lines for offline tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event."""
+
+    when: datetime
+    kind: str  # transmission | delivery | plan_upload | ack_batch | requeue | loss
+    satellite_id: str
+    station_id: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "when": self.when.isoformat(),
+                "kind": self.kind,
+                "satellite_id": self.satellite_id,
+                "station_id": self.station_id,
+                **self.data,
+            },
+            sort_keys=True,
+        )
+
+
+class EventLog:
+    """Append-only event store with filtered iteration."""
+
+    #: Recognized event kinds; appends of anything else are a bug.
+    KINDS = frozenset(
+        {"transmission", "delivery", "plan_upload", "ack_batch",
+         "requeue", "loss"}
+    )
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def append(self, event: Event) -> None:
+        if event.kind not in self.KINDS:
+            raise ValueError(f"unknown event kind {event.kind!r}")
+        self._events.append(event)
+
+    def record(self, when: datetime, kind: str, satellite_id: str,
+               station_id: str = "", **data) -> None:
+        self.append(Event(when, kind, satellite_id, station_id, data))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def for_satellite(self, satellite_id: str) -> list[Event]:
+        return [e for e in self._events if e.satellite_id == satellite_id]
+
+    def between(self, start: datetime, end: datetime) -> list[Event]:
+        return [e for e in self._events if start <= e.when < end]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self._events)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        log = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            when = datetime.fromisoformat(raw.pop("when"))
+            kind = raw.pop("kind")
+            satellite_id = raw.pop("satellite_id")
+            station_id = raw.pop("station_id", "")
+            log.append(Event(when, kind, satellite_id, station_id, raw))
+        return log

@@ -1,0 +1,147 @@
+"""Metrics collection and the end-of-run report.
+
+The paper's evaluation plots CDFs of two quantities -- per-satellite
+*backlog* (GB not delivered at the end of the day, Fig. 3a) and per-chunk
+*latency* (minutes from capture to ground reception, Fig. 3b/3c) -- plus
+aggregate transfer totals ("over 250 TB").  The collector gathers exactly
+those, with time-series snapshots for debugging and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+import numpy as np
+
+GB_TO_BITS = 8e9
+
+
+@dataclass
+class BacklogSnapshot:
+    """Per-satellite backlog and recorder occupancy at one instant.
+
+    ``storage_gb`` includes delivered-but-unacked retention -- the ack-free
+    design's storage cost (paper Sec. 3.3).
+    """
+
+    when: datetime
+    backlog_gb: dict[str, float]
+    storage_gb: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SimulationReport:
+    """Everything a finished run reports."""
+
+    latency_s: dict[str, list[float]]  # satellite -> delivered-chunk latencies
+    final_backlog_gb: dict[str, float]  # ground-truth undelivered at end
+    final_unacked_gb: dict[str, float]
+    delivered_bits: float
+    generated_bits: float
+    lost_transmission_bits: float
+    retransmitted_chunks: int
+    matched_step_counts: list[int]
+    snapshots: list[BacklogSnapshot]
+    station_bits: dict[str, float]  # station -> bits received
+    satellite_bits: dict[str, float]  # satellite -> bits delivered
+
+    # -- latency --------------------------------------------------------------
+
+    def all_latencies_s(self) -> np.ndarray:
+        values = [v for per_sat in self.latency_s.values() for v in per_sat]
+        return np.array(sorted(values)) if values else np.array([])
+
+    def latency_percentiles_min(self, percentiles=(50, 90, 99)) -> dict[int, float]:
+        lat = self.all_latencies_s()
+        if lat.size == 0:
+            return {p: float("nan") for p in percentiles}
+        return {p: float(np.percentile(lat, p)) / 60.0 for p in percentiles}
+
+    def mean_latency_min(self) -> float:
+        lat = self.all_latencies_s()
+        return float(lat.mean()) / 60.0 if lat.size else float("nan")
+
+    # -- backlog --------------------------------------------------------------
+
+    def backlog_values_gb(self) -> np.ndarray:
+        return np.array(sorted(self.final_backlog_gb.values()))
+
+    def backlog_percentiles_gb(self, percentiles=(50, 90, 99)) -> dict[int, float]:
+        values = self.backlog_values_gb()
+        if values.size == 0:
+            return {p: float("nan") for p in percentiles}
+        return {p: float(np.percentile(values, p)) for p in percentiles}
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def delivered_tb(self) -> float:
+        return self.delivered_bits / 8e12
+
+    @property
+    def delivery_fraction(self) -> float:
+        if self.generated_bits == 0:
+            return 1.0
+        return self.delivered_bits / self.generated_bits
+
+
+class MetricsCollector:
+    """Accumulates metrics during a run; finalized into a report."""
+
+    def __init__(self) -> None:
+        self.latency_s: dict[str, list[float]] = {}
+        self.delivered_bits = 0.0
+        self.generated_bits = 0.0
+        self.lost_transmission_bits = 0.0
+        self.retransmitted_chunks = 0
+        self.matched_step_counts: list[int] = []
+        self.snapshots: list[BacklogSnapshot] = []
+        self.station_bits: dict[str, float] = {}
+        self.satellite_bits: dict[str, float] = {}
+
+    def record_generation(self, bits: float) -> None:
+        self.generated_bits += bits
+
+    def record_delivery(self, satellite_id: str, latency_s: float,
+                        bits: float, station_id: str) -> None:
+        if latency_s < 0:
+            raise ValueError(f"negative latency: {latency_s}")
+        self.latency_s.setdefault(satellite_id, []).append(latency_s)
+        self.delivered_bits += bits
+        self.station_bits[station_id] = self.station_bits.get(station_id, 0.0) + bits
+        self.satellite_bits[satellite_id] = (
+            self.satellite_bits.get(satellite_id, 0.0) + bits
+        )
+
+    def record_lost_transmission(self, bits: float) -> None:
+        self.lost_transmission_bits += bits
+
+    def record_requeue(self, count: int) -> None:
+        self.retransmitted_chunks += count
+
+    def record_step(self, matched: int) -> None:
+        self.matched_step_counts.append(matched)
+
+    def record_snapshot(self, when: datetime,
+                        backlog_gb: dict[str, float],
+                        storage_gb: dict[str, float] | None = None) -> None:
+        self.snapshots.append(
+            BacklogSnapshot(when, dict(backlog_gb), dict(storage_gb or {}))
+        )
+
+    def finalize(self, final_backlog_gb: dict[str, float],
+                 final_unacked_gb: dict[str, float]) -> SimulationReport:
+        return SimulationReport(
+            latency_s={k: list(v) for k, v in self.latency_s.items()},
+            final_backlog_gb=dict(final_backlog_gb),
+            final_unacked_gb=dict(final_unacked_gb),
+            delivered_bits=self.delivered_bits,
+            generated_bits=self.generated_bits,
+            lost_transmission_bits=self.lost_transmission_bits,
+            retransmitted_chunks=self.retransmitted_chunks,
+            matched_step_counts=list(self.matched_step_counts),
+            snapshots=list(self.snapshots),
+            station_bits=dict(self.station_bits),
+            satellite_bits=dict(self.satellite_bits),
+        )

@@ -1,0 +1,42 @@
+"""Synthetic weather substrate (the paper's Dark Sky API substitute).
+
+The paper pulls per-station weather from the Dark Sky API [7]; that service
+is gone and was never redistributable, so this package generates a
+*synthetic but statistically honest* global weather process:
+
+* :mod:`repro.weather.cells` -- rain is produced by moving, finite-lifetime
+  rain cells (mesoscale systems) advected zonally, giving the real
+  spatio-temporal correlation structure that makes DGS's geographic
+  diversity argument meaningful: weather is correlated over ~hundreds of km
+  and a few hours, and *de*-correlated across continents.
+* :mod:`repro.weather.climate` -- latitude-banded climate zones set cell
+  density and intensity (tropics rain more than poles).
+* :mod:`repro.weather.forecast` -- the scheduler never sees truth; it sees
+  a forecast whose error grows with lead time, exercising the same
+  prediction-based code path the paper describes.
+
+Everything is deterministic given a seed.
+"""
+
+from repro.weather.cells import RainCellField, WeatherSample
+from repro.weather.climate import ClimateZone, climate_zone_for_latitude
+from repro.weather.forecast import ForecastProvider, PerfectForecast
+from repro.weather.provider import (
+    ClearSkyProvider,
+    ConstantWeatherProvider,
+    QuantizedWeatherCache,
+    WeatherProvider,
+)
+
+__all__ = [
+    "WeatherSample",
+    "RainCellField",
+    "ClimateZone",
+    "climate_zone_for_latitude",
+    "ForecastProvider",
+    "PerfectForecast",
+    "WeatherProvider",
+    "ClearSkyProvider",
+    "ConstantWeatherProvider",
+    "QuantizedWeatherCache",
+]

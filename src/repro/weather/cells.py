@@ -1,0 +1,251 @@
+"""Moving-rain-cell weather field: deterministic, spatially correlated rain.
+
+The generator seeds rain cells per 6-hour epoch and latitude band with a
+Poisson count matching the band's climate-zone density, then advects each
+cell zonally over its lifetime.  Rain rate at a point is the sum of
+Gaussian footprints of the active cells; cloud liquid water follows the
+cells (anvil, at twice the rain radius) plus a smooth harmonic stratus
+background.  Every number derives from ``(seed, epoch index, band index)``
+so two processes with the same seed see the identical atmosphere.
+
+Per-station queries are fast because cells are pre-filtered per
+(station, epoch): only cells whose advection track passes near the station
+are evaluated in the inner loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.weather.climate import ZONE_BANDS, ClimateZone
+
+_EARTH_RADIUS_KM = 6371.0
+_EPOCH_HOURS = 6.0
+_ORIGIN = datetime(2000, 1, 1)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two geodetic points, km."""
+    p1, p2 = math.radians(lat1), math.radians(lat2)
+    dp = p2 - p1
+    dl = math.radians(lon2 - lon1)
+    a = math.sin(dp / 2.0) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dl / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True)
+class WeatherSample:
+    """Point weather at one location and instant."""
+
+    rain_rate_mm_h: float
+    cloud_water_kg_m2: float
+    temperature_k: float = 283.0
+
+    @property
+    def is_raining(self) -> bool:
+        return self.rain_rate_mm_h > 0.1
+
+
+@dataclass(frozen=True)
+class RainCell:
+    """One advecting rain cell."""
+
+    birth_lat_deg: float
+    birth_lon_deg: float
+    birth_time_s: float  # seconds since _ORIGIN
+    lifetime_s: float
+    radius_km: float
+    peak_rain_mm_h: float
+    zonal_speed_km_h: float
+    meridional_speed_km_h: float
+
+    def center_at(self, time_s: float) -> tuple[float, float]:
+        """Cell centre (lat, lon) at an absolute time (seconds since origin)."""
+        age_h = (time_s - self.birth_time_s) / 3600.0
+        lat = self.birth_lat_deg + self.meridional_speed_km_h * age_h / 111.0
+        lat = max(-89.9, min(89.9, lat))
+        km_per_deg_lon = 111.0 * max(0.05, math.cos(math.radians(lat)))
+        lon = self.birth_lon_deg + self.zonal_speed_km_h * age_h / km_per_deg_lon
+        return lat, ((lon + 180.0) % 360.0) - 180.0
+
+    def envelope_at(self, time_s: float) -> float:
+        """Grow/decay temporal envelope in [0, 1]; 0 outside the lifetime."""
+        age = time_s - self.birth_time_s
+        if age < 0.0 or age > self.lifetime_s:
+            return 0.0
+        return math.sin(math.pi * age / self.lifetime_s) ** 2
+
+
+def _band_area_mm_km2(lat_lo: float, lat_hi: float) -> float:
+    """Area of a latitude band in units of 10^6 km^2."""
+    area = (
+        2.0
+        * math.pi
+        * _EARTH_RADIUS_KM**2
+        * abs(math.sin(math.radians(lat_hi)) - math.sin(math.radians(lat_lo)))
+    )
+    return area / 1e6
+
+
+class RainCellField:
+    """The global synthetic weather process.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; identical seeds give identical weather everywhere.
+    intensity_scale:
+        Multiplies every cell's peak rain rate (ablation knob: 0 disables
+        rain entirely, >1 simulates a wetter month).
+    """
+
+    def __init__(self, seed: int = 0, intensity_scale: float = 1.0):
+        if intensity_scale < 0.0:
+            raise ValueError("intensity_scale cannot be negative")
+        self.seed = seed
+        self.intensity_scale = intensity_scale
+        self._epoch_cells: dict[int, list[RainCell]] = {}
+        self._station_cache: dict[tuple[float, float, int], list[RainCell]] = {}
+
+    # -- cell generation ---------------------------------------------------
+
+    def _cells_for_epoch(self, epoch_index: int) -> list[RainCell]:
+        cached = self._epoch_cells.get(epoch_index)
+        if cached is not None:
+            return cached
+        cells: list[RainCell] = []
+        epoch_start_s = epoch_index * _EPOCH_HOURS * 3600.0
+        for band_index, (lat_lo, lat_hi, zone) in enumerate(ZONE_BANDS):
+            rng = random.Random(f"{self.seed}:{epoch_index}:{band_index}")
+            cells.extend(
+                self._seed_band(rng, lat_lo, lat_hi, zone, epoch_start_s)
+            )
+        self._epoch_cells[epoch_index] = cells
+        # Keep the cache bounded for long simulations.
+        if len(self._epoch_cells) > 64:
+            oldest = min(self._epoch_cells)
+            del self._epoch_cells[oldest]
+            self._station_cache = {
+                k: v for k, v in self._station_cache.items() if k[2] != oldest
+            }
+        return cells
+
+    def _seed_band(self, rng: random.Random, lat_lo: float, lat_hi: float,
+                   zone: ClimateZone, epoch_start_s: float) -> list[RainCell]:
+        # Births during the epoch so that the *steady-state* count of live
+        # cells matches density * area: births = density*area * epoch/lifetime.
+        area = _band_area_mm_km2(lat_lo, lat_hi)
+        expected_births = (
+            zone.cell_density_per_mm_km2
+            * area
+            * (_EPOCH_HOURS / max(zone.mean_cell_lifetime_h, 0.1))
+        )
+        # Poisson sample via inversion (keeps us off numpy's global RNG).
+        count = _poisson(rng, expected_births)
+        cells = []
+        for _ in range(count):
+            # Area-uniform latitude within the band.
+            u = rng.random()
+            sin_lo, sin_hi = math.sin(math.radians(lat_lo)), math.sin(math.radians(lat_hi))
+            lat = math.degrees(math.asin(sin_lo + u * (sin_hi - sin_lo)))
+            cells.append(
+                RainCell(
+                    birth_lat_deg=lat,
+                    birth_lon_deg=rng.uniform(-180.0, 180.0),
+                    birth_time_s=epoch_start_s + rng.uniform(0.0, _EPOCH_HOURS * 3600.0),
+                    lifetime_s=rng.expovariate(1.0 / zone.mean_cell_lifetime_h) * 3600.0,
+                    radius_km=max(30.0, rng.lognormvariate(
+                        math.log(zone.mean_cell_radius_km), 0.4)),
+                    peak_rain_mm_h=rng.expovariate(1.0 / zone.mean_rain_rate_mm_h)
+                    * self.intensity_scale,
+                    zonal_speed_km_h=zone.zonal_wind_km_h * rng.uniform(0.5, 1.5),
+                    meridional_speed_km_h=rng.uniform(-10.0, 10.0),
+                )
+            )
+        return cells
+
+    # -- station-local evaluation -------------------------------------------
+
+    def _relevant_cells(self, lat: float, lon: float, epoch_index: int) -> list[RainCell]:
+        """Cells from an epoch that could ever rain on (lat, lon)."""
+        key = (round(lat, 3), round(lon, 3), epoch_index)
+        cached = self._station_cache.get(key)
+        if cached is not None:
+            return cached
+        relevant = []
+        for cell in self._cells_for_epoch(epoch_index):
+            # Conservative reach: start/end positions +- 3 radii (cloud anvil
+            # extends to 2 radii; 3 adds slack for the coarse 2-point check).
+            start = cell.center_at(cell.birth_time_s)
+            end = cell.center_at(cell.birth_time_s + cell.lifetime_s)
+            reach = 3.0 * cell.radius_km
+            travel = haversine_km(start[0], start[1], end[0], end[1])
+            if (
+                haversine_km(lat, lon, start[0], start[1]) <= reach + travel
+                and haversine_km(lat, lon, end[0], end[1]) <= reach + travel
+            ) or haversine_km(lat, lon, start[0], start[1]) <= reach \
+                    or haversine_km(lat, lon, end[0], end[1]) <= reach:
+                relevant.append(cell)
+        self._station_cache[key] = relevant
+        return relevant
+
+    def sample(self, lat_deg: float, lon_deg: float, when: datetime) -> WeatherSample:
+        """Truth weather at a point and UTC instant."""
+        time_s = (when - _ORIGIN).total_seconds()
+        epoch = int(time_s // (_EPOCH_HOURS * 3600.0))
+        rain = 0.0
+        cell_cloud = 0.0
+        # A cell born late in epoch e can still be alive in epoch e+1 (and
+        # beyond for long-lived systems); scan a window of prior epochs.
+        for ep in range(epoch - 3, epoch + 1):
+            for cell in self._relevant_cells(lat_deg, lon_deg, ep):
+                env = cell.envelope_at(time_s)
+                if env <= 0.0:
+                    continue
+                clat, clon = cell.center_at(time_s)
+                dist = haversine_km(lat_deg, lon_deg, clat, clon)
+                if dist > 3.0 * cell.radius_km:
+                    continue
+                footprint = math.exp(-0.5 * (dist / cell.radius_km) ** 2)
+                rain += cell.peak_rain_mm_h * env * footprint
+                # Cloud anvil: wider and persists at low rain.
+                anvil = math.exp(-0.5 * (dist / (2.0 * cell.radius_km)) ** 2)
+                cell_cloud += 0.08 * cell.peak_rain_mm_h * env * anvil
+        background = self._background_cloud(lat_deg, lon_deg, time_s)
+        temperature = 288.0 - 30.0 * (abs(lat_deg) / 90.0) ** 1.5
+        return WeatherSample(
+            rain_rate_mm_h=rain,
+            cloud_water_kg_m2=min(cell_cloud + background, 6.0),
+            temperature_k=temperature,
+        )
+
+    def _background_cloud(self, lat: float, lon: float, time_s: float) -> float:
+        """Smooth stratus background from a few deterministic harmonics."""
+        from repro.weather.climate import climate_zone_for_latitude
+
+        zone = climate_zone_for_latitude(lat)
+        t_days = time_s / 86400.0
+        phase = (
+            math.sin(math.radians(3.0 * lon) + 2.0 * math.pi * t_days / 5.0)
+            + math.sin(math.radians(2.0 * lat) + 2.0 * math.pi * t_days / 3.0 + 1.7)
+            + math.sin(math.radians(lon + 2.0 * lat) - 2.0 * math.pi * t_days / 7.0)
+        ) / 3.0
+        return zone.background_cloud_kg_m2 * max(0.0, 1.0 + phase)
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Poisson sample; normal approximation above lambda=50 for speed."""
+    if lam <= 0.0:
+        return 0
+    if lam > 50.0:
+        return max(0, round(rng.gauss(lam, math.sqrt(lam))))
+    limit = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,84 @@
+"""Latitude-banded climate zones controlling synthetic rain statistics.
+
+The bands are a coarse Koppen-like summary tuned so that long-run rain
+occurrence and intensity are plausible: ~8-12% wet-time in the tropics with
+convective intensities, ~5-7% in mid-latitudes with stratiform rain, and
+very light, rare precipitation at polar latitudes.  These statistics drive
+the rain-cell generator in :mod:`repro.weather.cells`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClimateZone:
+    """Rain-process parameters for a latitude band.
+
+    Attributes
+    ----------
+    cell_density_per_mm_km2:
+        Expected number of active rain cells per million km^2 at any
+        instant; sets how often a station is under rain.
+    mean_rain_rate_mm_h:
+        Mean of the (exponential-tailed) peak rain-rate distribution for
+        cells born in this zone.
+    mean_cell_radius_km, mean_cell_lifetime_h:
+        Spatial and temporal scales of the cells.
+    background_cloud_kg_m2:
+        Mean non-precipitating cloud liquid water (stratus background).
+    zonal_wind_km_h:
+        Mean advection speed (positive = eastward); mid-latitude westerlies
+        move systems east, tropical easterlies move them west.
+    """
+
+    name: str
+    cell_density_per_mm_km2: float
+    mean_rain_rate_mm_h: float
+    mean_cell_radius_km: float
+    mean_cell_lifetime_h: float
+    background_cloud_kg_m2: float
+    zonal_wind_km_h: float
+
+
+# Densities are tuned so that instantaneous rain-area coverage (cells x
+# pi*r^2 / band area) lands at ~6% in the tropics, ~4-5% mid-latitude, and
+# ~2% polar -- matching climatological wet-time fractions.
+_TROPICAL = ClimateZone("tropical", 0.35, 18.0, 150.0, 4.0, 0.25, -20.0)
+_SUBTROPICAL = ClimateZone("subtropical", 0.15, 10.0, 200.0, 6.0, 0.15, 10.0)
+_TEMPERATE = ClimateZone("temperate", 0.16, 6.0, 300.0, 9.0, 0.20, 45.0)
+_SUBPOLAR = ClimateZone("subpolar", 0.12, 3.0, 350.0, 10.0, 0.18, 55.0)
+_POLAR = ClimateZone("polar", 0.08, 1.5, 250.0, 8.0, 0.08, 25.0)
+
+
+def climate_zone_for_latitude(latitude_deg: float) -> ClimateZone:
+    """The climate band containing a latitude (hemisphere-symmetric)."""
+    lat = abs(latitude_deg)
+    if lat > 90.0:
+        raise ValueError(f"latitude out of range: {latitude_deg}")
+    if lat < 15.0:
+        return _TROPICAL
+    if lat < 35.0:
+        return _SUBTROPICAL
+    if lat < 55.0:
+        return _TEMPERATE
+    if lat < 70.0:
+        return _SUBPOLAR
+    return _POLAR
+
+
+ALL_ZONES = (_TROPICAL, _SUBTROPICAL, _TEMPERATE, _SUBPOLAR, _POLAR)
+
+#: Band edges used by the generator to decide how many cells to seed per band.
+ZONE_BANDS = (
+    (-90.0, -70.0, _POLAR),
+    (-70.0, -55.0, _SUBPOLAR),
+    (-55.0, -35.0, _TEMPERATE),
+    (-35.0, -15.0, _SUBTROPICAL),
+    (-15.0, 15.0, _TROPICAL),
+    (15.0, 35.0, _SUBTROPICAL),
+    (35.0, 55.0, _TEMPERATE),
+    (55.0, 70.0, _SUBPOLAR),
+    (70.0, 90.0, _POLAR),
+)

@@ -1,0 +1,104 @@
+"""Forecast views over a truth weather field.
+
+DGS schedules against *predicted* weather (Sec. 3.2: "We use weather
+forecasts for a region ... to predict this component of the loss"), so the
+scheduler must not read the truth field directly.  :class:`ForecastProvider`
+wraps a truth provider and corrupts it with lead-time-dependent error:
+
+* multiplicative lognormal error on rain rate whose sigma grows with lead
+  time (a standard verification result for precipitation forecasts);
+* occasional misses (forecast dry, truth wet) and false alarms at long
+  leads.
+
+:class:`PerfectForecast` is the zero-error wrapper used to isolate
+scheduling quality from forecast quality in ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from datetime import datetime
+
+from repro.weather.cells import WeatherSample
+from repro.weather.provider import WeatherProvider
+
+
+class PerfectForecast:
+    """A forecast that simply reveals the truth (oracle ablation)."""
+
+    def __init__(self, truth: WeatherProvider):
+        self.truth = truth
+
+    def forecast(self, lat_deg: float, lon_deg: float, issued_at: datetime,
+                 valid_at: datetime) -> WeatherSample:
+        return self.truth.sample(lat_deg, lon_deg, valid_at)
+
+
+class ForecastProvider:
+    """Truth plus lead-time-dependent, deterministic forecast error.
+
+    Parameters
+    ----------
+    truth:
+        The underlying real atmosphere.
+    error_growth_per_day:
+        Lognormal sigma added per day of lead time (0.35/day is typical of
+        operational precipitation forecasts at the rain/no-rain scale).
+    miss_probability_per_day:
+        Probability per day of lead that a wet truth is forecast dry (and
+        symmetric false alarms on dry truth).
+    seed:
+        Error realization seed, independent of the weather seed.
+    """
+
+    def __init__(
+        self,
+        truth: WeatherProvider,
+        error_growth_per_day: float = 0.35,
+        miss_probability_per_day: float = 0.08,
+        seed: int = 7,
+    ):
+        if error_growth_per_day < 0.0:
+            raise ValueError("error growth cannot be negative")
+        if not 0.0 <= miss_probability_per_day <= 1.0:
+            raise ValueError("miss probability must be a probability")
+        self.truth = truth
+        self.error_growth_per_day = error_growth_per_day
+        self.miss_probability_per_day = miss_probability_per_day
+        self.seed = seed
+
+    def _rng(self, lat: float, lon: float, issued_at: datetime,
+             valid_at: datetime) -> random.Random:
+        key = (
+            f"{self.seed}:{round(lat, 2)}:{round(lon, 2)}:"
+            f"{issued_at.replace(second=0, microsecond=0).isoformat()}:"
+            f"{valid_at.replace(second=0, microsecond=0).isoformat()}"
+        )
+        return random.Random(key)
+
+    def forecast(self, lat_deg: float, lon_deg: float, issued_at: datetime,
+                 valid_at: datetime) -> WeatherSample:
+        """Forecast for ``valid_at`` as issued at ``issued_at``.
+
+        Lead times <= 0 return the truth (nowcast).
+        """
+        truth = self.truth.sample(lat_deg, lon_deg, valid_at)
+        lead_days = (valid_at - issued_at).total_seconds() / 86400.0
+        if lead_days <= 0.0:
+            return truth
+        rng = self._rng(lat_deg, lon_deg, issued_at, valid_at)
+        sigma = self.error_growth_per_day * lead_days
+        factor = math.exp(rng.gauss(-0.5 * sigma * sigma, sigma))
+        miss_p = min(0.5, self.miss_probability_per_day * lead_days)
+        rain = truth.rain_rate_mm_h * factor
+        cloud = truth.cloud_water_kg_m2 * factor
+        if truth.is_raining and rng.random() < miss_p:
+            rain = 0.0  # missed event
+        elif not truth.is_raining and rng.random() < miss_p:
+            rain = rng.expovariate(0.5)  # false alarm
+        return WeatherSample(
+            rain_rate_mm_h=rain,
+            cloud_water_kg_m2=cloud,
+            temperature_k=truth.temperature_k,
+        )

@@ -1,0 +1,74 @@
+"""Weather provider protocol and trivial providers for tests and ablations.
+
+The scheduler and simulator depend only on this protocol -- the synthetic
+rain-cell field, the forecast wrapper, a clear-sky stub, and any future
+real-data loader are interchangeable.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Protocol, runtime_checkable
+
+from repro.weather.cells import WeatherSample
+
+
+@runtime_checkable
+class WeatherProvider(Protocol):
+    """Anything that can report point weather: the Dark Sky role."""
+
+    def sample(self, lat_deg: float, lon_deg: float,
+               when: datetime) -> WeatherSample:
+        """Weather at a location and UTC instant."""
+        ...
+
+
+class QuantizedWeatherCache:
+    """Memoizes a provider on a (location, time-bucket) grid.
+
+    Rain systems decorrelate over hours; quantizing lookups to
+    ``period_s`` (default 5 minutes) loses nothing physically and makes
+    minute-cadence simulation loops ~period/step times cheaper.  The cache
+    is LRU-bounded so week-long simulations do not grow without bound.
+    """
+
+    def __init__(self, inner: WeatherProvider, period_s: float = 300.0,
+                 max_entries: int = 200_000):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.inner = inner
+        self.period_s = period_s
+        self.max_entries = max_entries
+        self._cache: dict[tuple, WeatherSample] = {}
+
+    def sample(self, lat_deg: float, lon_deg: float,
+               when: datetime) -> WeatherSample:
+        bucket = int(when.timestamp() // self.period_s)
+        key = (round(lat_deg, 3), round(lon_deg, 3), bucket)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        value = self.inner.sample(lat_deg, lon_deg, when)
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[key] = value
+        return value
+
+
+class ClearSkyProvider:
+    """No rain, no clouds, ever.  Isolates geometry from weather effects."""
+
+    def sample(self, lat_deg: float, lon_deg: float,
+               when: datetime) -> WeatherSample:
+        return WeatherSample(rain_rate_mm_h=0.0, cloud_water_kg_m2=0.0)
+
+
+class ConstantWeatherProvider:
+    """The same sample everywhere, always.  Useful for budget unit tests."""
+
+    def __init__(self, sample: WeatherSample):
+        self._sample = sample
+
+    def sample(self, lat_deg: float, lon_deg: float,
+               when: datetime) -> WeatherSample:
+        return self._sample

@@ -1,0 +1,98 @@
+"""Tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import EmpiricalCDF
+
+samples_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=200,
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_basic_stats(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        assert cdf.n == 3
+        assert cdf.min == 1.0
+        assert cdf.max == 3.0
+        assert cdf.mean() == pytest.approx(2.0)
+        assert cdf.median() == pytest.approx(2.0)
+
+
+class TestEvaluate:
+    def test_step_function(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+        assert cdf.evaluate(100.0) == 1.0
+
+    @given(samples=samples_strategy)
+    def test_monotone_non_decreasing(self, samples):
+        cdf = EmpiricalCDF(samples)
+        xs = sorted(samples)
+        values = [cdf.evaluate(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(samples=samples_strategy)
+    def test_range(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for x in (cdf.min - 1.0, cdf.min, cdf.max, cdf.max + 1.0):
+            assert 0.0 <= cdf.evaluate(x) <= 1.0
+
+
+class TestPercentiles:
+    @given(samples=samples_strategy)
+    def test_percentile_monotone(self, samples):
+        cdf = EmpiricalCDF(samples)
+        values = [cdf.percentile(q) for q in (0, 25, 50, 75, 90, 99, 100)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(samples=samples_strategy)
+    def test_percentile_within_sample_range(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for q in (0.0, 37.0, 100.0):
+            assert cdf.min - 1e-9 <= cdf.percentile(q) <= cdf.max + 1e-9
+
+    def test_matches_numpy(self):
+        data = [5.0, 1.0, 9.0, 3.0, 7.0]
+        cdf = EmpiricalCDF(data)
+        for q in (10, 50, 90):
+            assert cdf.percentile(q) == pytest.approx(np.percentile(data, q))
+
+    def test_out_of_range_rejected(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(101.0)
+
+
+class TestCurve:
+    def test_curve_shapes(self):
+        cdf = EmpiricalCDF(list(range(100)))
+        xs, ps = cdf.curve(points=50)
+        assert len(xs) == len(ps) == 50
+        assert ps[0] == 0.0
+        assert ps[-1] == 1.0
+        assert all(a <= b for a, b in zip(xs, xs[1:]))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).curve(points=1)
+
+    def test_summary(self):
+        cdf = EmpiricalCDF(list(range(1, 101)))
+        summary = cdf.summary((50, 90))
+        assert summary[50] == pytest.approx(50.5)
+        assert summary[90] == pytest.approx(90.1)

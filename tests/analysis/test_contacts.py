@@ -1,0 +1,100 @@
+"""Tests for contact reconstruction from event logs."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.analysis.contacts import contacts_from_events, summarize_contacts
+from repro.simulation.events import EventLog
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def log_with(*entries):
+    log = EventLog()
+    for minutes, sat, station, bits, decoded in entries:
+        log.record(
+            EPOCH + timedelta(minutes=minutes), "transmission", sat, station,
+            bits=bits, decoded=decoded,
+        )
+    return log
+
+
+class TestReconstruction:
+    def test_consecutive_steps_merge(self):
+        log = log_with((0, "A", "g1", 100.0, True), (1, "A", "g1", 100.0, True),
+                       (2, "A", "g1", 50.0, True))
+        contacts = contacts_from_events(log, step_s=60.0)
+        assert len(contacts) == 1
+        contact = contacts[0]
+        assert contact.bits == 250.0
+        assert contact.steps == 3
+        assert contact.duration_s == pytest.approx(180.0)
+
+    def test_gap_splits_contacts(self):
+        log = log_with((0, "A", "g1", 100.0, True), (30, "A", "g1", 100.0, True))
+        contacts = contacts_from_events(log, step_s=60.0)
+        assert len(contacts) == 2
+
+    def test_tolerated_gap_does_not_split(self):
+        log = log_with((0, "A", "g1", 100.0, True), (2, "A", "g1", 100.0, True))
+        contacts = contacts_from_events(log, step_s=60.0,
+                                        gap_tolerance_steps=1)
+        assert len(contacts) == 1
+
+    def test_station_change_is_new_contact(self):
+        log = log_with((0, "A", "g1", 100.0, True), (1, "A", "g2", 100.0, True))
+        contacts = contacts_from_events(log, step_s=60.0)
+        assert len(contacts) == 2
+        assert {c.station_id for c in contacts} == {"g1", "g2"}
+
+    def test_decode_fraction(self):
+        log = log_with((0, "A", "g1", 100.0, True), (1, "A", "g1", 100.0, False))
+        contact = contacts_from_events(log, step_s=60.0)[0]
+        assert contact.decode_fraction == 0.5
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            contacts_from_events(EventLog(), step_s=0.0)
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = summarize_contacts([])
+        assert summary.count == 0
+        assert "0 contacts" in summary.render()
+
+    def test_aggregates(self):
+        log = log_with((0, "A", "g1", 8e9, True), (1, "A", "g1", 8e9, True),
+                       (60, "B", "g2", 8e9, True))
+        contacts = contacts_from_events(log, step_s=60.0)
+        summary = summarize_contacts(contacts)
+        assert summary.count == 2
+        assert summary.total_bits == pytest.approx(24e9)
+        assert summary.per_station_counts == {"g1": 1, "g2": 1}
+
+
+class TestEndToEnd:
+    def test_contacts_from_real_run(self):
+        from repro.groundstations.network import satnogs_like_network
+        from repro.orbits.constellation import synthetic_leo_constellation
+        from repro.satellites.satellite import Satellite
+        from repro.scheduling.value_functions import LatencyValue
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.engine import Simulation
+
+        tles = synthetic_leo_constellation(5, EPOCH, seed=21)
+        sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+        network = satnogs_like_network(12, seed=13)
+        config = SimulationConfig(start=EPOCH, duration_s=3 * 3600.0,
+                                  record_events=True)
+        sim = Simulation(sats, network, LatencyValue(), config)
+        report = sim.run()
+        contacts = contacts_from_events(sim.events, step_s=config.step_s)
+        assert contacts
+        # Contact durations look like LEO passes (bounded by ~15 min).
+        for contact in contacts:
+            assert contact.duration_s <= 20 * 60.0
+        # All transmitted bits are accounted for in contacts.
+        total = sum(c.bits for c in contacts)
+        assert total >= report.delivered_bits - 1e-6

@@ -1,0 +1,101 @@
+"""Tests for fairness metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.fairness import (
+    fairness_report,
+    gini_coefficient,
+    jain_index,
+)
+
+allocations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100
+)
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_winner_take_all(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    @given(values=allocations)
+    def test_bounds(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(values=allocations, factor=st.floats(min_value=0.1, max_value=100))
+    def test_scale_invariant(self, values, factor):
+        scaled = [v * factor for v in values]
+        assert jain_index(scaled) == pytest.approx(jain_index(values))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini_coefficient([3.0, 3.0, 3.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        assert gini_coefficient([0.0] * 99 + [1.0]) > 0.95
+
+    @given(values=allocations)
+    def test_bounds(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g < 1.0
+
+    def test_ordering_agrees_with_jain(self):
+        fair = [1.0, 1.0, 1.0, 1.0]
+        unfair = [4.0, 0.0, 0.0, 0.0]
+        assert gini_coefficient(fair) < gini_coefficient(unfair)
+        assert jain_index(fair) > jain_index(unfair)
+
+
+class TestFairnessReport:
+    def test_summary_fields(self):
+        report = fairness_report([0.0, 1.0, 2.0, 5.0])
+        assert report.participants == 4
+        assert report.starved == 1
+        assert report.min_share == 0.0
+        assert 0.0 < report.jain < 1.0
+        assert "Jain" in report.render()
+
+    def test_all_zero(self):
+        report = fairness_report([0.0, 0.0])
+        assert report.jain == 1.0
+        assert report.starved == 2
+
+
+class TestSimulationFairness:
+    def test_matching_fairness_end_to_end(self):
+        from datetime import datetime
+
+        from repro.analysis.fairness import matching_fairness
+        from repro.groundstations.network import satnogs_like_network
+        from repro.orbits.constellation import synthetic_leo_constellation
+        from repro.satellites.satellite import Satellite
+        from repro.scheduling.value_functions import LatencyValue
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.engine import Simulation
+
+        epoch = datetime(2020, 6, 1)
+        tles = synthetic_leo_constellation(8, epoch, seed=21)
+        sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+        network = satnogs_like_network(15, seed=13)
+        sim = Simulation(sats, network, LatencyValue(),
+                         SimulationConfig(start=epoch, duration_s=3 * 3600.0))
+        report = sim.run()
+        fairness = matching_fairness(report)
+        assert fairness.participants == 8
+        assert 0.0 < fairness.jain <= 1.0

@@ -1,0 +1,66 @@
+"""Tests for terminal plotting."""
+
+import pytest
+
+from repro.analysis.plots import render_cdfs, render_histogram
+
+
+class TestRenderCdfs:
+    def test_basic_structure(self):
+        text = render_cdfs(
+            {"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0]},
+            title="test plot", x_label="minutes",
+            width=40, height=8,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "test plot"
+        assert "1.00 |" in text
+        assert "0.00 |" in text
+        assert "minutes" in text
+        assert "* a" in text
+        assert "o b" in text
+
+    def test_monotone_curve(self):
+        """Markers never move downward left to right for a single series."""
+        text = render_cdfs({"x": list(range(100))}, width=30, height=10)
+        rows = [ln[6:] for ln in text.splitlines() if "|" in ln and "+" not in ln]
+        last_row_with_marker = None
+        for col in range(30):
+            for row_index, row in enumerate(rows):
+                if col < len(row) and row[col] == "*":
+                    if last_row_with_marker is not None:
+                        assert row_index <= last_row_with_marker
+                    last_row_with_marker = row_index
+                    break
+
+    def test_x_max_clipping(self):
+        text = render_cdfs({"a": [1.0, 2.0, 1000.0]}, x_max=10.0,
+                           width=30, height=6)
+        axis_line = text.splitlines()[-2]  # numeric axis labels
+        assert axis_line.strip().endswith("10")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdfs({})
+        with pytest.raises(ValueError):
+            render_cdfs({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdfs({"a": [1.0]}, width=5, height=2)
+
+
+class TestRenderHistogram:
+    def test_counts_sum(self):
+        values = [1.0, 1.1, 5.0, 5.1, 5.2, 9.9]
+        text = render_histogram(values, bins=3, title="h")
+        counts = [int(ln.rsplit(" ", 1)[-1]) for ln in text.splitlines()[1:]]
+        assert sum(counts) == len(values)
+
+    def test_constant_values(self):
+        text = render_histogram([3.0, 3.0, 3.0], bins=4)
+        assert "3" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram([])

@@ -1,0 +1,40 @@
+"""Tests for result-table rendering."""
+
+import pytest
+
+from repro.analysis.tables import ComparisonTable, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long-header"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestComparisonTable:
+    def test_render_contains_values_and_ratio(self):
+        table = ComparisonTable(title="Fig X", unit="min")
+        table.add("p50", 58.0, 29.0)
+        text = table.render()
+        assert "Fig X" in text
+        assert "58.0" in text
+        assert "29.0" in text
+        assert "0.50x" in text
+
+    def test_ratio_errors(self):
+        table = ComparisonTable(title="t")
+        table.add("m1", 10.0, 12.0)
+        table.add("m2", 0.0, 5.0)
+        ratios = table.ratio_errors()
+        assert ratios["m1"] == pytest.approx(1.2)
+        assert ratios["m2"] == float("inf")

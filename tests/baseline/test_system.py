@@ -1,0 +1,36 @@
+"""Tests for the centralized baseline system model."""
+
+import pytest
+
+from repro.baseline.system import CentralizedBaseline, measured_node_throughput_ratio
+
+
+class TestBaselineNetwork:
+    def test_default_five_stations(self):
+        net = CentralizedBaseline().network()
+        assert len(net) == 5
+        assert all(s.can_transmit for s in net)
+
+    def test_custom_count(self):
+        assert len(CentralizedBaseline(station_count=3).network()) == 3
+
+    def test_elevation_mask_propagates(self):
+        net = CentralizedBaseline(min_elevation_deg=10.0).network()
+        assert all(s.min_elevation_deg == 10.0 for s in net)
+
+
+class TestThroughputRatio:
+    def test_paper_calibration_point(self):
+        """Sec. 4: 'Each baseline ground station achieves 10x the median
+        throughput achieved by a DGS node.'"""
+        ratio = measured_node_throughput_ratio()
+        assert 7.0 < ratio < 14.0
+
+    def test_deterministic(self):
+        assert measured_node_throughput_ratio(seed=3) == \
+            measured_node_throughput_ratio(seed=3)
+
+    def test_more_samples_stable(self):
+        a = measured_node_throughput_ratio(samples=100, seed=1)
+        b = measured_node_throughput_ratio(samples=400, seed=2)
+        assert a == pytest.approx(b, rel=0.4)

@@ -1,0 +1,56 @@
+"""Shared fixtures: a small deterministic world for fast tests."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.groundstations.network import (
+    baseline_polar_network,
+    satnogs_like_network,
+)
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.orbits.tle import TLE
+from repro.satellites.satellite import Satellite
+
+EPOCH = datetime(2020, 6, 1)
+
+#: The Spacetrack Report #3 test TLE (checksums as published).
+STR3_LINE1 = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0     8"
+STR3_LINE2 = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518   105"
+
+#: An ISS-like TLE in canonical 69-column format with valid checksums.
+ISS_LINE1 = "1 25544U 98067A   20162.14487269  .00000921  00000+0  24830-4 0    07"
+ISS_LINE2 = "2 25544  51.6443  93.0000 0001400  84.0000 276.0000 15.49438371230009"
+
+
+@pytest.fixture(scope="session")
+def epoch() -> datetime:
+    return EPOCH
+
+
+@pytest.fixture(scope="session")
+def str3_tle() -> TLE:
+    return TLE.parse([STR3_LINE1, STR3_LINE2], validate_checksum=False)
+
+
+@pytest.fixture(scope="session")
+def small_tles():
+    return synthetic_leo_constellation(6, EPOCH, seed=42)
+
+
+@pytest.fixture()
+def small_fleet(small_tles):
+    """Fresh satellites each test (storage is mutable)."""
+    return [Satellite(tle=t) for t in small_tles]
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    return satnogs_like_network(12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def baseline_network():
+    return baseline_polar_network()

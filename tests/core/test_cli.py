@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestPasses:
+    def test_prints_windows(self, capsys):
+        assert main(["passes", "--hours", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "passes" in out
+        assert "max el" in out
+
+
+class TestSchedule:
+    def test_prints_assignments(self, capsys):
+        assert main(["schedule", "--satellites", "10",
+                     "--stations", "15", "--minute", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible links" in out
+
+    def test_matcher_flag(self, capsys):
+        assert main(["schedule", "--satellites", "6", "--stations", "10",
+                     "--matcher", "greedy"]) == 0
+        assert "greedy matching" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_dgs_run(self, capsys):
+        assert main(["simulate", "--hours", "1", "--satellites", "6",
+                     "--stations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered:" in out
+        assert "latency" in out
+
+    def test_baseline_run(self, capsys):
+        assert main(["simulate", "--system", "baseline", "--hours", "1",
+                     "--satellites", "6"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+
+class TestDataset:
+    def test_stdout_json(self, capsys):
+        assert main(["dataset", "--stations", "10", "--satellites", "5",
+                     "--days", "1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["stations"]) == 10
+        assert len(data["satellites"]) == 5
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "dataset.json"
+        assert main(["dataset", "--stations", "8", "--satellites", "4",
+                     "--days", "1", "--output", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert len(data["stations"]) == 8
+
+    def test_filter_flag(self, capsys):
+        assert main(["dataset", "--stations", "30", "--satellites", "4",
+                     "--days", "1", "--filter"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(s["status"] == "online" for s in data["stations"])

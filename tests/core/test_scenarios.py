@@ -1,0 +1,78 @@
+"""Tests for paper scenario builders."""
+
+import pytest
+
+from repro.core.scenarios import (
+    build_paper_fleet,
+    build_paper_weather,
+    make_baseline_scenario,
+    make_dgs_scenario,
+    run_scenario,
+    value_function_by_name,
+)
+from repro.scheduling.value_functions import LatencyValue, ThroughputValue
+
+
+class TestFleetBuilder:
+    def test_paper_defaults(self):
+        fleet = build_paper_fleet(count=10)
+        assert len(fleet) == 10
+        for sat in fleet:
+            assert sat.generation_gb_per_day == 100.0
+            assert sat.radio.channels == 6
+
+    def test_deterministic(self):
+        a = build_paper_fleet(count=5, seed=3)
+        b = build_paper_fleet(count=5, seed=3)
+        assert [s.tle.to_lines() for s in a] == [s.tle.to_lines() for s in b]
+
+
+class TestValueFunctionLookup:
+    def test_names(self):
+        assert isinstance(value_function_by_name("latency"), LatencyValue)
+        assert isinstance(value_function_by_name("throughput"), ThroughputValue)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            value_function_by_name("vibes")
+
+
+class TestScenarioAssembly:
+    def test_dgs_scenario_shapes(self):
+        fleet, network, sim = make_dgs_scenario(
+            num_satellites=6, num_stations=10, duration_s=600.0
+        )
+        assert len(fleet) == 6
+        assert len(network) == 10
+        assert sim.config.matcher == "stable"
+
+    def test_dgs25_fraction(self):
+        _fleet, network, _sim = make_dgs_scenario(
+            station_fraction=0.25, num_satellites=4, num_stations=20,
+            duration_s=600.0,
+        )
+        assert len(network) == 5
+
+    def test_baseline_scenario(self):
+        fleet, network, sim = make_baseline_scenario(
+            num_satellites=4, duration_s=600.0
+        )
+        assert len(network) == 5
+        assert all(s.can_transmit for s in network)
+
+    def test_run_scenario_labels(self):
+        _f, _n, sim = make_dgs_scenario(
+            num_satellites=4, num_stations=8, duration_s=600.0
+        )
+        result = run_scenario("test-run", sim)
+        assert result.label == "test-run"
+        assert result.num_satellites == 4
+        assert result.report.generated_bits >= 0.0
+
+    def test_weather_builder_deterministic(self):
+        from datetime import datetime
+
+        a = build_paper_weather(seed=3)
+        b = build_paper_weather(seed=3)
+        when = datetime(2020, 6, 1, 5)
+        assert a.sample(47.0, 8.0, when) == b.sample(47.0, 8.0, when)

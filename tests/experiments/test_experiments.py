@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (small-scale smoke runs).
+
+These run the identical code paths as the full-scale benches, scaled to
+seconds so the suite stays fast: the assertions check *structure* and the
+qualitative shape (who wins), not the paper's absolute numbers, which the
+benchmark harness reproduces at scale=1.0.
+"""
+
+import pytest
+
+from repro.experiments import ablations, fig3a, fig3b, fig3c, setup_validation, summary
+from repro.experiments.common import ExperimentResult, scaled_counts
+from repro.experiments.paper_runs import clear_cache, get_run
+
+SCALE = 0.06  # ~16 satellites, ~10 stations
+DURATION = 4 * 3600.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestExperimentResultSerialization:
+    def test_json_round_trip(self):
+        from repro.analysis.tables import ComparisonTable
+
+        result = ExperimentResult("figX", "a test figure")
+        result.series["dgs"] = [1.0, 2.0, 3.0]
+        table = ComparisonTable(title="t", unit="min")
+        table.add("p50", 58.0, 49.0)
+        result.tables.append(table)
+        result.notes.append("a note")
+        again = ExperimentResult.from_json(result.to_json())
+        assert again.experiment_id == "figX"
+        assert again.series == result.series
+        assert again.tables[0].rows == table.rows
+        assert again.notes == ["a note"]
+        assert again.render() == result.render()
+
+
+class TestScaledCounts:
+    def test_full_scale_is_paper_population(self):
+        assert scaled_counts(1.0) == (259, 173, 5)
+
+    def test_small_scale_floors(self):
+        sats, stations, baseline = scaled_counts(0.01)
+        assert sats >= 5
+        assert stations >= 8
+        assert baseline >= 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_counts(0.0)
+        with pytest.raises(ValueError):
+            scaled_counts(1.5)
+
+
+class TestPaperRuns:
+    def test_memoization(self):
+        a = get_run("dgs-L", DURATION, SCALE)
+        b = get_run("dgs-L", DURATION, SCALE)
+        assert a is b
+
+    def test_variant_wiring(self):
+        baseline = get_run("baseline-L", DURATION, SCALE)
+        assert baseline.num_stations <= 5
+        dgs25 = get_run("dgs25-L", DURATION, SCALE)
+        full = get_run("dgs-L", DURATION, SCALE)
+        assert dgs25.num_stations < full.num_stations
+
+
+class TestFigureExperiments:
+    def test_fig3a_structure(self):
+        result = fig3a.run(DURATION, SCALE)
+        assert isinstance(result, ExperimentResult)
+        assert set(result.series) == {"baseline", "dgs", "dgs25"}
+        assert len(result.tables) == 3
+        rendered = result.render()
+        assert "fig3a" in rendered
+        assert "p50" in rendered
+
+    def test_fig3b_structure(self):
+        """At toy scale the baseline can legitimately win (the paper's own
+        point: 5 stations are fine for small constellations and collapse
+        under contention as fleets grow), so this test checks structure;
+        the full-scale benchmark reproduces the paper's ordering."""
+        result = fig3b.run(DURATION, SCALE)
+        assert set(result.series) == {"baseline", "dgs", "dgs25"}
+        for label in result.series:
+            cdf = result.cdf(label)
+            assert cdf.min >= 0.0
+            assert cdf.percentile(90) >= cdf.percentile(50)
+        assert any("improvement" in n for n in result.notes)
+
+    def test_fig3c_structure(self):
+        result = fig3c.run(DURATION, SCALE)
+        assert set(result.series) == {"baseline-L", "dgs25-L", "dgs25-T"}
+        assert result.notes
+
+    def test_summary_tables(self):
+        result = summary.run(DURATION, SCALE)
+        titles = [t.title for t in result.tables]
+        assert any("Latency" in t for t in titles)
+        assert any("Backlog" in t for t in titles)
+
+
+class TestSetupValidation:
+    def test_validates_environment_claims(self):
+        result = setup_validation.run(duration_s=86400.0, scale=0.03)
+        table = result.tables[0]
+        metrics = {m: (paper, measured) for m, paper, measured in table.rows}
+        paper_rate, measured_rate = metrics["peak baseline link (Gbps)"]
+        assert measured_rate == pytest.approx(paper_rate, rel=0.2)
+        ratio_paper, ratio_measured = metrics[
+            "baseline/DGS node median throughput ratio"
+        ]
+        assert 0.6 * ratio_paper < ratio_measured < 1.5 * ratio_paper
+
+
+class TestAblations:
+    def test_matching_ablation_rows(self):
+        rows = ablations.run_matching(duration_s=2 * 3600.0, scale=SCALE)
+        assert [r.label for r in rows] == ["stable", "optimal", "greedy"]
+        for row in rows:
+            assert row.delivered_tb >= 0.0
+
+    def test_weather_ablation_clear_at_least_as_good(self):
+        rows = ablations.run_weather(duration_s=2 * 3600.0, scale=SCALE)
+        by_label = {r.label: r for r in rows}
+        assert by_label["clear"].delivered_tb >= by_label["stormy"].delivered_tb - 0.05
+
+    def test_horizon_ablation_includes_paper_scheduler(self):
+        rows = ablations.run_horizon(duration_s=2 * 3600.0, scale=SCALE,
+                                     horizons=(1, 4))
+        assert [r.label for r in rows] == ["H=1", "H=4"]
+        # Lookahead must stay in the same performance regime as myopic.
+        assert rows[1].delivered_tb >= 0.5 * rows[0].delivered_tb
+
+    def test_beamforming_ablation(self):
+        rows = ablations.run_beamforming(duration_s=2 * 3600.0, scale=SCALE,
+                                         beam_counts=(1, 2))
+        assert [r.label for r in rows] == ["beams=1", "beams=2"]
+
+
+class TestRobustness:
+    def test_structure_and_degradation_signs(self):
+        from repro.experiments import robustness
+
+        result = robustness.run(duration_s=3 * 3600.0, scale=SCALE)
+        assert "baseline:healthy" in result.series
+        assert "dgs:worst-announced" in result.series
+        # A failure can never increase delivery.
+        for system in ("baseline", "dgs"):
+            healthy = result.series[f"{system}:healthy"][0]
+            for fault in ("worst-announced", "worst-unannounced"):
+                assert result.series[f"{system}:{fault}"][0] <= healthy + 1e-9
+        # Unannounced failures are at least as bad as announced ones.
+        for system in ("baseline", "dgs"):
+            announced = result.series[f"{system}:worst-announced"][0]
+            unannounced = result.series[f"{system}:worst-unannounced"][0]
+            assert unannounced <= announced + 1e-9

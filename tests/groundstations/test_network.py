@@ -1,0 +1,116 @@
+"""Tests for ground-station network generation."""
+
+import pytest
+
+from repro.groundstations.network import (
+    baseline_polar_network,
+    satnogs_like_network,
+)
+
+
+class TestSatnogsLikeNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return satnogs_like_network(173, seed=11)
+
+    def test_size(self, network):
+        assert len(network) == 173
+
+    def test_deterministic(self):
+        a = satnogs_like_network(50, seed=3)
+        b = satnogs_like_network(50, seed=3)
+        assert [(s.latitude_deg, s.longitude_deg) for s in a] == [
+            (s.latitude_deg, s.longitude_deg) for s in b
+        ]
+
+    def test_unique_ids(self, network):
+        assert len({s.station_id for s in network}) == len(network)
+
+    def test_northern_hemisphere_bias(self, network):
+        """Fig. 2: the volunteer network is mostly Europe/North America."""
+        north = sum(1 for s in network if s.latitude_deg > 0)
+        assert north / len(network) > 0.65
+
+    def test_tx_capable_fraction(self, network):
+        tx = len(network.transmit_capable)
+        assert 10 <= tx <= 25  # ~10% of 173
+        assert len(network.receive_only) == len(network) - tx
+
+    def test_zero_tx_fraction(self):
+        net = satnogs_like_network(30, tx_capable_fraction=0.0, seed=1)
+        assert len(net.transmit_capable) == 0
+
+    def test_coordinates_valid(self, network):
+        for s in network:
+            assert -90.0 <= s.latitude_deg <= 90.0
+            assert -180.0 <= s.longitude_deg <= 180.0
+            assert s.altitude_km >= 0.0
+
+    def test_by_id(self, network):
+        station = network[5]
+        assert network.by_id(station.station_id) is station
+        with pytest.raises(KeyError):
+            network.by_id("nope")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            satnogs_like_network(0)
+        with pytest.raises(ValueError):
+            satnogs_like_network(10, tx_capable_fraction=1.5)
+
+
+class TestSubsetFraction:
+    def test_quarter_size(self):
+        net = satnogs_like_network(173, seed=11)
+        quarter = net.subset_fraction(0.25, seed=2)
+        assert len(quarter) == round(173 * 0.25)
+
+    def test_subset_keeps_tx_capable(self):
+        net = satnogs_like_network(60, tx_capable_fraction=0.05, seed=7)
+        for seed in range(5):
+            subset = net.subset_fraction(0.1, seed=seed)
+            assert any(s.can_transmit for s in subset)
+
+    def test_subset_is_deterministic(self):
+        net = satnogs_like_network(60, seed=7)
+        a = net.subset_fraction(0.25, seed=3)
+        b = net.subset_fraction(0.25, seed=3)
+        assert [s.station_id for s in a] == [s.station_id for s in b]
+
+    def test_subset_preserves_order(self):
+        net = satnogs_like_network(60, seed=7)
+        subset = net.subset_fraction(0.5, seed=3)
+        ids = [s.station_id for s in net]
+        subset_ids = [s.station_id for s in subset]
+        assert subset_ids == [i for i in ids if i in set(subset_ids)]
+
+    def test_invalid_fraction(self):
+        net = satnogs_like_network(10, seed=1)
+        with pytest.raises(ValueError):
+            net.subset_fraction(0.0)
+        with pytest.raises(ValueError):
+            net.subset_fraction(1.5)
+
+
+class TestBaselineNetwork:
+    def test_five_high_end_stations(self):
+        net = baseline_polar_network()
+        assert len(net) == 5
+        for s in net:
+            assert s.can_transmit
+            assert s.receiver.channels == 6
+            assert s.receiver.antenna.diameter_m == 4.0
+
+    def test_polar_concentration(self):
+        net = baseline_polar_network()
+        high_latitude = sum(1 for s in net if abs(s.latitude_deg) > 60.0)
+        assert high_latitude >= 4
+
+    def test_reduced_count(self):
+        assert len(baseline_polar_network(count=3)) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            baseline_polar_network(count=0)
+        with pytest.raises(ValueError):
+            baseline_polar_network(count=9)

@@ -1,0 +1,88 @@
+"""Tests for network JSON persistence."""
+
+import pytest
+
+from repro.groundstations.network import (
+    GroundStationNetwork,
+    baseline_polar_network,
+    satnogs_like_network,
+)
+from repro.groundstations.registry import (
+    RegistryError,
+    network_from_json,
+    network_to_json,
+)
+from repro.groundstations.station import DownlinkConstraints
+
+
+class TestRoundTrip:
+    def test_satnogs_network(self):
+        network = satnogs_like_network(20, seed=9)
+        again = network_from_json(network_to_json(network))
+        assert len(again) == 20
+        for a, b in zip(network, again):
+            assert a.station_id == b.station_id
+            assert a.latitude_deg == b.latitude_deg
+            assert a.capability == b.capability
+            assert a.receiver == b.receiver
+            assert a.backhaul_latency_s == b.backhaul_latency_s
+
+    def test_baseline_hardware_preserved(self):
+        network = baseline_polar_network()
+        again = network_from_json(network_to_json(network))
+        assert all(s.receiver.channels == 6 for s in again)
+        assert all(s.receiver.antenna.diameter_m == 4.0 for s in again)
+
+    def test_constraint_bitmaps_preserved(self):
+        network = satnogs_like_network(4, seed=2)
+        network[1].constraints = DownlinkConstraints.from_allowed_indices(
+            [0, 5, 200], total=259
+        )
+        network[2].constraints = DownlinkConstraints.deny_all()
+        again = network_from_json(network_to_json(network))
+        assert again[0].allows_satellite(17)
+        assert again[1].allows_satellite(5)
+        assert not again[1].allows_satellite(6)
+        assert not again[2].allows_satellite(0)
+
+    def test_schedulable_after_round_trip(self, small_fleet):
+        from datetime import datetime, timedelta
+
+        from repro.scheduling.scheduler import DownlinkScheduler
+        from repro.scheduling.value_functions import LatencyValue
+
+        for sat in small_fleet:
+            sat.generate_data(datetime(2020, 6, 1) - timedelta(hours=1), 3600.0)
+        network = network_from_json(
+            network_to_json(satnogs_like_network(10, seed=4))
+        )
+        scheduler = DownlinkScheduler(small_fleet, network, LatencyValue())
+        scheduler.schedule_step(datetime(2020, 6, 1))  # must not raise
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(RegistryError, match="invalid JSON"):
+            network_from_json("{nope")
+
+    def test_wrong_version(self):
+        with pytest.raises(RegistryError, match="version"):
+            network_from_json('{"version": 99, "stations": []}')
+
+    def test_missing_stations(self):
+        with pytest.raises(RegistryError):
+            network_from_json('{"version": 1}')
+
+    def test_malformed_station(self):
+        with pytest.raises(RegistryError, match="malformed"):
+            network_from_json(
+                '{"version": 1, "stations": [{"station_id": "x"}]}'
+            )
+
+    def test_duplicate_ids(self):
+        network = satnogs_like_network(2, seed=1)
+        doc = network_to_json(
+            GroundStationNetwork([network[0], network[0]])
+        )
+        with pytest.raises(RegistryError, match="duplicate"):
+            network_from_json(doc)

@@ -1,0 +1,84 @@
+"""Tests for the ground-station model and constraint bitmaps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.groundstations.station import (
+    DownlinkConstraints,
+    GroundStation,
+    StationCapability,
+)
+
+
+class TestConstraints:
+    def test_allow_all(self):
+        c = DownlinkConstraints.allow_all()
+        for idx in (0, 7, 100, 258):
+            assert c.allows(idx)
+
+    def test_deny_all(self):
+        c = DownlinkConstraints.deny_all()
+        for idx in (0, 7, 258):
+            assert not c.allows(idx)
+
+    def test_explicit_bitmap(self):
+        c = DownlinkConstraints.from_allowed_indices([0, 3, 258], total=259)
+        assert c.allows(0)
+        assert not c.allows(1)
+        assert c.allows(3)
+        assert c.allows(258)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            DownlinkConstraints.from_allowed_indices([300], total=259)
+
+    def test_allow_then_deny(self):
+        c = DownlinkConstraints.deny_all()
+        c.allow(5)
+        assert c.allows(5)
+        c.deny(5)
+        assert not c.allows(5)
+
+    def test_deny_on_allow_all_rejected(self):
+        with pytest.raises(ValueError):
+            DownlinkConstraints.allow_all().deny(3)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            DownlinkConstraints.allow_all().allows(-1)
+
+    @given(indices=st.sets(st.integers(min_value=0, max_value=258), max_size=40))
+    def test_bitmap_matches_set(self, indices):
+        c = DownlinkConstraints.from_allowed_indices(indices, total=259)
+        for idx in range(259):
+            assert c.allows(idx) == (idx in indices)
+
+
+class TestGroundStation:
+    def test_defaults_are_receive_only_volunteer(self):
+        gs = GroundStation("gs-x", 47.0, 8.0)
+        assert not gs.can_transmit
+        assert gs.capability is StationCapability.RECEIVE_ONLY
+        assert gs.allows_satellite(17)
+
+    def test_transmit_capable(self):
+        gs = GroundStation("gs-t", 47.0, 8.0,
+                           capability=StationCapability.TRANSMIT_CAPABLE)
+        assert gs.can_transmit
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            GroundStation("bad", 95.0, 8.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            GroundStation("bad", 47.0, 190.0)
+
+    def test_negative_elevation_mask(self):
+        with pytest.raises(ValueError):
+            GroundStation("bad", 47.0, 8.0, min_elevation_deg=-1.0)
+
+    def test_hashable_by_id(self):
+        a = GroundStation("same", 47.0, 8.0)
+        b = GroundStation("same", 10.0, 20.0)
+        assert hash(a) == hash(b)

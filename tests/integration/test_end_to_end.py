@@ -1,0 +1,133 @@
+"""Integration tests: the whole stack on one small world.
+
+Everything here exercises orbits -> link model -> weather -> scheduler ->
+simulation -> backend together, asserting cross-module invariants that no
+unit test can see.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.api import DGSNetwork
+from repro.core.scenarios import build_paper_weather
+from repro.groundstations.network import satnogs_like_network
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.satellites.satellite import GB_TO_BITS, Satellite
+from repro.scheduling.value_functions import LatencyValue, ThroughputValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def build_world(num_sats=10, num_stations=25, seed=17):
+    tles = synthetic_leo_constellation(num_sats, EPOCH, seed=seed)
+    sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+    network = satnogs_like_network(num_stations, seed=seed + 1)
+    return sats, network
+
+
+class TestScheduledLinksAreReal:
+    def test_assignments_point_at_visible_satellites(self):
+        sats, network = build_world()
+        for sat in sats:
+            sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+        api = DGSNetwork(sats, network, weather=build_paper_weather())
+        for hour in (0, 6, 12):
+            when = EPOCH + timedelta(hours=hour)
+            step = api.schedule(when)
+            for a in step.assignments:
+                topo = api.look_angles(sats[a.satellite_index],
+                                       network[a.station_index], when)
+                assert topo.elevation_deg > 0.0
+                # The assigned bitrate must be achievable at this geometry
+                # under clear sky (weather can only have made it lower).
+                from repro.linkbudget.budget import LinkBudget
+
+                budget = LinkBudget(sats[a.satellite_index].radio,
+                                    network[a.station_index].receiver)
+                clear = budget.evaluate(topo.range_km, topo.elevation_deg,
+                                        network[a.station_index].latitude_deg)
+                assert a.bitrate_bps <= clear.bitrate_bps + 1e-6
+
+
+class TestEndToEndDataFlow:
+    @pytest.fixture(scope="class")
+    def finished_run(self):
+        sats, network = build_world()
+        config = SimulationConfig(start=EPOCH, duration_s=6 * 3600.0, step_s=60.0)
+        sim = Simulation(sats, network, LatencyValue(), config,
+                         truth_weather=build_paper_weather())
+        return sim, sim.run()
+
+    def test_data_conservation(self, finished_run):
+        _sim, report = finished_run
+        backlog_bits = sum(report.final_backlog_gb.values()) * GB_TO_BITS
+        assert report.delivered_bits + backlog_bits == pytest.approx(
+            report.generated_bits, rel=1e-9
+        )
+
+    def test_chunk_latency_recomputes_from_timestamps(self, finished_run):
+        sim, _report = finished_run
+        for sat in sim.satellites:
+            for chunk in sat.storage.delivered_unacked_chunks + \
+                    sat.storage.acked_chunks:
+                latency = chunk.latency_seconds()
+                assert latency is not None
+                assert latency >= 0.0
+
+    def test_acked_chunks_were_received(self, finished_run):
+        sim, _report = finished_run
+        for sat in sim.satellites:
+            for chunk in sat.storage.acked_chunks:
+                assert chunk.ground_received
+
+    def test_backend_consistent_with_satellites(self, finished_run):
+        sim, _report = finished_run
+        for sat in sim.satellites:
+            acked_onboard = len(sat.storage.acked_chunks)
+            assert acked_onboard == sim.backend.acked_count(sat.satellite_id)
+
+    def test_station_bits_sum_to_delivered(self, finished_run):
+        _sim, report = finished_run
+        assert sum(report.station_bits.values()) == pytest.approx(
+            report.delivered_bits
+        )
+
+
+class TestValueFunctionBehaviourEndToEnd:
+    def test_throughput_phi_delivers_at_least_as_much(self):
+        """Phi = |x| maximizes moved bits; it should never deliver much
+        less than the latency optimizer on the same world."""
+        results = {}
+        for name, vf in (("latency", LatencyValue()),
+                         ("throughput", ThroughputValue())):
+            sats, network = build_world(seed=23)
+            config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
+            sim = Simulation(sats, network, vf, config,
+                             truth_weather=build_paper_weather())
+            results[name] = sim.run()
+        assert results["throughput"].delivered_bits >= \
+            0.85 * results["latency"].delivered_bits
+
+
+class TestHybridEndToEnd:
+    def test_plan_enforcement_reduces_early_throughput(self):
+        """With plan distribution enforced, satellites cannot use
+        receive-only stations until after a tx contact, so less data moves
+        in a short window."""
+        def run(enforce):
+            sats, network = build_world(seed=29)
+            config = SimulationConfig(
+                start=EPOCH, duration_s=3 * 3600.0,
+                enforce_plan_distribution=enforce,
+                plan_max_age_s=12 * 3600.0,
+            )
+            sim = Simulation(sats, network, LatencyValue(), config,
+                             truth_weather=build_paper_weather())
+            return sim.run()
+
+        free = run(False)
+        constrained = run(True)
+        assert constrained.delivered_bits <= free.delivered_bits + 1e-6

@@ -1,0 +1,102 @@
+"""Property-based tests over randomized small simulation worlds.
+
+Hypothesis drives world construction (fleet size, network size, seeds,
+durations, knobs); the invariants must hold for every world:
+
+* conservation: generated == delivered + true backlog;
+* latency non-negativity and ordering;
+* per-station byte accounting sums to the total;
+* satellite-side chunk state machines end in consistent states.
+"""
+
+from datetime import datetime
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.groundstations.network import satnogs_like_network
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.satellites.data import ChunkState
+from repro.satellites.satellite import GB_TO_BITS, Satellite
+from repro.scheduling.value_functions import LatencyValue, ThroughputValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+worlds = st.fixed_dictionaries(
+    {
+        "num_sats": st.integers(min_value=1, max_value=6),
+        "num_stations": st.integers(min_value=2, max_value=10),
+        "fleet_seed": st.integers(min_value=0, max_value=50),
+        "network_seed": st.integers(min_value=0, max_value=50),
+        "hours": st.sampled_from([1.0, 2.0]),
+        "value": st.sampled_from(["latency", "throughput"]),
+        "enforce_plans": st.booleans(),
+    }
+)
+
+
+def build_and_run(params):
+    tles = synthetic_leo_constellation(
+        params["num_sats"], EPOCH, seed=params["fleet_seed"]
+    )
+    sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+    network = satnogs_like_network(
+        params["num_stations"], seed=params["network_seed"]
+    )
+    value = (LatencyValue() if params["value"] == "latency"
+             else ThroughputValue())
+    config = SimulationConfig(
+        start=EPOCH,
+        duration_s=params["hours"] * 3600.0,
+        step_s=120.0,
+        enforce_plan_distribution=params["enforce_plans"],
+        snapshot_every_steps=0,
+    )
+    sim = Simulation(sats, network, value, config)
+    return sim, sim.run()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=worlds)
+def test_simulation_invariants(params):
+    sim, report = build_and_run(params)
+
+    # Conservation of data.
+    backlog_bits = sum(report.final_backlog_gb.values()) * GB_TO_BITS
+    assert report.delivered_bits + backlog_bits == pytest.approx(
+        report.generated_bits, rel=1e-9, abs=1.0
+    )
+
+    # Latency sanity.
+    latencies = report.all_latencies_s()
+    assert (latencies >= 0.0).all() if latencies.size else True
+    if latencies.size:
+        assert latencies.max() <= params["hours"] * 3600.0 + 1.0
+
+    # Station accounting.
+    assert sum(report.station_bits.values()) == pytest.approx(
+        report.delivered_bits
+    )
+
+    # Chunk state machines.
+    for sat in sim.satellites:
+        for chunk in sat.storage.onboard_chunks:
+            assert chunk.state is ChunkState.ONBOARD
+            assert chunk.remaining_bits > 0.0
+        for chunk in sat.storage.delivered_unacked_chunks:
+            assert chunk.state is ChunkState.DELIVERED
+            assert chunk.delivery_time is not None
+        for chunk in sat.storage.acked_chunks:
+            assert chunk.state is ChunkState.ACKED
+            assert chunk.ground_received
+            assert chunk.ack_time is not None
+            assert chunk.ack_time >= chunk.delivery_time
+
+    # Backend consistency: every ack the backend issued is on a satellite.
+    for sat in sim.satellites:
+        assert sim.backend.acked_count(sat.satellite_id) == len(
+            sat.storage.acked_chunks
+        )

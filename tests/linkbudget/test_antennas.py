@@ -1,0 +1,74 @@
+"""Tests for antenna gain and receiver noise models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkbudget.antennas import (
+    AntennaSpec,
+    ReceiverSpec,
+    half_power_beamwidth_deg,
+    parabolic_gain_dbi,
+    system_noise_temperature_k,
+)
+
+
+class TestParabolicGain:
+    def test_textbook_value(self):
+        # 1 m dish at 8.2 GHz, 60% efficiency: ~36.5 dBi.
+        assert parabolic_gain_dbi(1.0, 8.2, 0.6) == pytest.approx(36.5, abs=0.3)
+
+    def test_four_meter_dish(self):
+        # 4x diameter = +12 dB.
+        g1 = parabolic_gain_dbi(1.0, 8.2, 0.6)
+        g4 = parabolic_gain_dbi(4.0, 8.2, 0.6)
+        assert g4 - g1 == pytest.approx(12.04, abs=0.01)
+
+    @given(
+        d=st.floats(min_value=0.1, max_value=30.0),
+        f=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_gain_monotonic_in_diameter_and_frequency(self, d, f):
+        assert parabolic_gain_dbi(d * 1.5, f) > parabolic_gain_dbi(d, f)
+        assert parabolic_gain_dbi(d, f * 1.5) > parabolic_gain_dbi(d, f)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            parabolic_gain_dbi(-1.0, 8.2)
+        with pytest.raises(ValueError):
+            parabolic_gain_dbi(1.0, 8.2, efficiency=1.5)
+
+
+class TestBeamwidth:
+    def test_one_meter_xband(self):
+        # ~2.6 deg for 1 m at 8.2 GHz.
+        assert half_power_beamwidth_deg(1.0, 8.2) == pytest.approx(2.56, abs=0.1)
+
+    def test_narrower_for_bigger_dish(self):
+        assert half_power_beamwidth_deg(4.0, 8.2) < half_power_beamwidth_deg(1.0, 8.2)
+
+
+class TestSystemNoise:
+    def test_typical_receiver(self):
+        t = system_noise_temperature_k(60.0, 1.0, 0.3)
+        assert 100.0 < t < 220.0
+
+    def test_higher_nf_higher_temperature(self):
+        assert system_noise_temperature_k(60.0, 2.0, 0.3) > \
+            system_noise_temperature_k(60.0, 1.0, 0.3)
+
+    def test_lossless_feed_passes_antenna_temp(self):
+        t = system_noise_temperature_k(60.0, 0.0, 0.0)
+        assert t == pytest.approx(60.0)
+
+
+class TestReceiverSpec:
+    def test_g_over_t(self):
+        rx = ReceiverSpec(antenna=AntennaSpec(diameter_m=4.0, efficiency=0.65),
+                          noise_figure_db=0.8, channels=6)
+        got = rx.g_over_t_db(8.2)
+        assert 24.0 < got < 30.0
+
+    def test_bigger_dish_better_g_over_t(self):
+        small = ReceiverSpec(antenna=AntennaSpec(diameter_m=1.0))
+        big = ReceiverSpec(antenna=AntennaSpec(diameter_m=4.0))
+        assert big.g_over_t_db(8.2) > small.g_over_t_db(8.2)

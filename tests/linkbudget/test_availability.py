@@ -1,0 +1,82 @@
+"""Tests for the P.618 exceedance / availability extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkbudget.itu import (
+    link_availability_percent,
+    rain_attenuation_exceeded_db,
+)
+
+
+class TestExceedance:
+    def test_deeper_fades_at_rarer_exceedance(self):
+        args = (30.0, 14.0, 30.0, 47.0)
+        a_001 = rain_attenuation_exceeded_db(*args, exceedance_percent=0.01)
+        a_01 = rain_attenuation_exceeded_db(*args, exceedance_percent=0.1)
+        a_1 = rain_attenuation_exceeded_db(*args, exceedance_percent=1.0)
+        assert a_001 > a_01 > a_1 > 0.0
+
+    def test_fades_grow_with_frequency(self):
+        fades = [
+            rain_attenuation_exceeded_db(30.0, f, 30.0, 47.0)
+            for f in (8.2, 14.0, 20.0, 30.0)
+        ]
+        assert all(a < b for a, b in zip(fades, fades[1:]))
+
+    def test_paper_fade_range(self):
+        """Sec. 1: 'attenuation of 10-25 dB due to rain and clouds' at the
+        bands ground stations use -- the 0.01% fades at Ku/Ka land there."""
+        ku = rain_attenuation_exceeded_db(30.0, 14.0, 30.0, 47.0)
+        ka = rain_attenuation_exceeded_db(30.0, 26.5, 30.0, 47.0)
+        assert 5.0 < ku < 30.0
+        assert 10.0 < ka < 40.0
+
+    def test_zero_rain_zero_fade(self):
+        assert rain_attenuation_exceeded_db(0.0, 14.0, 30.0, 47.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rain_attenuation_exceeded_db(-1.0, 14.0, 30.0, 47.0)
+        with pytest.raises(ValueError):
+            rain_attenuation_exceeded_db(30.0, 14.0, 30.0, 47.0,
+                                         exceedance_percent=50.0)
+
+    @given(
+        rain=st.floats(min_value=1.0, max_value=120.0),
+        f=st.floats(min_value=4.0, max_value=40.0),
+        el=st.floats(min_value=5.0, max_value=90.0),
+        lat=st.floats(min_value=-70.0, max_value=70.0),
+        p=st.floats(min_value=0.001, max_value=5.0),
+    )
+    def test_non_negative_finite(self, rain, f, el, lat, p):
+        fade = rain_attenuation_exceeded_db(rain, f, el, lat,
+                                            exceedance_percent=p)
+        assert 0.0 <= fade < 500.0
+
+
+class TestAvailability:
+    def test_more_margin_more_availability(self):
+        low = link_availability_percent(2.0, 30.0, 20.0, 30.0, 47.0)
+        high = link_availability_percent(12.0, 30.0, 20.0, 30.0, 47.0)
+        assert high >= low
+
+    def test_x_band_nearly_always_available(self):
+        availability = link_availability_percent(3.0, 30.0, 8.2, 30.0, 47.0)
+        assert availability > 99.9
+
+    def test_ka_band_needs_big_margins(self):
+        small_margin = link_availability_percent(2.0, 30.0, 26.5, 30.0, 47.0)
+        assert small_margin < 99.95
+
+    def test_consistency_with_exceedance(self):
+        """availability(fade(p)) should recover ~100-p."""
+        p = 0.1
+        fade = rain_attenuation_exceeded_db(30.0, 14.0, 30.0, 47.0,
+                                            exceedance_percent=p)
+        availability = link_availability_percent(fade, 30.0, 14.0, 30.0, 47.0)
+        assert availability == pytest.approx(100.0 - p, abs=0.05)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            link_availability_percent(-1.0, 30.0, 14.0, 30.0, 47.0)

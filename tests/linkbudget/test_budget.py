@@ -1,0 +1,126 @@
+"""Tests for the end-to-end link budget and its paper calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linkbudget.budget import (
+    LinkBudget,
+    RadioConfig,
+    baseline_receiver,
+    dgs_node_receiver,
+)
+
+
+@pytest.fixture(scope="module")
+def radio():
+    return RadioConfig()
+
+
+@pytest.fixture(scope="module")
+def dgs_budget(radio):
+    return LinkBudget(radio, dgs_node_receiver())
+
+
+@pytest.fixture(scope="module")
+def baseline_budget(radio):
+    return LinkBudget(radio, baseline_receiver())
+
+
+class TestRadioConfig:
+    def test_power_split_across_channels(self, radio):
+        full = radio.eirp_dbw_per_channel(1)
+        split = radio.eirp_dbw_per_channel(6)
+        assert full == radio.total_eirp_dbw
+        assert full - split == pytest.approx(7.78, abs=0.01)
+
+    def test_invalid_channel_counts(self, radio):
+        with pytest.raises(ValueError):
+            radio.eirp_dbw_per_channel(0)
+        with pytest.raises(ValueError):
+            radio.eirp_dbw_per_channel(7)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RadioConfig(frequency_ghz=-1.0)
+        with pytest.raises(ValueError):
+            RadioConfig(channels=0)
+
+
+class TestPaperCalibration:
+    def test_baseline_peak_near_1_6_gbps(self, baseline_budget):
+        """Sec. 2: 'data rate around 1.6 Gbps by combining six ... channels'."""
+        result = baseline_budget.evaluate(500.0, 90.0, 78.0)
+        assert result.bitrate_bps == pytest.approx(1.6e9, rel=0.15)
+        assert result.active_channels == 6
+
+    def test_dgs_node_peak_order_of_magnitude(self, dgs_budget):
+        result = dgs_budget.evaluate(500.0, 90.0, 47.0)
+        assert 0.08e9 < result.bitrate_bps < 0.35e9
+        assert result.active_channels == 1
+
+    def test_ten_x_median_throughput_ratio(self, radio):
+        """Sec. 4: baseline achieves ~10x the median DGS node throughput."""
+        from repro.baseline.system import measured_node_throughput_ratio
+
+        ratio = measured_node_throughput_ratio(radio)
+        assert 7.0 < ratio < 14.0
+
+
+class TestLinkPhysics:
+    def test_below_horizon_never_closes(self, dgs_budget):
+        result = dgs_budget.evaluate(2500.0, -5.0, 47.0)
+        assert not result.closes
+        assert result.bitrate_bps == 0.0
+
+    def test_rate_degrades_toward_horizon(self, baseline_budget):
+        """Sec. 2: 'As the satellite reaches closer to the horizon, the
+        link quality degrades and the satellite has to downgrade its rate'."""
+        rates = []
+        for rng, el in ((500.0, 90.0), (800.0, 40.0), (1400.0, 15.0), (2200.0, 5.0)):
+            rates.append(baseline_budget.evaluate(rng, el, 60.0).bitrate_bps)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+        assert rates[0] > rates[-1]
+
+    def test_rain_reduces_esn0(self, dgs_budget):
+        dry = dgs_budget.evaluate(800.0, 40.0, 47.0, rain_rate_mm_h=0.0)
+        wet = dgs_budget.evaluate(800.0, 40.0, 47.0, rain_rate_mm_h=25.0)
+        assert wet.esn0_db < dry.esn0_db
+        assert wet.rain_db > 0.0
+
+    def test_cloud_reduces_esn0(self, dgs_budget):
+        clear = dgs_budget.evaluate(800.0, 40.0, 47.0)
+        cloudy = dgs_budget.evaluate(800.0, 40.0, 47.0, cloud_water_kg_m2=2.0)
+        assert cloudy.esn0_db < clear.esn0_db
+
+    def test_hardware_calibration_term(self, radio):
+        clean = LinkBudget(radio, dgs_node_receiver())
+        lossy = LinkBudget(radio, dgs_node_receiver(), hardware_calibration_db=3.0)
+        assert lossy.evaluate(800.0, 40.0, 47.0).esn0_db == pytest.approx(
+            clean.evaluate(800.0, 40.0, 47.0).esn0_db - 3.0
+        )
+
+    @settings(max_examples=50)
+    @given(
+        rng=st.floats(min_value=400.0, max_value=3000.0),
+        el=st.floats(min_value=0.1, max_value=90.0),
+        rain=st.floats(min_value=0.0, max_value=80.0),
+        cloud=st.floats(min_value=0.0, max_value=4.0),
+        lat=st.floats(min_value=-80.0, max_value=80.0),
+    )
+    def test_result_invariants(self, dgs_budget, rng, el, rain, cloud, lat):
+        result = dgs_budget.evaluate(rng, el, lat, rain, cloud)
+        assert result.fspl_db > 100.0
+        assert result.rain_db >= 0.0
+        assert result.cloud_db >= 0.0
+        assert result.gas_db >= 0.0
+        if result.closes:
+            assert result.bitrate_bps > 0.0
+            assert result.modcod.esn0_db <= result.esn0_db - dgs_budget.acm_margin_db
+        else:
+            assert result.bitrate_bps == 0.0
+
+    def test_total_atmospheric_sum(self, dgs_budget):
+        result = dgs_budget.evaluate(800.0, 30.0, 47.0, 10.0, 1.0)
+        assert result.total_atmospheric_db == pytest.approx(
+            result.rain_db + result.cloud_db + result.gas_db
+        )

@@ -1,0 +1,92 @@
+"""Tests for Doppler prediction and blind-acquisition budgets."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.linkbudget.doppler import (
+    acquisition_window_hz,
+    doppler_shift_hz,
+    max_doppler_hz,
+    pass_doppler_profile,
+)
+from repro.orbits.passes import PassPredictor
+from repro.orbits.sgp4 import SGP4
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class TestShiftBasics:
+    def test_sign_convention(self):
+        assert doppler_shift_hz(-7.0, 8.2e9) > 0.0  # approaching = blue
+        assert doppler_shift_hz(7.0, 8.2e9) < 0.0
+
+    def test_xband_magnitude(self):
+        # 7.4 km/s at 8.2 GHz: ~202 kHz.
+        assert doppler_shift_hz(-7.4, 8.2e9) == pytest.approx(202.4e3, rel=0.01)
+
+    def test_max_doppler(self):
+        assert max_doppler_hz(8.2e9) == pytest.approx(207.9e3, rel=0.01)
+        with pytest.raises(ValueError):
+            max_doppler_hz(-1.0)
+
+
+class TestPassProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, request):
+        from repro.orbits.constellation import synthetic_leo_constellation
+
+        tle = synthetic_leo_constellation(1, EPOCH, seed=42)[0]
+        prop = SGP4(tle)
+        predictor = PassPredictor(prop.propagate, 47.6, -122.3, 0.05,
+                                  min_elevation_deg=5.0)
+        window = next(iter(predictor.passes(EPOCH, EPOCH + timedelta(days=1))))
+        return pass_doppler_profile(
+            prop.propagate, 47.6, -122.3, 0.05,
+            window.rise_time, window.duration_seconds, carrier_hz=8.2e9,
+        )
+
+    def test_blue_then_red(self, profile):
+        """Approaching first (positive shift), receding last (negative)."""
+        assert profile[0].shift_hz > 0.0
+        assert profile[-1].shift_hz < 0.0
+
+    def test_monotone_decreasing_shift(self, profile):
+        shifts = [s.shift_hz for s in profile]
+        assert all(a >= b for a, b in zip(shifts, shifts[1:]))
+
+    def test_magnitudes_within_leo_bounds(self, profile):
+        bound = max_doppler_hz(8.2e9)
+        for sample in profile:
+            assert abs(sample.shift_hz) <= bound
+
+    def test_slew_rate_peaks_mid_pass(self, profile):
+        rates = [abs(s.rate_hz_s) for s in profile[1:]]
+        mid = len(rates) // 2
+        # The fastest frequency slew happens near closest approach, not at
+        # the horizon ends.
+        assert max(rates[mid - 3: mid + 3]) >= 0.8 * max(rates)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pass_doppler_profile(lambda t: None, 0, 0, 0, EPOCH, -5.0, 8.2e9)
+
+
+class TestAcquisitionWindow:
+    def test_tle_grade_window_small(self):
+        """Kilometre-grade ephemeris (the paper's Sec. 3.1 accuracy claim)
+        keeps the X-band search window in the tens of kHz."""
+        window = acquisition_window_hz(1.0, 8.2e9)
+        assert window < 50e3
+
+    def test_grows_with_position_error(self):
+        assert acquisition_window_hz(10.0, 8.2e9) > acquisition_window_hz(1.0, 8.2e9)
+
+    def test_oscillator_floor(self):
+        # Even perfect ephemeris leaves the oscillator term.
+        floor = acquisition_window_hz(0.0, 8.2e9, oscillator_ppm=0.5)
+        assert floor == pytest.approx(8.2e9 * 0.5e-6)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            acquisition_window_hz(-1.0, 8.2e9)

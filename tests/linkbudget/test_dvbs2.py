@@ -1,0 +1,89 @@
+"""Tests for the DVB-S2 MODCOD table and ACM selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkbudget.dvbs2 import (
+    DVBS2_MODCODS,
+    achievable_bitrate_bps,
+    best_modcod,
+    modcod_by_name,
+    required_esn0_db,
+)
+
+
+class TestTable:
+    def test_has_all_28_modcods(self):
+        assert len(DVBS2_MODCODS) == 28
+
+    def test_sorted_by_threshold(self):
+        thresholds = [mc.esn0_db for mc in DVBS2_MODCODS]
+        assert thresholds == sorted(thresholds)
+
+    def test_efficiency_increases_with_threshold_within_modulation(self):
+        for modulation in ("QPSK", "8PSK", "16APSK", "32APSK"):
+            mcs = [m for m in DVBS2_MODCODS if m.modulation == modulation]
+            effs = [m.spectral_efficiency for m in mcs]
+            assert effs == sorted(effs)
+
+    def test_standard_values(self):
+        assert required_esn0_db("QPSK 1/4") == pytest.approx(-2.35)
+        assert required_esn0_db("QPSK 9/10") == pytest.approx(6.42)
+        assert required_esn0_db("32APSK 9/10") == pytest.approx(16.05)
+        assert modcod_by_name("8PSK 3/5").spectral_efficiency == pytest.approx(
+            1.779991
+        )
+
+    def test_unknown_modcod(self):
+        with pytest.raises(KeyError, match="64APSK"):
+            modcod_by_name("64APSK 1/2")
+
+    def test_efficiency_bounds(self):
+        for mc in DVBS2_MODCODS:
+            assert 0.4 < mc.spectral_efficiency < 4.5
+
+    def test_bitrate_scales_with_symbol_rate(self):
+        mc = modcod_by_name("QPSK 1/2")
+        assert mc.bitrate_bps(2e6) == pytest.approx(2 * mc.bitrate_bps(1e6))
+
+
+class TestACM:
+    def test_below_minimum_returns_none(self):
+        assert best_modcod(-5.0) is None
+
+    def test_high_snr_gives_top_modcod(self):
+        assert best_modcod(30.0).name == "32APSK 9/10"
+
+    def test_margin_is_subtracted(self):
+        # At exactly the QPSK 1/2 threshold with 1 dB margin, QPSK 1/2 is
+        # NOT usable, the next one down is.
+        at_threshold = best_modcod(1.0, margin_db=1.0)
+        assert at_threshold is not None
+        assert at_threshold.esn0_db <= 0.0
+        without_margin = best_modcod(1.0, margin_db=0.0)
+        assert without_margin.name == "QPSK 1/2"
+
+    @given(esn0=st.floats(min_value=-10.0, max_value=30.0))
+    def test_selection_is_feasible_and_maximal(self, esn0):
+        mc = best_modcod(esn0, margin_db=1.0)
+        if mc is None:
+            assert esn0 - 1.0 < DVBS2_MODCODS[0].esn0_db
+        else:
+            assert mc.esn0_db <= esn0 - 1.0
+            better = [
+                m for m in DVBS2_MODCODS
+                if m.spectral_efficiency > mc.spectral_efficiency
+            ]
+            assert all(m.esn0_db > esn0 - 1.0 for m in better)
+
+    @given(
+        lo=st.floats(min_value=-5.0, max_value=25.0),
+        delta=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_rate_monotonic_in_snr(self, lo, delta):
+        r_lo = achievable_bitrate_bps(lo, 1e6)
+        r_hi = achievable_bitrate_bps(lo + delta, 1e6)
+        assert r_hi >= r_lo
+
+    def test_no_link_is_zero_rate(self):
+        assert achievable_bitrate_bps(-20.0, 75e6) == 0.0

@@ -1,0 +1,175 @@
+"""Tests for the ITU-R attenuation models (P.838 / P.839 / P.840 / P.676)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkbudget.itu import (
+    cloud_attenuation_db,
+    cloud_specific_coefficient,
+    gaseous_attenuation_db,
+    rain_attenuation_db,
+    rain_coefficients,
+    rain_height_km,
+    rain_specific_attenuation_db_km,
+    slant_path_length_km,
+)
+
+
+class TestP838Coefficients:
+    def test_10ghz_textbook_values(self):
+        # P.838-3 at 10 GHz: kH ~ 0.01217, alphaH ~ 1.2571.
+        k_h, a_h = rain_coefficients(10.0, "h")
+        assert k_h == pytest.approx(0.01217, rel=0.1)
+        assert a_h == pytest.approx(1.2571, rel=0.05)
+
+    def test_horizontal_exceeds_vertical(self):
+        # Raindrops are oblate: horizontal attenuation >= vertical.
+        for f in (4.0, 8.2, 12.0, 20.0, 30.0):
+            k_h, a_h = rain_coefficients(f, "h")
+            k_v, a_v = rain_coefficients(f, "v")
+            gamma_h = k_h * 25.0**a_h
+            gamma_v = k_v * 25.0**a_v
+            assert gamma_h >= gamma_v * 0.95
+
+    def test_circular_between_h_and_v(self):
+        k_h, _ = rain_coefficients(12.0, "h")
+        k_v, _ = rain_coefficients(12.0, "v")
+        k_c, _ = rain_coefficients(12.0, "circular")
+        assert min(k_h, k_v) <= k_c <= max(k_h, k_v)
+
+    @given(f=st.floats(min_value=1.0, max_value=100.0))
+    def test_coefficients_physical(self, f):
+        k, alpha = rain_coefficients(f)
+        assert k > 0.0
+        assert 0.4 < alpha < 1.8
+
+    def test_out_of_range_frequency(self):
+        with pytest.raises(ValueError):
+            rain_coefficients(0.5)
+
+    def test_unknown_polarization(self):
+        with pytest.raises(ValueError):
+            rain_coefficients(10.0, "diagonal")
+
+
+class TestSpecificAttenuation:
+    def test_zero_rain_zero_attenuation(self):
+        assert rain_specific_attenuation_db_km(0.0, 12.0) == 0.0
+
+    def test_increases_with_rain_rate(self):
+        gammas = [
+            rain_specific_attenuation_db_km(r, 12.0) for r in (1, 5, 25, 100)
+        ]
+        assert all(a < b for a, b in zip(gammas, gammas[1:]))
+
+    def test_increases_with_frequency_below_100ghz(self):
+        gammas = [rain_specific_attenuation_db_km(25.0, f) for f in (4, 8, 12, 20, 40)]
+        assert all(a < b for a, b in zip(gammas, gammas[1:]))
+
+    def test_xband_magnitude(self):
+        # ~0.1-0.4 dB/km at 8.2 GHz in 25 mm/h rain.
+        gamma = rain_specific_attenuation_db_km(25.0, 8.2)
+        assert 0.05 < gamma < 0.6
+
+    def test_negative_rain_rejected(self):
+        with pytest.raises(ValueError):
+            rain_specific_attenuation_db_km(-1.0, 12.0)
+
+
+class TestRainHeight:
+    def test_tropics_high(self):
+        assert rain_height_km(0.0) == 5.0
+        assert rain_height_km(10.0) == 5.0
+
+    def test_decreases_poleward(self):
+        assert rain_height_km(40.0) < rain_height_km(25.0)
+        assert rain_height_km(-60.0) < rain_height_km(-30.0)
+
+    def test_never_negative(self):
+        for lat in range(-90, 91, 5):
+            assert rain_height_km(float(lat)) >= 0.0
+
+    def test_polar_south_zero(self):
+        assert rain_height_km(-80.0) == 0.0
+
+
+class TestSlantPath:
+    def test_zenith_equals_height(self):
+        assert slant_path_length_km(90.0, 4.0) == pytest.approx(4.0)
+
+    def test_low_elevation_longer(self):
+        assert slant_path_length_km(10.0, 4.0) > slant_path_length_km(45.0, 4.0)
+
+    def test_grazing_clamped(self):
+        # Below 5 deg the path is clamped to the 5 deg value.
+        assert slant_path_length_km(1.0, 4.0) == slant_path_length_km(5.0, 4.0)
+
+    def test_zero_height_zero_path(self):
+        assert slant_path_length_km(30.0, 0.0) == 0.0
+
+
+class TestRainAttenuationTotal:
+    def test_zero_rain(self):
+        assert rain_attenuation_db(0.0, 12.0, 30.0, 45.0) == 0.0
+
+    def test_heavy_rain_ku_band_magnitude(self):
+        # The paper quotes 10-25 dB rain fades at 10+ GHz: heavy tropical
+        # rain at Ku band and low elevation should reach that range.
+        att = rain_attenuation_db(50.0, 14.0, 10.0, 10.0)
+        assert 5.0 < att < 40.0
+
+    def test_xband_moderate(self):
+        att = rain_attenuation_db(10.0, 8.2, 30.0, 45.0)
+        assert 0.05 < att < 5.0
+
+    def test_lower_elevation_attenuates_more(self):
+        low = rain_attenuation_db(20.0, 12.0, 10.0, 45.0)
+        high = rain_attenuation_db(20.0, 12.0, 80.0, 45.0)
+        assert low > high
+
+    @given(
+        rain=st.floats(min_value=0.0, max_value=150.0),
+        f=st.floats(min_value=1.0, max_value=50.0),
+        el=st.floats(min_value=0.0, max_value=90.0),
+        lat=st.floats(min_value=-89.0, max_value=89.0),
+    )
+    def test_non_negative_and_finite(self, rain, f, el, lat):
+        att = rain_attenuation_db(rain, f, el, lat)
+        assert att >= 0.0
+        assert att < 1000.0
+
+
+class TestCloudAttenuation:
+    def test_zero_cloud(self):
+        assert cloud_attenuation_db(0.0, 30.0, 45.0) == 0.0
+
+    def test_coefficient_grows_with_frequency(self):
+        coeffs = [cloud_specific_coefficient(f) for f in (5, 10, 20, 40)]
+        assert all(a < b for a, b in zip(coeffs, coeffs[1:]))
+
+    def test_30ghz_magnitude(self):
+        # K_l(30 GHz, 0 C) ~ 0.4-0.9 dB/km per g/m^3.
+        assert 0.2 < cloud_specific_coefficient(30.0) < 1.2
+
+    def test_xband_small(self):
+        # Clouds are nearly transparent at X band: < 1 dB even for heavy
+        # cloud at low elevation.
+        att = cloud_attenuation_db(1.0, 8.2, 10.0)
+        assert att < 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cloud_attenuation_db(-0.1, 8.2, 45.0)
+
+
+class TestGaseousAttenuation:
+    def test_water_vapour_line_peak(self):
+        # The 22.3 GHz water line exceeds its neighbourhood.
+        assert gaseous_attenuation_db(22.3, 90.0) > gaseous_attenuation_db(15.0, 90.0)
+        assert gaseous_attenuation_db(22.3, 90.0) > gaseous_attenuation_db(30.0, 90.0)
+
+    def test_xband_small(self):
+        assert gaseous_attenuation_db(8.2, 90.0) < 0.1
+
+    def test_elevation_scaling(self):
+        assert gaseous_attenuation_db(8.2, 10.0) > gaseous_attenuation_db(8.2, 60.0)

@@ -1,0 +1,91 @@
+"""Tests for the backend collator and delayed-ack loop."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.network.backend import BackendCollator
+from repro.network.messages import ChunkReceiptMessage
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def receipt(chunk_id, sat="sat-A", at=EPOCH, size=8e9):
+    return ChunkReceiptMessage(
+        station_id="gs-001", satellite_id=sat, chunk_id=chunk_id,
+        received_at=at, size_bits=size,
+    )
+
+
+class TestReceiptFlow:
+    def test_receipt_lands_after_backhaul_latency(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), backhaul_latency_s=10.0)
+        assert backend.in_flight_count == 1
+        backend.advance(EPOCH + timedelta(seconds=5))
+        assert backend.pending_acks("sat-A") == set()
+        backend.advance(EPOCH + timedelta(seconds=11))
+        assert backend.pending_acks("sat-A") == {1}
+        assert backend.in_flight_count == 0
+
+    def test_totals(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1, size=100.0), 0.0)
+        backend.submit_receipt(receipt(2, size=200.0), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        assert backend.total_receipts == 2
+        assert backend.total_bits_received == pytest.approx(300.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            BackendCollator().submit_receipt(receipt(1), -1.0)
+
+
+class TestAckBatches:
+    def test_batch_contains_landed_receipts(self):
+        backend = BackendCollator()
+        for chunk_id in (3, 1, 2):
+            backend.submit_receipt(receipt(chunk_id), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        batch = backend.issue_ack_batch("sat-A", EPOCH + timedelta(minutes=5))
+        assert batch.chunk_ids == (1, 2, 3)
+
+    def test_batch_is_consumed(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        assert backend.issue_ack_batch("sat-A", EPOCH) is not None
+        assert backend.issue_ack_batch("sat-A", EPOCH) is None
+        assert backend.acked_count("sat-A") == 1
+
+    def test_duplicate_receipt_after_ack_is_ignored(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        backend.issue_ack_batch("sat-A", EPOCH)
+        # The same chunk reported again (e.g. duplicate relay).
+        backend.submit_receipt(receipt(1), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=2))
+        assert backend.issue_ack_batch("sat-A", EPOCH) is None
+
+    def test_per_satellite_isolation(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1, sat="sat-A"), 0.0)
+        backend.submit_receipt(receipt(2, sat="sat-B"), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        assert backend.pending_acks("sat-A") == {1}
+        assert backend.pending_acks("sat-B") == {2}
+        batch_a = backend.issue_ack_batch("sat-A", EPOCH)
+        assert batch_a.chunk_ids == (1,)
+        assert backend.pending_acks("sat-B") == {2}
+
+    def test_no_batch_for_unknown_satellite(self):
+        assert BackendCollator().issue_ack_batch("ghost", EPOCH) is None
+
+    def test_pending_acks_view_is_copy(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        view = backend.pending_acks("sat-A")
+        view.add(999)
+        assert backend.pending_acks("sat-A") == {1}

@@ -1,0 +1,84 @@
+"""Tests for backhaul sizing and the station uplink queue."""
+
+from datetime import datetime, timedelta
+
+import math
+
+import pytest
+
+from repro.network.backhaul import (
+    StationUplink,
+    backhaul_reduction_factor,
+    decoded_backhaul_mbps,
+    raw_iq_backhaul_mbps,
+)
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class TestBackhaulSizing:
+    def test_raw_iq_magnitude(self):
+        # 75 Mbaud at 16-bit I/Q, 1.25x oversampling: 3 Gbit/s.
+        assert raw_iq_backhaul_mbps(75e6) == pytest.approx(3000.0)
+
+    def test_decoded_equals_bitrate(self):
+        assert decoded_backhaul_mbps(150e6) == 150.0
+
+    def test_orders_of_magnitude_claim(self):
+        """Sec. 2: co-located demodulation cuts backhaul 'by orders of
+        magnitude' -- >10x even at the highest MODCOD, ~50x at QPSK."""
+        high = backhaul_reduction_factor(75e6, 75e6 * 4.45)
+        low = backhaul_reduction_factor(75e6, 75e6 * 0.49)
+        assert high > 8.0
+        assert low > 50.0
+
+    def test_dead_link_infinite_reduction(self):
+        assert backhaul_reduction_factor(75e6, 0.0) == math.inf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            raw_iq_backhaul_mbps(0.0)
+        with pytest.raises(ValueError):
+            raw_iq_backhaul_mbps(75e6, bits_per_sample=0)
+        with pytest.raises(ValueError):
+            decoded_backhaul_mbps(-1.0)
+
+
+class TestStationUplink:
+    def test_fifo_within_priority(self):
+        uplink = StationUplink(capacity_mbps=8.0)  # 1 MB/s
+        uplink.enqueue(1, 8e6, EPOCH)               # 1 s of uplink
+        uplink.enqueue(2, 8e6, EPOCH + timedelta(seconds=1))
+        done = uplink.drain(EPOCH, 10.0)
+        assert [cid for cid, _t in done] == [1, 2]
+        assert done[0][1] == EPOCH + timedelta(seconds=1)
+        assert done[1][1] == EPOCH + timedelta(seconds=2)
+
+    def test_priority_jumps_queue(self):
+        uplink = StationUplink(capacity_mbps=8.0)
+        uplink.enqueue(1, 8e6, EPOCH, priority=0.0)
+        uplink.enqueue(2, 8e6, EPOCH, priority=5.0)  # urgent
+        done = uplink.drain(EPOCH, 10.0)
+        assert [cid for cid, _t in done] == [2, 1]
+
+    def test_partial_drain_carries_over(self):
+        uplink = StationUplink(capacity_mbps=8.0)
+        uplink.enqueue(1, 16e6, EPOCH)  # needs 2 s
+        assert uplink.drain(EPOCH, 1.0) == []
+        assert uplink.queued_bits == pytest.approx(8e6)
+        done = uplink.drain(EPOCH + timedelta(seconds=1), 1.0)
+        assert [cid for cid, _t in done] == [1]
+
+    def test_backlog_delay(self):
+        uplink = StationUplink(capacity_mbps=8.0)
+        uplink.enqueue(1, 16e6, EPOCH)
+        assert uplink.backlog_delay_s() == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            StationUplink(0.0)
+        uplink = StationUplink(10.0)
+        with pytest.raises(ValueError):
+            uplink.enqueue(1, 0.0, EPOCH)
+        with pytest.raises(ValueError):
+            uplink.drain(EPOCH, -1.0)

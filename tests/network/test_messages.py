@@ -1,0 +1,83 @@
+"""Tests for wire message serialization."""
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.messages import (
+    AckBatchMessage,
+    ChunkReceiptMessage,
+    MessageError,
+    PlanUploadMessage,
+    decode_message,
+    encode_message,
+)
+
+EPOCH = datetime(2020, 6, 1, 12, 30, 45)
+
+
+class TestRoundTrip:
+    def test_chunk_receipt(self):
+        msg = ChunkReceiptMessage(
+            station_id="gs-001", satellite_id="SYN-EO-003",
+            chunk_id=42, received_at=EPOCH, size_bits=8e9,
+        )
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_ack_batch(self):
+        msg = AckBatchMessage(
+            satellite_id="SYN-EO-003", chunk_ids=(1, 2, 99), issued_at=EPOCH
+        )
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_plan_upload(self):
+        msg = PlanUploadMessage(
+            satellite_id="SYN-EO-003",
+            issued_at=EPOCH,
+            entries=(
+                ("2020-06-01T13:00:00", "gs-001", 1.2e8),
+                ("2020-06-01T13:05:00", "gs-042", 9.1e7),
+            ),
+        )
+        assert decode_message(encode_message(msg)) == msg
+
+    @given(
+        chunk_ids=st.lists(st.integers(min_value=0, max_value=10**9),
+                           max_size=50).map(tuple),
+    )
+    def test_ack_batch_property(self, chunk_ids):
+        msg = AckBatchMessage("sat", chunk_ids, EPOCH)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_encoding_is_deterministic(self):
+        msg = AckBatchMessage("sat", (3, 1, 2), EPOCH)
+        assert encode_message(msg) == encode_message(msg)
+
+
+class TestErrors:
+    def test_unknown_object(self):
+        with pytest.raises(MessageError, match="not a wire message"):
+            encode_message({"not": "a message"})
+
+    def test_invalid_json(self):
+        with pytest.raises(MessageError, match="invalid JSON"):
+            decode_message("{nope")
+
+    def test_non_object(self):
+        with pytest.raises(MessageError):
+            decode_message("[1, 2, 3]")
+
+    def test_unknown_type(self):
+        with pytest.raises(MessageError, match="unknown message type"):
+            decode_message('{"version": 1, "type": "telepathy", "payload": {}}')
+
+    def test_wrong_version(self):
+        with pytest.raises(MessageError, match="version"):
+            decode_message('{"version": 99, "type": "ack_batch", "payload": {}}')
+
+    def test_payload_mismatch(self):
+        with pytest.raises(MessageError, match="payload"):
+            decode_message(
+                '{"version": 1, "type": "ack_batch", "payload": {"bogus": 1}}'
+            )

@@ -1,0 +1,123 @@
+"""Tests for TLE catalog management."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.orbits.catalog import TLECatalog, staleness_error_km
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.orbits.tle import TLE, TLEError
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def refit(tle: TLE, days_later: float) -> TLE:
+    """The same orbit re-fitted at a later epoch (drifted elements)."""
+    from repro.orbits.kepler import KeplerJ2Propagator
+    import math
+
+    prop = KeplerJ2Propagator(tle)
+    new_epoch = tle.epoch + timedelta(days=days_later)
+    dt = days_later * 86400.0
+    return TLE.from_elements(
+        satnum=tle.satnum,
+        epoch=new_epoch,
+        inclination_deg=tle.inclination_deg,
+        raan_deg=(tle.raan_deg + math.degrees(prop.raan_dot * dt)) % 360.0,
+        eccentricity=tle.eccentricity,
+        argp_deg=(tle.argp_deg + math.degrees(prop.argp_dot * dt)) % 360.0,
+        mean_anomaly_deg=(tle.mean_anomaly_deg
+                          + math.degrees(prop.mean_anomaly_dot * dt)) % 360.0,
+        mean_motion_rev_day=tle.mean_motion_rev_day,
+        bstar=tle.bstar,
+        name=tle.name,
+    )
+
+
+@pytest.fixture(scope="module")
+def tles():
+    return synthetic_leo_constellation(5, EPOCH, seed=8)
+
+
+class TestCatalog:
+    def test_add_and_lookup(self, tles):
+        catalog = TLECatalog()
+        catalog.extend(tles)
+        assert len(catalog) == 5
+        assert tles[0].satnum in catalog
+        assert catalog.latest(tles[0].satnum).satnum == tles[0].satnum
+
+    def test_latest_picks_freshest(self, tles):
+        catalog = TLECatalog()
+        old = tles[0]
+        new = refit(old, 3.0)
+        catalog.add(new)
+        catalog.add(old)  # insertion order should not matter
+        assert catalog.latest(old.satnum).epoch == new.epoch
+
+    def test_as_of_excludes_future_elements(self, tles):
+        catalog = TLECatalog()
+        old = tles[0]
+        new = refit(old, 3.0)
+        catalog.extend([old, new])
+        as_of = old.epoch + timedelta(days=1)
+        assert catalog.latest(old.satnum, as_of=as_of).epoch == old.epoch
+
+    def test_as_of_before_everything_raises(self, tles):
+        catalog = TLECatalog()
+        catalog.add(tles[0])
+        with pytest.raises(KeyError):
+            catalog.latest(tles[0].satnum, as_of=EPOCH - timedelta(days=30))
+
+    def test_unknown_satellite(self):
+        with pytest.raises(KeyError):
+            TLECatalog().latest(99999)
+
+    def test_epochs_sorted(self, tles):
+        catalog = TLECatalog()
+        old = tles[0]
+        catalog.extend([refit(old, 5.0), old, refit(old, 2.0)])
+        epochs = catalog.epochs(old.satnum)
+        assert epochs == sorted(epochs)
+
+
+class TestSerialization:
+    def test_3le_round_trip(self, tles):
+        catalog = TLECatalog()
+        catalog.extend(tles)
+        text = catalog.to_3le()
+        again = TLECatalog.from_3le(text)
+        assert again.satnums == catalog.satnums
+        for satnum in catalog.satnums:
+            assert again.latest(satnum).to_lines() == \
+                catalog.latest(satnum).to_lines()
+
+    def test_2le_without_names(self, tles):
+        pairs = []
+        for tle in tles[:2]:
+            line1, line2 = tle.to_lines()
+            pairs.extend([line1, line2])
+        catalog = TLECatalog.from_3le("\n".join(pairs))
+        assert len(catalog) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TLEError):
+            TLECatalog.from_3le("this is not\na tle file\nat all")
+
+
+class TestStaleness:
+    def test_fresh_elements_zero_error(self, tles):
+        error = staleness_error_km(tles[0], tles[0], EPOCH + timedelta(days=1))
+        assert error == 0.0
+
+    def test_error_grows_with_staleness(self, tles):
+        old = tles[0]
+        fresh = refit(old, 3.0)
+        when_soon = fresh.epoch + timedelta(hours=1)
+        when_late = fresh.epoch + timedelta(days=4)
+        assert staleness_error_km(old, fresh, when_late) >= 0.0
+        assert staleness_error_km(old, fresh, when_soon) >= 0.0
+
+    def test_mismatched_satellites_rejected(self, tles):
+        with pytest.raises(ValueError):
+            staleness_error_km(tles[0], tles[1], EPOCH)

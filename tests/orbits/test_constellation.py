@@ -1,0 +1,104 @@
+"""Tests for synthetic constellation generation."""
+
+import math
+from datetime import datetime
+
+import pytest
+
+from repro.orbits.constellation import (
+    mean_motion_rev_day_for_altitude,
+    sun_synchronous_inclination_deg,
+    synthetic_leo_constellation,
+    walker_delta,
+)
+from repro.orbits.sgp4 import SGP4
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class TestMeanMotion:
+    def test_iss_altitude(self):
+        # ~420 km altitude -> ~15.5 rev/day.
+        assert mean_motion_rev_day_for_altitude(420.0) == pytest.approx(15.49, abs=0.05)
+
+    def test_monotonic_decreasing_with_altitude(self):
+        motions = [mean_motion_rev_day_for_altitude(a) for a in (300, 500, 800, 1200)]
+        assert all(a > b for a, b in zip(motions, motions[1:]))
+
+
+class TestSunSynchronous:
+    def test_known_altitude(self):
+        # ~98 deg at 600 km is the textbook value.
+        assert sun_synchronous_inclination_deg(600.0) == pytest.approx(97.79, abs=0.15)
+
+    def test_always_retrograde(self):
+        for alt in (300, 500, 800):
+            assert sun_synchronous_inclination_deg(alt) > 90.0
+
+    def test_impossible_altitude_raises(self):
+        with pytest.raises(ValueError):
+            sun_synchronous_inclination_deg(60000.0)
+
+
+class TestSyntheticConstellation:
+    def test_count_and_uniqueness(self):
+        tles = synthetic_leo_constellation(50, EPOCH, seed=1)
+        assert len(tles) == 50
+        assert len({t.satnum for t in tles}) == 50
+
+    def test_determinism(self):
+        a = synthetic_leo_constellation(10, EPOCH, seed=9)
+        b = synthetic_leo_constellation(10, EPOCH, seed=9)
+        assert [t.to_lines() for t in a] == [t.to_lines() for t in b]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_leo_constellation(10, EPOCH, seed=1)
+        b = synthetic_leo_constellation(10, EPOCH, seed=2)
+        assert [t.to_lines() for t in a] != [t.to_lines() for t in b]
+
+    def test_altitude_band(self):
+        tles = synthetic_leo_constellation(30, EPOCH, seed=3)
+        for tle in tles:
+            n = tle.mean_motion_rev_day
+            # 300-600 km circular -> roughly 14.9-15.8 rev/day.
+            assert 14.5 < n < 16.2
+
+    def test_inclination_mix_present(self):
+        tles = synthetic_leo_constellation(200, EPOCH, seed=4)
+        sso = sum(1 for t in tles if 96.0 < t.inclination_deg < 99.5)
+        iss = sum(1 for t in tles if 50.0 < t.inclination_deg < 53.0)
+        assert sso > 40  # ~45% expected
+        assert iss > 30  # ~35% expected
+
+    def test_all_propagate_with_sgp4(self):
+        for tle in synthetic_leo_constellation(10, EPOCH, seed=5):
+            SGP4(tle).propagate_tsince(90.0)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            synthetic_leo_constellation(0, EPOCH)
+
+
+class TestWalkerDelta:
+    def test_structure(self):
+        tles = walker_delta(12, planes=3, phasing=1, inclination_deg=53.0,
+                            altitude_km=550.0, epoch=EPOCH)
+        assert len(tles) == 12
+        raans = sorted({round(t.raan_deg, 3) for t in tles})
+        assert raans == [0.0, 120.0, 240.0]
+        # 4 satellites per plane, evenly phased.
+        plane0 = sorted(
+            t.mean_anomaly_deg for t in tles if abs(t.raan_deg) < 1e-6
+        )
+        diffs = [b - a for a, b in zip(plane0, plane0[1:])]
+        assert all(d == pytest.approx(90.0, abs=1e-6) for d in diffs)
+
+    def test_invalid_divisibility(self):
+        with pytest.raises(ValueError):
+            walker_delta(10, planes=3, phasing=0, inclination_deg=53.0,
+                         altitude_km=550.0, epoch=EPOCH)
+
+    def test_invalid_phasing(self):
+        with pytest.raises(ValueError):
+            walker_delta(12, planes=3, phasing=3, inclination_deg=53.0,
+                         altitude_km=550.0, epoch=EPOCH)

@@ -1,0 +1,104 @@
+"""Tests for TEME/ECEF rotations and geodetic conversions."""
+
+import math
+from datetime import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.frames import (
+    ecef_to_geodetic,
+    ecef_to_teme,
+    geodetic_to_ecef,
+    subsatellite_point,
+    teme_to_ecef,
+)
+from repro.orbits.timebase import datetime_to_jd
+
+
+class TestTemeEcef:
+    def test_rotation_preserves_norm(self):
+        pos = np.array([4000.0, -5000.0, 2500.0])
+        jd = datetime_to_jd(datetime(2020, 6, 1, 7, 30))
+        out = teme_to_ecef(pos, jd)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(pos))
+
+    def test_z_component_unchanged(self):
+        pos = np.array([1234.0, 5678.0, 4321.0])
+        jd = datetime_to_jd(datetime(2021, 1, 15))
+        out = teme_to_ecef(pos, jd)
+        assert out[2] == pytest.approx(pos[2])
+
+    @given(
+        x=st.floats(min_value=-8000, max_value=8000),
+        y=st.floats(min_value=-8000, max_value=8000),
+        z=st.floats(min_value=-8000, max_value=8000),
+        hours=st.floats(min_value=0, max_value=8760),
+    )
+    def test_round_trip(self, x, y, z, hours):
+        pos = np.array([x, y, z])
+        jd = datetime_to_jd(datetime(2020, 1, 1)) + hours / 24.0
+        back = ecef_to_teme(teme_to_ecef(pos, jd), jd)
+        assert np.allclose(back, pos, atol=1e-9)
+
+    def test_velocity_subtracts_earth_rotation(self):
+        # A satellite stationary in TEME at the equator moves westward in
+        # ECEF at omega * r.
+        pos = np.array([7000.0, 0.0, 0.0])
+        vel = np.array([0.0, 0.0, 0.0])
+        jd = datetime_to_jd(datetime(2020, 6, 1))
+        _pos_e, vel_e = teme_to_ecef(pos, jd, vel)
+        speed = float(np.linalg.norm(vel_e))
+        assert speed == pytest.approx(7.2921158553e-5 * 7000.0, rel=1e-3)
+
+
+class TestGeodetic:
+    def test_equator_prime_meridian(self):
+        ecef = geodetic_to_ecef(0.0, 0.0, 0.0)
+        assert ecef[0] == pytest.approx(6378.137)
+        assert abs(ecef[1]) < 1e-9
+        assert abs(ecef[2]) < 1e-9
+
+    def test_north_pole(self):
+        ecef = geodetic_to_ecef(90.0, 0.0, 0.0)
+        # Polar radius b = a(1-f) ~ 6356.752 km.
+        assert ecef[2] == pytest.approx(6356.7523142, abs=1e-3)
+        assert abs(ecef[0]) < 1e-6
+
+    def test_altitude_adds_radially(self):
+        ground = geodetic_to_ecef(45.0, 7.0, 0.0)
+        high = geodetic_to_ecef(45.0, 7.0, 10.0)
+        assert np.linalg.norm(high - ground) == pytest.approx(10.0, abs=1e-6)
+
+    @given(
+        lat=st.floats(min_value=-89.9, max_value=89.9),
+        lon=st.floats(min_value=-180.0, max_value=180.0),
+        alt=st.floats(min_value=-0.2, max_value=2000.0),
+    )
+    def test_round_trip(self, lat, lon, alt):
+        ecef = geodetic_to_ecef(lat, lon, alt)
+        lat2, lon2, alt2 = ecef_to_geodetic(ecef)
+        assert lat2 == pytest.approx(lat, abs=1e-6)
+        assert math.isclose(
+            math.cos(math.radians(lon2 - lon)), 1.0, abs_tol=1e-9
+        )
+        assert alt2 == pytest.approx(alt, abs=1e-3)
+
+    def test_polar_axis_point(self):
+        lat, lon, alt = ecef_to_geodetic(np.array([0.0, 0.0, 6400.0]))
+        assert lat == pytest.approx(90.0)
+        assert alt == pytest.approx(6400.0 - 6356.7523142, abs=0.01)
+
+
+class TestSubsatellitePoint:
+    def test_leo_altitude_recovered(self, str3_tle):
+        from repro.orbits.sgp4 import SGP4
+
+        prop = SGP4(str3_tle)
+        pos, _ = prop.propagate_tsince(0.0)
+        jd = datetime_to_jd(str3_tle.epoch)
+        lat, lon, alt = subsatellite_point(pos, jd)
+        assert -90.0 <= lat <= 90.0
+        assert -180.0 <= lon <= 180.0
+        assert 100.0 < alt < 1500.0

@@ -1,0 +1,114 @@
+"""Tests for ground tracks and revisit analysis."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.orbits.groundtrack import (
+    constellation_revisit,
+    ground_track,
+    revisit_gaps_hours,
+    target_visits,
+)
+from repro.orbits.sgp4 import SGP4
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def propagator(small_tles_module):
+    return SGP4(small_tles_module[0]).propagate
+
+
+@pytest.fixture(scope="module")
+def small_tles_module():
+    from repro.orbits.constellation import synthetic_leo_constellation
+
+    return synthetic_leo_constellation(4, EPOCH, seed=42)
+
+
+class TestGroundTrack:
+    def test_point_count(self, propagator):
+        points = list(ground_track(propagator, EPOCH, 600.0, step_s=60.0))
+        assert len(points) == 11
+
+    def test_coordinates_valid(self, propagator):
+        for p in ground_track(propagator, EPOCH, 5760.0, step_s=120.0):
+            assert -90.0 <= p.latitude_deg <= 90.0
+            assert -180.0 <= p.longitude_deg <= 180.0
+            assert 200.0 < p.altitude_km < 1000.0
+
+    def test_latitude_bounded_by_inclination(self, small_tles_module):
+        tle = small_tles_module[0]
+        prop = SGP4(tle).propagate
+        max_lat = max(
+            abs(p.latitude_deg)
+            for p in ground_track(prop, EPOCH, 86400.0, step_s=120.0)
+        )
+        # |lat| <= inclination (or 180 - inclination for retrograde).
+        bound = min(tle.inclination_deg, 180.0 - tle.inclination_deg)
+        assert max_lat <= bound + 0.5
+
+    def test_track_moves_westward_between_orbits(self, propagator):
+        """Earth rotation shifts successive equator crossings west."""
+        crossings = []
+        previous = None
+        for p in ground_track(propagator, EPOCH, 4 * 5760.0, step_s=30.0):
+            if previous is not None and previous.latitude_deg < 0 <= p.latitude_deg:
+                crossings.append(p.longitude_deg)
+            previous = p
+        assert len(crossings) >= 2
+        delta = (crossings[1] - crossings[0] + 540.0) % 360.0 - 180.0
+        assert -35.0 < delta < -15.0  # ~ -24 deg per ~96 min orbit
+
+    def test_invalid_parameters(self, propagator):
+        with pytest.raises(ValueError):
+            list(ground_track(propagator, EPOCH, -1.0))
+        with pytest.raises(ValueError):
+            list(ground_track(propagator, EPOCH, 100.0, step_s=0.0))
+
+
+class TestTargetVisits:
+    def test_wide_swath_finds_visits(self, propagator):
+        visits = target_visits(propagator, 0.0, 0.0, swath_km=3000.0,
+                               start=EPOCH, duration_s=86400.0, step_s=60.0)
+        assert visits
+        for v in visits:
+            assert v.cross_track_km <= 1500.0
+
+    def test_narrow_swath_fewer_visits(self, propagator):
+        wide = target_visits(propagator, 0.0, 0.0, 3000.0, EPOCH, 86400.0, 60.0)
+        narrow = target_visits(propagator, 0.0, 0.0, 300.0, EPOCH, 86400.0, 60.0)
+        assert len(narrow) <= len(wide)
+
+    def test_polar_target_with_polar_orbit(self, small_tles_module):
+        # Find an SSO/polar member of the sample constellation.
+        polar = next(
+            t for t in small_tles_module if t.inclination_deg > 80.0
+        )
+        prop = SGP4(polar).propagate
+        visits = target_visits(prop, 85.0, 0.0, swath_km=3000.0,
+                               start=EPOCH, duration_s=86400.0, step_s=60.0)
+        # A polar orbiter passes near the pole every orbit (~15/day);
+        # a 3000 km swath catches most of them.
+        assert len(visits) >= 6
+
+    def test_invalid_swath(self, propagator):
+        with pytest.raises(ValueError):
+            target_visits(propagator, 0.0, 0.0, 0.0, EPOCH, 3600.0)
+
+
+class TestRevisit:
+    def test_gaps_sorted_input_invariant(self):
+        times = [EPOCH.replace(hour=h) for h in (3, 1, 10)]
+        gaps = revisit_gaps_hours(times)
+        assert gaps == [2.0, 7.0]
+
+    def test_constellation_improves_revisit(self, small_tles_module):
+        single = [SGP4(small_tles_module[0]).propagate]
+        full = [SGP4(t).propagate for t in small_tles_module]
+        stats_one = constellation_revisit(single, 40.0, -100.0, 2500.0,
+                                          EPOCH, 86400.0)
+        stats_all = constellation_revisit(full, 40.0, -100.0, 2500.0,
+                                          EPOCH, 86400.0)
+        assert stats_all["visits"] >= stats_one["visits"]

@@ -1,0 +1,131 @@
+"""Tests for Kepler's equation, element conversions, and the J2 propagator."""
+
+import math
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.constants import WGS72
+from repro.orbits.kepler import (
+    KeplerianElements,
+    KeplerJ2Propagator,
+    eccentric_anomaly_from_mean,
+    true_anomaly_from_eccentric,
+)
+from repro.orbits.tle import TLE
+
+
+class TestKeplerEquation:
+    @given(
+        mean=st.floats(min_value=-20.0, max_value=20.0),
+        ecc=st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_solves_keplers_equation(self, mean, ecc):
+        e_anom = eccentric_anomaly_from_mean(mean, ecc)
+        residual = e_anom - ecc * math.sin(e_anom) - (mean % (2 * math.pi))
+        # Compare modulo 2*pi.
+        assert math.isclose(math.cos(residual), 1.0, abs_tol=1e-9)
+
+    def test_circular_orbit_identity(self):
+        for mean in (0.0, 1.0, 3.0, 6.0):
+            assert eccentric_anomaly_from_mean(mean, 0.0) == pytest.approx(
+                mean % (2 * math.pi)
+            )
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(ValueError):
+            eccentric_anomaly_from_mean(1.0, 1.2)
+
+    @given(
+        e_anom=st.floats(min_value=0.0, max_value=2 * math.pi),
+        ecc=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_true_anomaly_range(self, e_anom, ecc):
+        nu = true_anomaly_from_eccentric(e_anom, ecc)
+        assert 0.0 <= nu < 2 * math.pi + 1e-9
+
+    def test_true_anomaly_circular_equals_eccentric(self):
+        for e_anom in (0.5, 2.0, 4.0):
+            assert true_anomaly_from_eccentric(e_anom, 0.0) == pytest.approx(e_anom)
+
+
+class TestElements:
+    @pytest.fixture(scope="class")
+    def elements(self):
+        tle = TLE.from_elements(
+            satnum=1, epoch=datetime(2020, 6, 1), inclination_deg=97.0,
+            raan_deg=45.0, eccentricity=0.002, argp_deg=90.0,
+            mean_anomaly_deg=10.0, mean_motion_rev_day=15.0,
+        )
+        return KeplerianElements.from_tle(tle)
+
+    def test_semi_major_axis_from_mean_motion(self, elements):
+        # 15 rev/day -> period 96 min -> a ~ 6932 km (mu=398600.8).
+        n = 15.0 * 2 * math.pi / 86400.0
+        expected = (WGS72.mu_km3_s2 / n**2) ** (1 / 3)
+        assert elements.semi_major_axis_km == pytest.approx(expected)
+
+    def test_apogee_perigee_ordering(self, elements):
+        assert elements.apogee_radius_km > elements.perigee_radius_km
+        assert elements.apogee_radius_km == pytest.approx(
+            elements.semi_major_axis_km * 1.002
+        )
+
+    def test_state_vector_radius(self, elements):
+        pos, vel = elements.to_state_vector()
+        radius = float(np.linalg.norm(pos))
+        assert elements.perigee_radius_km <= radius <= elements.apogee_radius_km + 1e-6
+
+    def test_vis_viva(self, elements):
+        pos, vel = elements.to_state_vector()
+        r = float(np.linalg.norm(pos))
+        v = float(np.linalg.norm(vel))
+        expected_v = math.sqrt(
+            WGS72.mu_km3_s2 * (2.0 / r - 1.0 / elements.semi_major_axis_km)
+        )
+        assert v == pytest.approx(expected_v, rel=1e-9)
+
+    def test_angular_momentum_matches_elements(self, elements):
+        pos, vel = elements.to_state_vector()
+        h = np.cross(pos, vel)
+        h_mag = float(np.linalg.norm(h))
+        expected = math.sqrt(WGS72.mu_km3_s2 * elements.semi_latus_rectum_km)
+        assert h_mag == pytest.approx(expected, rel=1e-9)
+        # Inclination from the momentum vector.
+        incl = math.acos(h[2] / h_mag)
+        assert incl == pytest.approx(elements.inclination_rad, abs=1e-9)
+
+
+class TestJ2Propagator:
+    @pytest.fixture(scope="class")
+    def sso_tle(self):
+        return TLE.from_elements(
+            satnum=2, epoch=datetime(2020, 6, 1), inclination_deg=97.79,
+            raan_deg=0.0, eccentricity=0.001, argp_deg=0.0,
+            mean_anomaly_deg=0.0, mean_motion_rev_day=14.9,
+        )
+
+    def test_sun_synchronous_raan_rate(self, sso_tle):
+        prop = KeplerJ2Propagator(sso_tle)
+        # SSO target: 360 deg/year = 0.9856 deg/day eastward.
+        raan_dot_deg_day = math.degrees(prop.raan_dot) * 86400.0
+        assert raan_dot_deg_day == pytest.approx(0.9856, abs=0.05)
+
+    def test_retrograde_orbit_regresses_westward_when_prograde(self):
+        tle = TLE.from_elements(
+            satnum=3, epoch=datetime(2020, 6, 1), inclination_deg=51.6,
+            raan_deg=0.0, eccentricity=0.001, argp_deg=0.0,
+            mean_anomaly_deg=0.0, mean_motion_rev_day=15.5,
+        )
+        prop = KeplerJ2Propagator(tle)
+        assert prop.raan_dot < 0.0  # prograde orbits regress westward
+
+    def test_altitude_constant_for_circular(self, sso_tle):
+        prop = KeplerJ2Propagator(sso_tle)
+        radii = []
+        for hours in range(0, 24, 3):
+            pos, _ = prop.propagate(sso_tle.epoch + timedelta(hours=hours))
+            radii.append(float(np.linalg.norm(pos)))
+        assert max(radii) - min(radii) < 30.0

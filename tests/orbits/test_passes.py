@@ -1,0 +1,95 @@
+"""Tests for contact-window (pass) prediction."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.orbits.passes import ContactWindow, PassPredictor
+from repro.orbits.sgp4 import SGP4
+
+
+@pytest.fixture(scope="module")
+def predictor(small_tles_module):
+    sat = SGP4(small_tles_module[0])
+    return PassPredictor(sat.propagate, 47.6, -122.3, 0.05, min_elevation_deg=5.0)
+
+
+@pytest.fixture(scope="module")
+def small_tles_module():
+    from datetime import datetime
+
+    from repro.orbits.constellation import synthetic_leo_constellation
+
+    return synthetic_leo_constellation(6, datetime(2020, 6, 1), seed=42)
+
+
+@pytest.fixture(scope="module")
+def day_passes(predictor):
+    start = datetime(2020, 6, 1)
+    return list(predictor.passes(start, start + timedelta(days=1)))
+
+
+class TestPassPrediction:
+    def test_finds_passes(self, day_passes):
+        # A polar LEO passes a mid-latitude station several times a day.
+        assert 2 <= len(day_passes) <= 10
+
+    def test_durations_match_leo_physics(self, day_passes):
+        for window in day_passes:
+            assert 30.0 <= window.duration_seconds <= 15 * 60.0
+
+    def test_windows_are_ordered_and_disjoint(self, day_passes):
+        for earlier, later in zip(day_passes, day_passes[1:]):
+            assert earlier.set_time <= later.rise_time
+            assert not earlier.overlaps(later)
+
+    def test_culmination_inside_window(self, day_passes):
+        for window in day_passes:
+            assert window.rise_time <= window.culmination_time <= window.set_time
+
+    def test_culmination_is_above_mask(self, day_passes):
+        for window in day_passes:
+            assert window.max_elevation_deg > 5.0
+
+    def test_elevation_low_at_boundaries(self, predictor, day_passes):
+        window = max(day_passes, key=lambda w: w.max_elevation_deg)
+        rise_el = predictor.elevation_deg(window.rise_time)
+        set_el = predictor.elevation_deg(window.set_time)
+        # Boundaries bisected to the 5-degree mask crossing.
+        assert rise_el == pytest.approx(5.0, abs=0.5)
+        assert set_el == pytest.approx(5.0, abs=0.5)
+        assert window.max_elevation_deg > rise_el
+
+    def test_culmination_is_local_max(self, predictor, day_passes):
+        window = max(day_passes, key=lambda w: w.max_elevation_deg)
+        peak = window.max_elevation_deg
+        for offset in (-60, -30, 30, 60):
+            when = window.culmination_time + timedelta(seconds=offset)
+            if window.rise_time <= when <= window.set_time:
+                assert predictor.elevation_deg(when) <= peak + 0.05
+
+    def test_empty_interval(self, predictor):
+        start = datetime(2020, 6, 1)
+        assert list(predictor.passes(start, start)) == []
+
+    def test_truncation_at_interval_end(self, predictor, day_passes):
+        # Cut the window short in the middle of the first pass; the pass
+        # should be truncated to the requested end.
+        first = day_passes[0]
+        mid = first.rise_time + timedelta(seconds=first.duration_seconds / 2)
+        truncated = list(predictor.passes(datetime(2020, 6, 1), mid))
+        assert truncated
+        assert truncated[-1].set_time <= mid
+
+
+class TestContactWindow:
+    def test_contains(self):
+        window = ContactWindow(
+            rise_time=datetime(2020, 6, 1, 10, 0),
+            set_time=datetime(2020, 6, 1, 10, 8),
+            culmination_time=datetime(2020, 6, 1, 10, 4),
+            max_elevation_deg=42.0,
+        )
+        assert window.contains(datetime(2020, 6, 1, 10, 4))
+        assert not window.contains(datetime(2020, 6, 1, 10, 9))
+        assert window.duration_seconds == 480.0

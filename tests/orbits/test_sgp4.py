@@ -1,0 +1,124 @@
+"""SGP4 validation against the Spacetrack Report #3 published test vectors."""
+
+import math
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.orbits.sgp4 import SGP4, SGP4Error
+from repro.orbits.tle import TLE
+
+# Spacetrack Report #3 SGP4 test case outputs (km and km/s), tsince minutes.
+STR3_EXPECTED = {
+    0.0: (
+        [2328.97048951, -5995.22076416, 1719.97067261],
+        [2.91207230, -0.98341546, -7.09081703],
+    ),
+    360.0: (
+        [2456.10705566, -6071.93853760, 1222.89727783],
+        [2.67938992, -0.44829041, -7.22879231],
+    ),
+}
+
+
+class TestSTR3Vector:
+    def test_position_and_velocity(self, str3_tle):
+        prop = SGP4(str3_tle)
+        for tsince, (exp_pos, exp_vel) in STR3_EXPECTED.items():
+            pos, vel = prop.propagate_tsince(tsince)
+            # Sub-10m position agreement with the published FORTRAN output.
+            assert np.max(np.abs(pos - np.array(exp_pos))) < 0.01
+            assert np.max(np.abs(vel - np.array(exp_vel))) < 1e-4
+
+    def test_absolute_time_equals_tsince(self, str3_tle):
+        prop = SGP4(str3_tle)
+        when = str3_tle.epoch + timedelta(minutes=360.0)
+        pos_a, _ = prop.propagate(when)
+        pos_b, _ = prop.propagate_tsince(360.0)
+        assert np.allclose(pos_a, pos_b)
+
+
+class TestPhysicalInvariants:
+    @pytest.fixture(scope="class")
+    def leo_tle(self):
+        return TLE.from_elements(
+            satnum=90001, epoch=datetime(2020, 6, 1), inclination_deg=97.5,
+            raan_deg=120.0, eccentricity=0.001, argp_deg=30.0,
+            mean_anomaly_deg=200.0, mean_motion_rev_day=15.2,
+        )
+
+    def test_altitude_band(self, leo_tle):
+        prop = SGP4(leo_tle)
+        for minutes in range(0, 1440, 17):
+            pos, _ = prop.propagate_tsince(float(minutes))
+            radius = float(np.linalg.norm(pos))
+            altitude = radius - 6378.135
+            assert 150.0 < altitude < 1200.0
+
+    def test_speed_near_circular_orbital_velocity(self, leo_tle):
+        prop = SGP4(leo_tle)
+        for minutes in (0.0, 45.0, 300.0):
+            pos, vel = prop.propagate_tsince(minutes)
+            speed = float(np.linalg.norm(vel))
+            radius = float(np.linalg.norm(pos))
+            v_circ = math.sqrt(398600.8 / radius)
+            assert speed == pytest.approx(v_circ, rel=0.01)
+
+    def test_period_matches_mean_motion(self, leo_tle):
+        prop = SGP4(leo_tle)
+        period_min = 1440.0 / leo_tle.mean_motion_rev_day
+        pos0, _ = prop.propagate_tsince(0.0)
+        pos1, _ = prop.propagate_tsince(period_min)
+        # One orbit later the satellite is back near the same inertial spot
+        # (J2 drift moves it a little).
+        assert float(np.linalg.norm(pos1 - pos0)) < 150.0
+
+    def test_angular_momentum_direction_stable(self, leo_tle):
+        prop = SGP4(leo_tle)
+        pos0, vel0 = prop.propagate_tsince(0.0)
+        h0 = np.cross(pos0, vel0)
+        pos1, vel1 = prop.propagate_tsince(200.0)
+        h1 = np.cross(pos1, vel1)
+        cos_angle = float(
+            np.dot(h0, h1) / (np.linalg.norm(h0) * np.linalg.norm(h1))
+        )
+        assert cos_angle > 0.999
+
+
+class TestErrors:
+    def test_deep_space_rejected(self):
+        geo = TLE.from_elements(
+            satnum=90002, epoch=datetime(2020, 6, 1), inclination_deg=0.1,
+            raan_deg=0.0, eccentricity=0.0002, argp_deg=0.0,
+            mean_anomaly_deg=0.0, mean_motion_rev_day=1.0027,
+        )
+        with pytest.raises(SGP4Error, match="deep-space"):
+            SGP4(geo)
+
+    def test_decay_detected(self):
+        # Very low orbit with a huge drag term decays within days.
+        decaying = TLE.from_elements(
+            satnum=90003, epoch=datetime(2020, 6, 1), inclination_deg=51.6,
+            raan_deg=0.0, eccentricity=0.001, argp_deg=0.0,
+            mean_anomaly_deg=0.0, mean_motion_rev_day=16.4, bstar=0.1,
+        )
+        prop = SGP4(decaying)
+        with pytest.raises(SGP4Error, match="decayed|diverged"):
+            for day in range(1, 120):
+                prop.propagate_tsince(day * 1440.0)
+
+
+class TestAgreementWithKeplerJ2:
+    def test_short_horizon_agreement(self, small_tles):
+        from repro.orbits.kepler import KeplerJ2Propagator
+
+        for tle in small_tles[:3]:
+            sgp4 = SGP4(tle)
+            kj2 = KeplerJ2Propagator(tle)
+            when = tle.epoch + timedelta(hours=1)
+            pos_a, _ = sgp4.propagate(when)
+            pos_b, _ = kj2.propagate(when)
+            # Different theories; for near-circular LEO they should agree
+            # to tens of km over an hour.
+            assert float(np.linalg.norm(pos_a - pos_b)) < 60.0

@@ -1,0 +1,79 @@
+"""Tests for solar geometry and eclipse detection."""
+
+import math
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.orbits.sun import AU_KM, is_eclipsed, sun_position_teme, sunlit_fraction
+
+
+class TestSunPosition:
+    def test_distance_near_one_au(self):
+        for month in range(1, 13):
+            sun = sun_position_teme(datetime(2020, month, 15))
+            distance = float(np.linalg.norm(sun))
+            assert 0.98 * AU_KM < distance < 1.02 * AU_KM
+
+    def test_perihelion_in_january(self):
+        january = float(np.linalg.norm(sun_position_teme(datetime(2020, 1, 4))))
+        july = float(np.linalg.norm(sun_position_teme(datetime(2020, 7, 4))))
+        assert january < july
+
+    def test_equinox_on_equatorial_plane(self):
+        # Around the March equinox the sun's declination crosses zero.
+        sun = sun_position_teme(datetime(2020, 3, 20, 4))
+        declination = math.degrees(
+            math.asin(sun[2] / np.linalg.norm(sun))
+        )
+        assert abs(declination) < 0.7
+
+    def test_summer_solstice_declination(self):
+        sun = sun_position_teme(datetime(2020, 6, 20, 22))
+        declination = math.degrees(math.asin(sun[2] / np.linalg.norm(sun)))
+        assert declination == pytest.approx(23.43, abs=0.1)
+
+
+class TestEclipse:
+    def test_subsolar_satellite_is_sunlit(self):
+        when = datetime(2020, 6, 1, 12)
+        sun = sun_position_teme(when)
+        sat = sun / np.linalg.norm(sun) * 6878.0  # toward the sun
+        assert not is_eclipsed(sat, when)
+
+    def test_antisolar_satellite_is_shadowed(self):
+        when = datetime(2020, 6, 1, 12)
+        sun = sun_position_teme(when)
+        sat = -sun / np.linalg.norm(sun) * 6878.0  # behind the Earth
+        assert is_eclipsed(sat, when)
+
+    def test_terminator_satellite_sunlit(self):
+        # A point perpendicular to the sun direction at LEO altitude grazes
+        # the shadow cylinder boundary from outside.
+        when = datetime(2020, 6, 1, 12)
+        sun = sun_position_teme(when)
+        sun_hat = sun / np.linalg.norm(sun)
+        perpendicular = np.cross(sun_hat, [0.0, 0.0, 1.0])
+        perpendicular /= np.linalg.norm(perpendicular)
+        assert not is_eclipsed(perpendicular * 6878.0, when)
+
+    def test_leo_orbit_sunlit_fraction(self, small_tles):
+        from repro.orbits.sgp4 import SGP4
+
+        prop = SGP4(small_tles[0])
+        fraction = sunlit_fraction(
+            prop.propagate, datetime(2020, 6, 1),
+            duration_s=2 * 5760.0,  # two orbits
+        )
+        # LEO spends roughly 55-100% of an orbit in sunlight (dawn-dusk
+        # SSO orbits can be eclipse-free).
+        assert 0.5 <= fraction <= 1.0
+
+    def test_sunlit_fraction_validates_samples(self, small_tles):
+        from repro.orbits.sgp4 import SGP4
+
+        prop = SGP4(small_tles[0])
+        with pytest.raises(ValueError):
+            sunlit_fraction(prop.propagate, datetime(2020, 6, 1), 5760.0,
+                            samples=1)

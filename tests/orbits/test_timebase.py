@@ -1,0 +1,109 @@
+"""Tests for Julian dates, TLE epochs, and sidereal time."""
+
+import math
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.timebase import (
+    JD_J2000,
+    datetime_to_jd,
+    datetime_to_tle_epoch,
+    gmst_rad,
+    jd_to_datetime,
+    tle_epoch_to_datetime,
+    wrap_pi,
+    wrap_two_pi,
+)
+
+
+class TestJulianDate:
+    def test_j2000_reference(self):
+        assert datetime_to_jd(datetime(2000, 1, 1, 12)) == pytest.approx(JD_J2000)
+
+    def test_unix_epoch(self):
+        assert datetime_to_jd(datetime(1970, 1, 1)) == pytest.approx(2440587.5)
+
+    def test_known_date(self):
+        # 1957-10-04 19:26:24 UTC, Sputnik launch: JD 2436116.31
+        jd = datetime_to_jd(datetime(1957, 10, 4, 19, 26, 24))
+        assert jd == pytest.approx(2436116.31, abs=1e-4)
+
+    def test_timezone_aware_input_converted(self):
+        naive = datetime(2020, 6, 1, 12)
+        aware = datetime(2020, 6, 1, 12, tzinfo=timezone.utc)
+        assert datetime_to_jd(naive) == datetime_to_jd(aware)
+
+    def test_round_trip(self):
+        when = datetime(2023, 3, 14, 1, 59, 26)
+        back = jd_to_datetime(datetime_to_jd(when))
+        assert abs((back - when).total_seconds()) < 1e-3
+
+    @given(st.floats(min_value=0, max_value=36524 * 86400))
+    def test_round_trip_property(self, offset_s):
+        when = datetime(2000, 1, 1) + timedelta(seconds=offset_s)
+        back = jd_to_datetime(datetime_to_jd(when))
+        assert abs((back - when).total_seconds()) < 1e-2
+
+
+class TestTLEEpoch:
+    def test_day_one_is_january_first(self):
+        assert tle_epoch_to_datetime(20, 1.0) == datetime(2020, 1, 1)
+
+    def test_fractional_day(self):
+        when = tle_epoch_to_datetime(20, 1.5)
+        assert when == datetime(2020, 1, 1, 12)
+
+    def test_century_split(self):
+        assert tle_epoch_to_datetime(57, 1.0).year == 1957
+        assert tle_epoch_to_datetime(56, 1.0).year == 2056
+        assert tle_epoch_to_datetime(99, 1.0).year == 1999
+        assert tle_epoch_to_datetime(0, 1.0).year == 2000
+
+    def test_rejects_bad_year(self):
+        with pytest.raises(ValueError):
+            tle_epoch_to_datetime(150, 1.0)
+
+    def test_round_trip(self):
+        when = datetime(2020, 10, 2, 23, 41, 24)
+        year2, day = datetime_to_tle_epoch(when)
+        assert year2 == 20
+        back = tle_epoch_to_datetime(year2, day)
+        assert abs((back - when).total_seconds()) < 1e-3
+
+
+class TestGMST:
+    def test_range(self):
+        for offset in range(0, 36500, 37):
+            jd = JD_J2000 + offset
+            theta = gmst_rad(jd)
+            assert 0.0 <= theta < 2.0 * math.pi
+
+    def test_known_value(self):
+        # Vallado example 3-5: 1992-08-20 12:14 UT1 -> GMST 152.578 deg
+        jd = datetime_to_jd(datetime(1992, 8, 20, 12, 14, 0))
+        theta_deg = math.degrees(gmst_rad(jd))
+        assert theta_deg == pytest.approx(152.578, abs=0.01)
+
+    def test_advances_faster_than_solar_day(self):
+        # Sidereal day ~ 23h56m: after 24h GMST advances by ~360.986 deg.
+        jd = JD_J2000 + 1234.0
+        delta = math.degrees(gmst_rad(jd + 1.0) - gmst_rad(jd)) % 360.0
+        assert delta == pytest.approx(0.9856, abs=0.01)
+
+
+class TestWrapping:
+    @given(st.floats(min_value=-1000.0, max_value=1000.0))
+    def test_wrap_two_pi_range(self, angle):
+        wrapped = wrap_two_pi(angle)
+        assert 0.0 <= wrapped < 2.0 * math.pi
+        # Same angle modulo 2*pi.
+        assert math.isclose(
+            math.cos(wrapped), math.cos(angle), abs_tol=1e-9
+        )
+
+    @given(st.floats(min_value=-1000.0, max_value=1000.0))
+    def test_wrap_pi_range(self, angle):
+        wrapped = wrap_pi(angle)
+        assert -math.pi < wrapped <= math.pi + 1e-12

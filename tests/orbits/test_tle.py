@@ -1,0 +1,158 @@
+"""Tests for TLE parsing, validation, checksums, and round-tripping."""
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.tle import TLE, TLEError, checksum
+from tests.conftest import ISS_LINE1, ISS_LINE2, STR3_LINE1, STR3_LINE2
+
+
+class TestChecksum:
+    def test_iss_lines_have_valid_checksums(self):
+        assert checksum(ISS_LINE1) == int(ISS_LINE1[68])
+        assert checksum(ISS_LINE2) == int(ISS_LINE2[68])
+
+    def test_minus_counts_as_one(self):
+        base = "1" + " " * 67
+        with_minus = "1" + "-" + " " * 66
+        assert checksum(with_minus) == checksum(base) + 1
+
+    def test_letters_count_as_zero(self):
+        assert checksum("A" * 68) == 0
+
+
+class TestParse:
+    def test_parse_iss(self):
+        tle = TLE.parse([ISS_LINE1, ISS_LINE2])
+        assert tle.satnum == 25544
+        assert tle.classification == "U"
+        assert tle.intl_designator == "98067A"
+        assert tle.inclination_deg == pytest.approx(51.6443)
+        assert tle.eccentricity == pytest.approx(0.0001400)
+        assert tle.mean_motion_rev_day == pytest.approx(15.49438371)
+        assert tle.epoch.year == 2020
+
+    def test_parse_str3(self, str3_tle):
+        assert str3_tle.satnum == 88888
+        assert str3_tle.bstar == pytest.approx(0.66816e-4)
+        assert str3_tle.ndot == pytest.approx(0.00073094)
+        assert str3_tle.nddot == pytest.approx(0.13844e-3)
+
+    def test_parse_with_name_line(self):
+        tle = TLE.parse(f"ISS (ZARYA)\n{ISS_LINE1}\n{ISS_LINE2}")
+        assert tle.name == "ISS (ZARYA)"
+
+    def test_checksum_validation_catches_corruption(self):
+        corrupted = ISS_LINE1[:20] + "9" + ISS_LINE1[21:]
+        with pytest.raises(TLEError, match="checksum"):
+            TLE.parse([corrupted, ISS_LINE2])
+
+    def test_checksum_validation_can_be_disabled(self):
+        corrupted = ISS_LINE1[:68] + "0"
+        if checksum(corrupted) == 0:
+            corrupted = ISS_LINE1[:68] + "1"
+        tle = TLE.parse([corrupted, ISS_LINE2], validate_checksum=False)
+        assert tle.satnum == 25544
+
+    def test_satnum_mismatch_rejected(self):
+        other = "2 25545" + ISS_LINE2[7:]
+        with pytest.raises(TLEError, match="mismatch"):
+            TLE.parse([ISS_LINE1, other], validate_checksum=False)
+
+    def test_wrong_line_count(self):
+        with pytest.raises(TLEError, match="2 element lines"):
+            TLE.parse([ISS_LINE1])
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TLEError, match="69 columns"):
+            TLE.parse([ISS_LINE1[:50], ISS_LINE2])
+
+    def test_swapped_lines_rejected(self):
+        with pytest.raises(TLEError):
+            TLE.parse([ISS_LINE2, ISS_LINE1])
+
+
+class TestDerivedQuantities:
+    def test_period(self):
+        tle = TLE.parse([ISS_LINE1, ISS_LINE2])
+        assert tle.period_minutes == pytest.approx(92.93, abs=0.05)
+
+    def test_mean_motion_rad_min(self):
+        tle = TLE.parse([ISS_LINE1, ISS_LINE2])
+        import math
+
+        expected = 15.49438371 * 2 * math.pi / 1440.0
+        assert tle.mean_motion_rad_min == pytest.approx(expected)
+
+
+class TestEmit:
+    def test_round_trip_iss(self):
+        tle = TLE.parse([ISS_LINE1, ISS_LINE2])
+        line1, line2 = tle.to_lines()
+        again = TLE.parse([line1, line2])
+        assert again.satnum == tle.satnum
+        assert again.inclination_deg == pytest.approx(tle.inclination_deg)
+        assert again.eccentricity == pytest.approx(tle.eccentricity, abs=1e-7)
+        assert again.mean_motion_rev_day == pytest.approx(
+            tle.mean_motion_rev_day, abs=1e-7
+        )
+        assert again.bstar == pytest.approx(tle.bstar, rel=1e-4)
+
+    def test_emitted_lines_are_69_columns_with_valid_checksums(self):
+        tle = TLE.parse([ISS_LINE1, ISS_LINE2])
+        for line in tle.to_lines():
+            assert len(line) == 69
+            assert checksum(line) == int(line[68])
+
+    @given(
+        incl=st.floats(min_value=0.0, max_value=179.9),
+        raan=st.floats(min_value=0.0, max_value=359.99),
+        ecc=st.floats(min_value=0.0, max_value=0.1),
+        argp=st.floats(min_value=0.0, max_value=359.99),
+        ma=st.floats(min_value=0.0, max_value=359.99),
+        mm=st.floats(min_value=10.0, max_value=16.5),
+        bstar=st.floats(min_value=-9e-3, max_value=9e-3),
+    )
+    def test_round_trip_property(self, incl, raan, ecc, argp, ma, mm, bstar):
+        tle = TLE.from_elements(
+            satnum=12345,
+            epoch=datetime(2020, 6, 1, 13, 45, 12),
+            inclination_deg=incl,
+            raan_deg=raan,
+            eccentricity=ecc,
+            argp_deg=argp,
+            mean_anomaly_deg=ma,
+            mean_motion_rev_day=mm,
+            bstar=bstar,
+        )
+        line1, line2 = tle.to_lines()
+        again = TLE.parse([line1, line2])
+        assert again.inclination_deg == pytest.approx(tle.inclination_deg, abs=1e-3)
+        assert again.raan_deg == pytest.approx(tle.raan_deg, abs=1e-3)
+        assert again.eccentricity == pytest.approx(tle.eccentricity, abs=1e-6)
+        assert again.argp_deg == pytest.approx(tle.argp_deg, abs=1e-3)
+        assert again.mean_anomaly_deg == pytest.approx(tle.mean_anomaly_deg, abs=1e-3)
+        assert again.mean_motion_rev_day == pytest.approx(
+            tle.mean_motion_rev_day, abs=1e-6
+        )
+        assert again.bstar == pytest.approx(tle.bstar, rel=1e-3, abs=1e-9)
+
+
+class TestValidation:
+    def test_bad_eccentricity(self):
+        with pytest.raises(TLEError):
+            TLE.from_elements(
+                satnum=1, epoch=datetime(2020, 1, 1), inclination_deg=51.0,
+                raan_deg=0.0, eccentricity=1.5, argp_deg=0.0,
+                mean_anomaly_deg=0.0, mean_motion_rev_day=15.0,
+            )
+
+    def test_bad_mean_motion(self):
+        with pytest.raises(TLEError):
+            TLE.from_elements(
+                satnum=1, epoch=datetime(2020, 1, 1), inclination_deg=51.0,
+                raan_deg=0.0, eccentricity=0.001, argp_deg=0.0,
+                mean_anomaly_deg=0.0, mean_motion_rev_day=-1.0,
+            )

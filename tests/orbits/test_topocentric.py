@@ -1,0 +1,104 @@
+"""Tests for look angles, visibility, and coverage geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.frames import geodetic_to_ecef
+from repro.orbits.topocentric import (
+    Topocentric,
+    coverage_radius_km,
+    look_angles,
+    max_slant_range_km,
+)
+
+
+def _target_above(lat, lon, alt_above_km):
+    """ECEF point directly above a site."""
+    site = geodetic_to_ecef(lat, lon, 0.0)
+    up = site / np.linalg.norm(site)
+    return site + up * alt_above_km
+
+
+class TestLookAngles:
+    def test_zenith_target(self):
+        topo = look_angles(47.0, 8.0, 0.0, _target_above(47.0, 8.0, 500.0))
+        assert topo.elevation_deg == pytest.approx(90.0, abs=0.2)
+        assert topo.range_km == pytest.approx(500.0, abs=1.0)
+        assert topo.is_visible
+
+    def test_target_due_north(self):
+        # Target above a point slightly north of the site appears at
+        # azimuth ~0.
+        site_lat, site_lon = 40.0, -100.0
+        target = _target_above(site_lat + 3.0, site_lon, 500.0)
+        topo = look_angles(site_lat, site_lon, 0.0, target)
+        assert topo.azimuth_deg == pytest.approx(0.0, abs=3.0) or \
+            topo.azimuth_deg == pytest.approx(360.0, abs=3.0)
+
+    def test_target_due_east(self):
+        site_lat, site_lon = 0.0, 10.0
+        target = _target_above(site_lat, site_lon + 3.0, 500.0)
+        topo = look_angles(site_lat, site_lon, 0.0, target)
+        assert topo.azimuth_deg == pytest.approx(90.0, abs=3.0)
+
+    def test_antipodal_target_below_horizon(self):
+        target = _target_above(-47.0, 8.0 - 180.0, 500.0)
+        topo = look_angles(47.0, 8.0, 0.0, target)
+        assert topo.elevation_deg < 0.0
+        assert not topo.is_visible
+
+    @given(
+        lat=st.floats(min_value=-85, max_value=85),
+        lon=st.floats(min_value=-180, max_value=180),
+        tlat=st.floats(min_value=-85, max_value=85),
+        tlon=st.floats(min_value=-180, max_value=180),
+        alt=st.floats(min_value=200, max_value=2000),
+    )
+    def test_bounds(self, lat, lon, tlat, tlon, alt):
+        target = _target_above(tlat, tlon, alt)
+        topo = look_angles(lat, lon, 0.0, target)
+        assert 0.0 <= topo.azimuth_deg < 360.0
+        assert -90.0 <= topo.elevation_deg <= 90.0
+        assert topo.range_km > 0.0
+
+    def test_range_rate_sign(self):
+        site = geodetic_to_ecef(0.0, 0.0, 0.0)
+        target = _target_above(0.0, 0.0, 500.0)
+        approaching = look_angles(0.0, 0.0, 0.0, target, np.array([-1.0, 0.0, 0.0]))
+        receding = look_angles(0.0, 0.0, 0.0, target, np.array([1.0, 0.0, 0.0]))
+        assert approaching.range_rate_km_s < 0.0
+        assert receding.range_rate_km_s > 0.0
+        del site
+
+    def test_doppler_sign(self):
+        topo = Topocentric(0.0, 45.0, 800.0, range_rate_km_s=-7.0)
+        # Approaching -> positive (blue) shift.
+        assert topo.doppler_shift_hz(8.2e9) > 0.0
+        # Magnitude ~ v/c * f ~ 191 kHz.
+        assert topo.doppler_shift_hz(8.2e9) == pytest.approx(
+            7.0e3 / 299792458.0 * 8.2e9, rel=1e-6
+        )
+
+
+class TestCoverageGeometry:
+    def test_max_slant_range_zenith_bound(self):
+        # At 90 deg elevation the slant range equals the altitude.
+        assert max_slant_range_km(500.0, 90.0) == pytest.approx(500.0, abs=1e-6)
+
+    def test_slant_range_monotonic_in_elevation(self):
+        ranges = [max_slant_range_km(500.0, el) for el in (0, 5, 10, 30, 60, 90)]
+        assert all(a > b for a, b in zip(ranges, ranges[1:]))
+
+    def test_horizon_range_leo(self):
+        # 500 km altitude, 0 deg elevation: ~2600 km slant range.
+        assert max_slant_range_km(500.0, 0.0) == pytest.approx(2574.0, rel=0.02)
+
+    def test_coverage_radius_smaller_with_mask(self):
+        assert coverage_radius_km(500.0, 10.0) < coverage_radius_km(500.0, 0.0)
+
+    def test_coverage_radius_leo_scale(self):
+        radius = coverage_radius_km(500.0, 5.0)
+        assert 1500.0 < radius < 2200.0

@@ -1,0 +1,91 @@
+"""Tests for data chunks and their downlink lifecycle."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.satellites.data import ChunkState, DataChunk
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def make_chunk(size_bits=8e9):
+    return DataChunk(satellite_id="sat-1", size_bits=size_bits, capture_time=EPOCH)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        chunk = make_chunk()
+        assert chunk.state is ChunkState.ONBOARD
+        assert chunk.remaining_bits == chunk.size_bits
+        assert chunk.sent_bits == 0.0
+        assert chunk.latency_seconds() is None
+
+    def test_partial_transmit(self):
+        chunk = make_chunk(1000.0)
+        sent = chunk.transmit(400.0, EPOCH + timedelta(minutes=1))
+        assert sent == 400.0
+        assert chunk.remaining_bits == 600.0
+        assert chunk.state is ChunkState.ONBOARD
+
+    def test_complete_transmit_records_delivery(self):
+        chunk = make_chunk(1000.0)
+        when = EPOCH + timedelta(minutes=30)
+        sent = chunk.transmit(5000.0, when)
+        assert sent == 1000.0
+        assert chunk.state is ChunkState.DELIVERED
+        assert chunk.delivery_time == when
+        assert chunk.latency_seconds() == pytest.approx(1800.0)
+
+    def test_transmit_after_delivery_is_noop(self):
+        chunk = make_chunk(100.0)
+        chunk.transmit(100.0, EPOCH)
+        assert chunk.transmit(50.0, EPOCH) == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            make_chunk().transmit(-1.0, EPOCH)
+
+    def test_acknowledge(self):
+        chunk = make_chunk(100.0)
+        chunk.transmit(100.0, EPOCH)
+        ack_at = EPOCH + timedelta(hours=2)
+        chunk.acknowledge(ack_at)
+        assert chunk.state is ChunkState.ACKED
+        assert chunk.ack_time == ack_at
+
+    def test_cannot_ack_onboard_chunk(self):
+        with pytest.raises(ValueError):
+            make_chunk().acknowledge(EPOCH)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DataChunk(satellite_id="s", size_bits=0.0, capture_time=EPOCH)
+
+    def test_unique_ids(self):
+        ids = {make_chunk().chunk_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestLostTransmission:
+    def test_undecoded_flagged(self):
+        chunk = make_chunk(100.0)
+        chunk.transmit(100.0, EPOCH, decoded=False)
+        assert chunk.state is ChunkState.DELIVERED  # satellite's view
+        assert not chunk.ground_received  # the truth
+
+    def test_requeue_resets_for_retransmission(self):
+        chunk = make_chunk(100.0)
+        chunk.transmit(100.0, EPOCH, decoded=False)
+        chunk.requeue()
+        assert chunk.state is ChunkState.ONBOARD
+        assert chunk.remaining_bits == 100.0
+        assert chunk.ground_received
+        assert chunk.retransmissions == 1
+        # Second time around it succeeds.
+        chunk.transmit(100.0, EPOCH + timedelta(hours=1))
+        assert chunk.ground_received
+
+    def test_cannot_requeue_onboard(self):
+        with pytest.raises(ValueError):
+            make_chunk().requeue()

@@ -1,0 +1,91 @@
+"""Tests for the Satellite model: generation, orbit binding, plan state."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.satellites.satellite import GB_TO_BITS, Satellite
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture()
+def satellite(small_tles):
+    return Satellite(tle=small_tles[0], generation_gb_per_day=100.0,
+                     chunk_size_gb=1.0)
+
+
+class TestGeneration:
+    def test_daily_volume(self, satellite):
+        chunks = satellite.generate_data(EPOCH, 86400.0)
+        total_gb = sum(c.size_bits for c in chunks) / GB_TO_BITS
+        assert total_gb == pytest.approx(100.0, abs=1.0)
+
+    def test_capture_times_inside_interval(self, satellite):
+        chunks = satellite.generate_data(EPOCH, 3600.0)
+        for chunk in chunks:
+            assert EPOCH < chunk.capture_time <= EPOCH + timedelta(seconds=3600)
+
+    def test_capture_times_monotonic(self, satellite):
+        chunks = satellite.generate_data(EPOCH, 7200.0)
+        times = [c.capture_time for c in chunks]
+        assert times == sorted(times)
+
+    def test_fractional_accumulation_across_calls(self, satellite):
+        # 100 GB/day = 1 chunk every 864 s; 500 s steps emit nothing,
+        # then one chunk once the accumulator crosses 1 GB.
+        first = satellite.generate_data(EPOCH, 500.0)
+        second = satellite.generate_data(EPOCH + timedelta(seconds=500), 500.0)
+        assert len(first) == 0
+        assert len(second) == 1
+
+    def test_long_run_conservation(self, satellite):
+        total_chunks = 0
+        now = EPOCH
+        for _ in range(100):
+            total_chunks += len(satellite.generate_data(now, 864.0))
+            now += timedelta(seconds=864.0)
+        assert total_chunks == pytest.approx(100, abs=1)
+
+    def test_zero_rate(self, small_tles):
+        idle = Satellite(tle=small_tles[0], generation_gb_per_day=0.0)
+        assert idle.generate_data(EPOCH, 86400.0) == []
+
+    def test_invalid_parameters(self, small_tles):
+        with pytest.raises(ValueError):
+            Satellite(tle=small_tles[0], generation_gb_per_day=-1.0)
+        with pytest.raises(ValueError):
+            Satellite(tle=small_tles[0], chunk_size_gb=0.0)
+
+    def test_negative_duration_rejected(self, satellite):
+        with pytest.raises(ValueError):
+            satellite.generate_data(EPOCH, -1.0)
+
+
+class TestOrbitBinding:
+    def test_position_is_leo(self, satellite):
+        pos, vel = satellite.position_teme(EPOCH + timedelta(hours=3))
+        radius = float(np.linalg.norm(pos))
+        assert 6378.0 + 200.0 < radius < 6378.0 + 1000.0
+        assert 6.5 < float(np.linalg.norm(vel)) < 8.0
+
+    def test_satellite_id_from_name(self, satellite):
+        assert satellite.satellite_id == satellite.tle.name
+
+
+class TestPlanState:
+    def test_no_plan_initially(self, satellite):
+        assert not satellite.has_current_plan(EPOCH, max_age_s=3600.0)
+
+    def test_plan_freshness(self, satellite):
+        satellite.receive_plan(EPOCH)
+        assert satellite.has_current_plan(EPOCH + timedelta(minutes=30), 3600.0)
+        assert not satellite.has_current_plan(EPOCH + timedelta(hours=2), 3600.0)
+
+
+class TestMetrics:
+    def test_backlog_gb(self, satellite):
+        satellite.generate_data(EPOCH, 8640.0)  # 10 GB
+        assert satellite.backlog_gb == pytest.approx(10.0, abs=0.5)
+        assert satellite.unacked_gb == 0.0

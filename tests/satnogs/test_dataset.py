@@ -1,0 +1,108 @@
+"""Tests for the synthetic SatNOGS-like dataset."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.satnogs.dataset import SatNOGSDataset, generate_dataset
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(num_stations=80, num_satellites=40,
+                            start=EPOCH, days=10, seed=2)
+
+
+class TestGeneration:
+    def test_sizes(self, dataset):
+        assert len(dataset.stations) == 80
+        assert len(dataset.satellites) == 40
+        assert len(dataset.observations) > 1000
+
+    def test_deterministic(self):
+        a = generate_dataset(num_stations=20, num_satellites=10, seed=5)
+        b = generate_dataset(num_stations=20, num_satellites=10, seed=5)
+        assert a.to_json() == b.to_json()
+
+    def test_satellite_tles_parse(self, dataset):
+        for record in dataset.satellites:
+            tle = record.tle()
+            assert tle.satnum == record.norad_id
+
+    def test_observations_reference_valid_entities(self, dataset):
+        station_ids = {s.station_id for s in dataset.stations}
+        norad_ids = {s.norad_id for s in dataset.satellites}
+        for obs in dataset.observations:
+            assert obs.station_id in station_ids
+            assert obs.norad_id in norad_ids
+
+    def test_observations_sorted_by_rise(self, dataset):
+        rises = [o.rise_time for o in dataset.observations]
+        assert rises == sorted(rises)
+
+    def test_durations_match_leo_pass_statistics(self, dataset):
+        """Sec. 2/4: passes last up to ~10 min; most are shorter."""
+        durations = [o.duration_s for o in dataset.observations]
+        assert max(durations) < 16 * 60.0
+        assert min(durations) >= 60.0
+        import numpy as np
+
+        median = float(np.median(durations))
+        assert 2 * 60.0 < median < 10 * 60.0
+
+    def test_elevations_skew_low(self, dataset):
+        """Random-phase LEO geometry: low-elevation passes dominate."""
+        elevations = [o.max_elevation_deg for o in dataset.observations]
+        low = sum(1 for e in elevations if e < 30.0)
+        assert low / len(elevations) > 0.5
+
+    def test_snr_correlates_with_elevation(self, dataset):
+        import numpy as np
+
+        els = np.array([o.max_elevation_deg for o in dataset.observations])
+        snrs = np.array([o.snr_db for o in dataset.observations])
+        corr = float(np.corrcoef(els, snrs)[0, 1])
+        assert corr > 0.3
+
+    def test_offline_stations_have_no_observations(self, dataset):
+        offline = {s.station_id for s in dataset.stations if s.status != "online"}
+        for obs in dataset.observations:
+            assert obs.station_id not in offline
+
+
+class TestFiltering:
+    def test_paper_filter(self, dataset):
+        filtered = dataset.filter_operational(min_observations=1000)
+        assert 0 < len(filtered.stations) < len(dataset.stations)
+        for station in filtered.stations:
+            assert station.status == "online"
+            assert station.observation_count >= 1000
+        kept = {s.station_id for s in filtered.stations}
+        for obs in filtered.observations:
+            assert obs.station_id in kept
+
+    def test_full_scale_filter_near_paper_size(self):
+        """200 raw stations filter down to roughly the paper's 173."""
+        data = generate_dataset(num_stations=200, num_satellites=10,
+                                days=1, seed=0)
+        filtered = data.filter_operational(min_observations=1000)
+        assert 100 < len(filtered.stations) < 200
+
+    def test_query_helpers(self, dataset):
+        station = dataset.stations[0]
+        for obs in dataset.observations_for_station(station.station_id):
+            assert obs.station_id == station.station_id
+        sat = dataset.satellites[0]
+        for obs in dataset.observations_for_satellite(sat.norad_id):
+            assert obs.norad_id == sat.norad_id
+
+
+class TestSerialization:
+    def test_json_round_trip(self, dataset):
+        again = SatNOGSDataset.from_json(dataset.to_json())
+        assert again.to_json() == dataset.to_json()
+        assert len(again.observations) == len(dataset.observations)
+        assert again.stations[0] == dataset.stations[0]
+        assert again.observations[0] == dataset.observations[0]

@@ -1,0 +1,118 @@
+"""Tests for the SatNOGS API loader."""
+
+import json
+
+import pytest
+
+from repro.satnogs.loader import (
+    SatNOGSLoaderError,
+    load_dataset,
+    load_observations_api,
+    load_stations_api,
+    stations_to_network,
+)
+
+STATIONS_PAYLOAD = json.dumps([
+    {
+        "id": 2, "name": "KB9JHU", "lat": 39.236, "lng": -86.305,
+        "altitude": 280.0, "status": "Online", "observations": 12000,
+        "antenna": [{"band": "UHF", "antenna_type": "yagi"},
+                    {"band": "VHF", "antenna_type": "turnstile"}],
+    },
+    {
+        "id": 6, "name": "Apomahon", "lat": 53.118, "lng": -7.9,
+        "altitude": 100.0, "status": "Testing", "observations": 300,
+        "antenna": [],
+    },
+])
+
+OBSERVATIONS_PAYLOAD = json.dumps([
+    {
+        "id": 1001, "ground_station": 2, "norad_cat_id": 25544,
+        "start": "2020-06-01T10:00:00Z", "end": "2020-06-01T10:09:30Z",
+        "max_altitude": 45.0, "transmitter_mode": "FM",
+        "vetted_status": "good", "snr": 12.5,
+    },
+    {
+        "id": 1002, "ground_station": 6, "norad_cat_id": 43017,
+        "start": "2020-06-01T08:00:00Z", "end": "2020-06-01T08:04:00Z",
+        "max_altitude": 11.0, "vetted_status": "bad", "snr": None,
+    },
+])
+
+
+class TestStationLoader:
+    def test_parses_fields(self):
+        stations = load_stations_api(STATIONS_PAYLOAD)
+        assert len(stations) == 2
+        first = stations[0]
+        assert first.station_id == 2
+        assert first.name == "KB9JHU"
+        assert first.latitude_deg == pytest.approx(39.236)
+        assert first.bands == ("UHF", "VHF")
+        assert first.status == "online"
+        assert first.observation_count == 12000
+
+    def test_default_band_when_no_antennas(self):
+        stations = load_stations_api(STATIONS_PAYLOAD)
+        assert stations[1].bands == ("UHF",)
+
+    def test_invalid_json(self):
+        with pytest.raises(SatNOGSLoaderError, match="invalid JSON"):
+            load_stations_api("{broken")
+
+    def test_non_array(self):
+        with pytest.raises(SatNOGSLoaderError, match="array"):
+            load_stations_api('{"id": 1}')
+
+    def test_missing_field(self):
+        with pytest.raises(SatNOGSLoaderError, match="malformed"):
+            load_stations_api('[{"id": 1}]')
+
+
+class TestObservationLoader:
+    def test_parses_and_sorts(self):
+        observations = load_observations_api(OBSERVATIONS_PAYLOAD)
+        assert [o.observation_id for o in observations] == [1002, 1001]
+        good = observations[1]
+        assert good.station_id == 2
+        assert good.norad_id == 25544
+        assert good.duration_s == pytest.approx(570.0)
+        assert good.good
+        assert not observations[0].good
+
+    def test_null_snr_defaults_zero(self):
+        observations = load_observations_api(OBSERVATIONS_PAYLOAD)
+        assert observations[0].snr_db == 0.0
+
+
+class TestDatasetAssembly:
+    def test_with_tles(self, str3_tle):
+        line1, line2 = str3_tle.to_lines()
+        dataset = load_dataset(
+            STATIONS_PAYLOAD, OBSERVATIONS_PAYLOAD,
+            tle_text=f"TESTSAT\n{line1}\n{line2}\n",
+        )
+        assert len(dataset.stations) == 2
+        assert len(dataset.observations) == 2
+        assert len(dataset.satellites) == 1
+        assert dataset.satellites[0].norad_id == str3_tle.satnum
+
+    def test_without_tles(self):
+        dataset = load_dataset(STATIONS_PAYLOAD, OBSERVATIONS_PAYLOAD)
+        assert dataset.satellites == []
+
+
+class TestNetworkConversion:
+    def test_conversion(self):
+        records = load_stations_api(STATIONS_PAYLOAD)
+        network = stations_to_network(records, tx_capable_fraction=0.5)
+        assert len(network) == 2
+        assert len(network.transmit_capable) == 1
+        assert network[0].station_id == "satnogs-2"
+        assert network[0].latitude_deg == pytest.approx(39.236)
+        assert network[0].altitude_km == pytest.approx(0.280)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SatNOGSLoaderError):
+            stations_to_network([])

@@ -1,0 +1,107 @@
+"""Tests for the beamforming scheduler extension."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.scheduling.beamforming import BeamformingScheduler
+from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.value_functions import ThroughputValue
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture()
+def loaded(small_fleet, small_network):
+    for sat in small_fleet:
+        sat.generate_data(EPOCH - timedelta(hours=2), 7200.0)
+    return small_fleet, small_network
+
+
+def contention_instant(fleet, network):
+    """An instant where at least one station sees two satellites."""
+    probe = DownlinkScheduler(fleet, network, ThroughputValue())
+    for hour in range(48):
+        for minute in (0, 15, 30, 45):
+            when = EPOCH + timedelta(hours=hour, minutes=minute)
+            graph = probe.contact_graph(when)
+            per_station = {}
+            for e in graph.edges:
+                per_station.setdefault(e.station_index, set()).add(
+                    e.satellite_index
+                )
+            if any(len(s) >= 2 for s in per_station.values()):
+                return when
+    return None
+
+
+class TestConstruction:
+    def test_invalid_beams(self, loaded):
+        fleet, network = loaded
+        with pytest.raises(ValueError):
+            BeamformingScheduler(fleet, network, ThroughputValue(), beams=0)
+
+    def test_capacities_default_to_beams(self, loaded):
+        fleet, network = loaded
+        sched = BeamformingScheduler(fleet, network, ThroughputValue(), beams=3)
+        assert sched.capacities == [3] * len(network)
+
+
+class TestBeamSplit:
+    def test_single_beam_identical_to_plain_scheduler(self, loaded):
+        fleet, network = loaded
+        plain = DownlinkScheduler(fleet, network, ThroughputValue())
+        beam1 = BeamformingScheduler(fleet, network, ThroughputValue(), beams=1)
+        step_a = plain.schedule_step(EPOCH)
+        step_b = beam1.schedule_step(EPOCH)
+        assert [(a.satellite_index, a.station_index, a.bitrate_bps)
+                for a in step_a.assignments] == \
+               [(a.satellite_index, a.station_index, a.bitrate_bps)
+                for a in step_b.assignments]
+
+    def test_multibeam_can_serve_more_satellites(self, loaded):
+        fleet, network = loaded
+        when = contention_instant(fleet, network)
+        if when is None:
+            pytest.skip("no multi-satellite contention in the sample window")
+        single = DownlinkScheduler(fleet, network, ThroughputValue())
+        multi = BeamformingScheduler(fleet, network, ThroughputValue(),
+                                     beams=3, lossless=True)
+        served_single = len(single.schedule_step(when).assignments)
+        served_multi = len(multi.schedule_step(when).assignments)
+        assert served_multi >= served_single
+
+    def test_power_split_lowers_per_link_rate(self, loaded):
+        fleet, network = loaded
+        when = contention_instant(fleet, network)
+        if when is None:
+            pytest.skip("no multi-satellite contention in the sample window")
+        lossy = BeamformingScheduler(fleet, network, ThroughputValue(), beams=3)
+        lossless = BeamformingScheduler(fleet, network, ThroughputValue(),
+                                        beams=3, lossless=True)
+        step_lossy = lossy.schedule_step(when)
+        step_lossless = lossless.schedule_step(when)
+        # On any station serving multiple sats, the lossy variant's summed
+        # rate cannot exceed the lossless one's.
+        def station_rates(step):
+            rates = {}
+            for a in step.assignments:
+                rates.setdefault(a.station_index, []).append(a.bitrate_bps)
+            return rates
+
+        lossy_rates = station_rates(step_lossy)
+        lossless_rates = station_rates(step_lossless)
+        for station, rates in lossy_rates.items():
+            if len(rates) >= 2 and station in lossless_rates:
+                assert sum(rates) <= sum(lossless_rates[station]) + 1e-6
+
+    def test_repriced_links_still_closeable(self, loaded):
+        fleet, network = loaded
+        when = contention_instant(fleet, network)
+        if when is None:
+            pytest.skip("no multi-satellite contention in the sample window")
+        sched = BeamformingScheduler(fleet, network, ThroughputValue(), beams=4)
+        step = sched.schedule_step(when)
+        for a in step.assignments:
+            assert a.bitrate_bps > 0.0
+            assert a.required_esn0_db > -50.0

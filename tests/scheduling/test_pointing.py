@@ -1,0 +1,112 @@
+"""Tests for antenna pointing schedules."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.scheduling.pointing import (
+    PointingSample,
+    PointingTrack,
+    pointing_tracks,
+    rotator_conflicts,
+)
+from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.value_functions import LatencyValue
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def plan_world():
+    from repro.groundstations.network import satnogs_like_network
+    from repro.orbits.constellation import synthetic_leo_constellation
+    from repro.satellites.satellite import Satellite
+
+    tles = synthetic_leo_constellation(6, EPOCH, seed=42)
+    sats = [Satellite(tle=t) for t in tles]
+    for sat in sats:
+        sat.generate_data(EPOCH - timedelta(hours=2), 7200.0)
+    network = satnogs_like_network(12, seed=5)
+    scheduler = DownlinkScheduler(sats, network, LatencyValue())
+    plan = scheduler.build_plan(EPOCH, horizon_s=2 * 3600.0)
+    return sats, network, plan
+
+
+class TestTrackGeneration:
+    def test_tracks_exist_for_plan_contacts(self, plan_world):
+        sats, network, plan = plan_world
+        tracks = pointing_tracks(plan, sats, network)
+        assert tracks  # the plan had contacts
+        for station_index, station_tracks in tracks.items():
+            for track in station_tracks:
+                assert track.station_index == station_index
+                assert len(track.samples) >= 2
+
+    def test_samples_above_horizon(self, plan_world):
+        """The scheduler only books visible contacts, so pointing tracks
+        stay above the horizon throughout."""
+        sats, network, plan = plan_world
+        tracks = pointing_tracks(plan, sats, network)
+        for station_tracks in tracks.values():
+            for track in station_tracks:
+                for sample in track.samples:
+                    assert sample.elevation_deg > -1.0
+                    assert 0.0 <= sample.azimuth_deg < 360.0
+
+    def test_doppler_profile_attached(self, plan_world):
+        sats, network, plan = plan_world
+        tracks = pointing_tracks(plan, sats, network, carrier_hz=8.2e9)
+        some = next(iter(tracks.values()))[0]
+        assert any(s.doppler_hz != 0.0 for s in some.samples)
+        for sample in some.samples:
+            assert abs(sample.doppler_hz) < 250e3  # LEO X-band bound
+
+    def test_no_rotator_conflicts_capacity_one(self, plan_world):
+        sats, network, plan = plan_world
+        tracks = pointing_tracks(plan, sats, network)
+        for station_tracks in tracks.values():
+            assert rotator_conflicts(station_tracks) == []
+
+    def test_invalid_sample_interval(self, plan_world):
+        sats, network, plan = plan_world
+        with pytest.raises(ValueError):
+            pointing_tracks(plan, sats, network, sample_s=0.0)
+
+
+class TestSlewRates:
+    def _track(self, azimuths, elevations=None, dt_s=10.0):
+        elevations = elevations or [45.0] * len(azimuths)
+        track = PointingTrack(0, 0)
+        for k, (az, el) in enumerate(zip(azimuths, elevations)):
+            track.samples.append(PointingSample(
+                EPOCH + timedelta(seconds=k * dt_s), az, el,
+            ))
+        return track
+
+    def test_azimuth_wrap_unwrapped(self):
+        # 358 -> 2 deg is a 4-degree move, not 356.
+        track = self._track([358.0, 2.0])
+        assert track.max_azimuth_rate_deg_s() == pytest.approx(0.4)
+
+    def test_elevation_rate(self):
+        track = self._track([10.0, 10.0], [10.0, 30.0])
+        assert track.max_elevation_rate_deg_s() == pytest.approx(2.0)
+
+    def test_feasibility(self):
+        slow_pass = self._track([10.0, 15.0, 20.0])
+        assert slow_pass.feasible_for(1.0)
+        overhead_pass = self._track([10.0, 90.0, 170.0])
+        assert not overhead_pass.feasible_for(1.0)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            self._track([0.0, 1.0]).feasible_for(0.0)
+
+    def test_leo_tracks_feasible_for_typical_rotators(self, plan_world):
+        """Most scheduled passes stay under a hobby rotator's ~6 deg/s;
+        only near-overhead passes exceed it."""
+        sats, network, plan = plan_world
+        tracks = pointing_tracks(plan, sats, network)
+        all_tracks = [t for ts in tracks.values() for t in ts]
+        feasible = sum(1 for t in all_tracks if t.feasible_for(6.0))
+        assert feasible >= len(all_tracks) * 0.6

@@ -1,0 +1,135 @@
+"""Tests for value functions Phi."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.satellites.data import DataChunk
+from repro.satellites.satellite import Satellite
+from repro.scheduling.value_functions import (
+    AuctionValue,
+    CompositeValue,
+    LatencyValue,
+    PriorityValue,
+    ThroughputValue,
+    ValueFunction,
+)
+
+EPOCH = datetime(2020, 6, 1)
+NOW = EPOCH + timedelta(hours=6)
+
+
+@pytest.fixture()
+def loaded_satellite(small_tles):
+    sat = Satellite(tle=small_tles[0])
+    sat.generate_data(EPOCH, 3600.0)  # ~4 GB captured around EPOCH
+    return sat
+
+
+@pytest.fixture()
+def empty_satellite(small_tles):
+    return Satellite(tle=small_tles[1])
+
+
+class TestProtocol:
+    def test_all_implementations_conform(self):
+        for vf in (LatencyValue(), ThroughputValue(), PriorityValue(),
+                   AuctionValue(), CompositeValue(((LatencyValue(), 1.0),))):
+            assert isinstance(vf, ValueFunction)
+
+
+class TestLatencyValue:
+    def test_zero_for_dead_link(self, loaded_satellite):
+        assert LatencyValue().edge_value(loaded_satellite, "g", 0.0, NOW, 60.0) == 0.0
+
+    def test_zero_for_empty_queue(self, empty_satellite):
+        assert LatencyValue().edge_value(empty_satellite, "g", 1e8, NOW, 60.0) == 0.0
+
+    def test_older_data_more_valuable(self, small_tles):
+        stale = Satellite(tle=small_tles[0])
+        stale.generate_data(EPOCH, 3600.0)
+        fresh = Satellite(tle=small_tles[1])
+        fresh.generate_data(NOW - timedelta(hours=1), 3600.0)
+        vf = LatencyValue()
+        assert vf.edge_value(stale, "g", 1e8, NOW, 60.0) > \
+            vf.edge_value(fresh, "g", 1e8, NOW, 60.0)
+
+    def test_faster_link_more_valuable(self, loaded_satellite):
+        vf = LatencyValue()
+        slow = vf.edge_value(loaded_satellite, "g", 5e7, NOW, 60.0)
+        fast = vf.edge_value(loaded_satellite, "g", 3e8, NOW, 60.0)
+        assert fast > slow
+
+    def test_fresh_data_still_positive(self, small_tles):
+        sat = Satellite(tle=small_tles[0])
+        sat.generate_data(NOW - timedelta(seconds=60), 60.0)
+        # Any backlog at all gives a positive weight.
+        if sat.storage.backlog_bits > 0:
+            assert LatencyValue().edge_value(sat, "g", 1e8, NOW, 60.0) > 0.0
+
+
+class TestThroughputValue:
+    def test_equals_deliverable_bits(self, loaded_satellite):
+        value = ThroughputValue().edge_value(loaded_satellite, "g", 1e8, NOW, 60.0)
+        expected = min(1e8 * 60.0, loaded_satellite.storage.backlog_bits)
+        assert value == pytest.approx(expected)
+
+    def test_capped_by_backlog(self, small_tles):
+        sat = Satellite(tle=small_tles[0])
+        sat.generate_data(EPOCH, 864.0)  # exactly ~1 GB
+        value = ThroughputValue().edge_value(sat, "g", 1e12, NOW, 60.0)
+        assert value == pytest.approx(sat.storage.backlog_bits)
+
+    def test_zero_cases(self, loaded_satellite, empty_satellite):
+        vf = ThroughputValue()
+        assert vf.edge_value(loaded_satellite, "g", 0.0, NOW, 60.0) == 0.0
+        assert vf.edge_value(empty_satellite, "g", 1e8, NOW, 60.0) == 0.0
+
+
+class TestPriorityValue:
+    def test_priority_boosts_value(self, small_tles):
+        plain = Satellite(tle=small_tles[0])
+        plain.storage.capture(DataChunk("p", 8e9, EPOCH, priority=0.0))
+        urgent = Satellite(tle=small_tles[1])
+        urgent.storage.capture(DataChunk("u", 8e9, EPOCH, priority=2.0))
+        vf = PriorityValue()
+        assert vf.edge_value(urgent, "g", 1e8, NOW, 60.0) > \
+            vf.edge_value(plain, "g", 1e8, NOW, 60.0)
+
+    def test_region_multiplier(self, small_tles):
+        sat = Satellite(tle=small_tles[0])
+        sat.storage.capture(DataChunk("s", 8e9, EPOCH, region="flood-zone"))
+        base = PriorityValue().edge_value(sat, "g", 1e8, NOW, 60.0)
+        boosted = PriorityValue(
+            region_multipliers={"flood-zone": 5.0}
+        ).edge_value(sat, "g", 1e8, NOW, 60.0)
+        assert boosted == pytest.approx(5.0 * base)
+
+
+class TestAuctionValue:
+    def test_bid_scales_value(self, loaded_satellite):
+        sat_id = loaded_satellite.satellite_id
+        cheap = AuctionValue(default_bid=1.0)
+        rich = AuctionValue(bids={(sat_id, "g"): 3.0}, default_bid=1.0)
+        assert rich.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0) == \
+            pytest.approx(
+                3.0 * cheap.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0)
+            )
+
+    def test_default_bid_elsewhere(self, loaded_satellite):
+        vf = AuctionValue(bids={("other", "g"): 9.0}, default_bid=2.0)
+        value = vf.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0)
+        assert value == pytest.approx(2.0 * min(1e8 * 60.0,
+                                                loaded_satellite.storage.backlog_bits))
+
+
+class TestCompositeValue:
+    def test_weighted_sum(self, loaded_satellite):
+        lat, thr = LatencyValue(), ThroughputValue()
+        combo = CompositeValue(((lat, 0.5), (thr, 2.0)))
+        expected = (
+            0.5 * lat.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0)
+            + 2.0 * thr.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0)
+        )
+        assert combo.edge_value(loaded_satellite, "g", 1e8, NOW, 60.0) == \
+            pytest.approx(expected)

@@ -1,0 +1,40 @@
+"""Tests for simulation configuration validation."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = SimulationConfig()
+        assert cfg.duration_s == 86400.0
+        assert cfg.step_s == 60.0
+        assert cfg.matcher == "stable"
+        assert not cfg.use_forecast
+
+    def test_num_steps(self):
+        cfg = SimulationConfig(duration_s=3600.0, step_s=60.0)
+        assert cfg.num_steps == 60
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0.0)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(step_s=-5.0)
+
+    def test_step_longer_than_duration(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=30.0, step_s=60.0)
+
+    def test_invalid_forecast_refresh(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(forecast_refresh_s=0.0)
+
+    def test_custom_start(self):
+        start = datetime(2021, 3, 1)
+        assert SimulationConfig(start=start).start == start

@@ -1,0 +1,141 @@
+"""Tests for the data-transfer simulation engine: conservation + semantics."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.groundstations.network import (
+    baseline_polar_network,
+    satnogs_like_network,
+)
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.satellites.satellite import GB_TO_BITS, Satellite
+from repro.scheduling.value_functions import LatencyValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+from repro.weather.cells import RainCellField
+from repro.weather.provider import QuantizedWeatherCache
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def build_sim(network=None, duration_h=4.0, num_sats=8, **config_kwargs):
+    tles = synthetic_leo_constellation(num_sats, EPOCH, seed=21)
+    sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+    network = network or satnogs_like_network(20, seed=13)
+    config = SimulationConfig(
+        start=EPOCH, duration_s=duration_h * 3600.0, step_s=60.0,
+        **config_kwargs,
+    )
+    weather = QuantizedWeatherCache(RainCellField(seed=3))
+    return Simulation(sats, network, LatencyValue(), config,
+                      truth_weather=weather)
+
+
+@pytest.fixture(scope="module")
+def dgs_report_and_sim():
+    sim = build_sim()
+    return sim.run(), sim
+
+
+class TestConservation:
+    def test_generated_equals_delivered_plus_backlog(self, dgs_report_and_sim):
+        report, sim = dgs_report_and_sim
+        backlog_bits = sum(report.final_backlog_gb.values()) * GB_TO_BITS
+        # Generated data is either truly delivered or still undelivered
+        # (the true backlog includes lost transmissions).
+        assert report.delivered_bits + backlog_bits == pytest.approx(
+            report.generated_bits, rel=1e-6
+        )
+
+    def test_latencies_non_negative(self, dgs_report_and_sim):
+        report, _sim = dgs_report_and_sim
+        for values in report.latency_s.values():
+            assert all(v >= 0.0 for v in values)
+
+    def test_delivered_counts_match_backend(self, dgs_report_and_sim):
+        report, sim = dgs_report_and_sim
+        assert sim.backend.total_bits_received == pytest.approx(
+            report.delivered_bits
+        )
+
+    def test_something_was_delivered(self, dgs_report_and_sim):
+        report, _sim = dgs_report_and_sim
+        assert report.delivered_bits > 0.0
+        assert report.all_latencies_s().size > 0
+
+    def test_no_losses_with_oracle_weather(self, dgs_report_and_sim):
+        report, _sim = dgs_report_and_sim
+        # Scheduling on truth weather -> predictions always decode.
+        assert report.lost_transmission_bits == 0.0
+        assert report.retransmitted_chunks == 0
+
+    def test_snapshots_recorded(self, dgs_report_and_sim):
+        report, _sim = dgs_report_and_sim
+        assert len(report.snapshots) == 4  # every 60 steps over 240 steps
+
+
+class TestAckSemantics:
+    def test_baseline_acks_promptly(self):
+        """Every baseline station is tx-capable: acks arrive at the next
+        contact with any station, so unacked data is bounded."""
+        sim = build_sim(network=baseline_polar_network(), duration_h=6.0)
+        report = sim.run()
+        # At least one satellite got its data acked.
+        acked_total = sum(
+            sim.backend.acked_count(s.satellite_id) for s in sim.satellites
+        )
+        delivered_chunks = sum(len(v) for v in report.latency_s.values())
+        if delivered_chunks > 0:
+            assert acked_total > 0
+
+    def test_receive_only_network_never_acks(self):
+        net = satnogs_like_network(20, tx_capable_fraction=0.0, seed=13)
+        sim = build_sim(network=net, duration_h=3.0)
+        report = sim.run()
+        # Data is delivered but nothing can carry acks back up.
+        for sat in sim.satellites:
+            assert sim.backend.acked_count(sat.satellite_id) == 0
+        delivered = sum(len(v) for v in report.latency_s.values())
+        unacked = sum(report.final_unacked_gb.values())
+        if delivered > 0:
+            assert unacked > 0.0
+
+    def test_plan_epochs_set_by_tx_contacts(self):
+        sim = build_sim(duration_h=6.0)
+        sim.run()
+        planned = [s for s in sim.satellites if s.plan_epoch is not None]
+        # With ~10% tx-capable stations most satellites hit one in 6 h.
+        assert planned
+
+
+class TestPlanEnforcement:
+    def test_unplanned_satellites_restricted_to_tx_stations(self):
+        sim = build_sim(duration_h=3.0, enforce_plan_distribution=True,
+                        plan_max_age_s=6 * 3600.0)
+        report = sim.run()
+        # Deliveries can only have happened at tx-capable stations first
+        # (a satellite must meet one before using receive-only stations).
+        tx_ids = {s.station_id for s in sim.network.transmit_capable}
+        for sat in sim.satellites:
+            if sat.plan_epoch is None:
+                # Never met a tx station: all its bits went to tx stations
+                # (i.e. none, since it never had a plan or a tx contact
+                # that delivered).  Check it has no deliveries at rx-only.
+                sat_latencies = report.latency_s.get(sat.satellite_id, [])
+                # Without a plan there can be no rx-only deliveries; a
+                # delivery implies a tx contact, which sets plan_epoch.
+                assert not sat_latencies or not tx_ids
+
+
+class TestForecastScheduling:
+    def test_forecast_mode_runs_and_may_lose_data(self):
+        sim = build_sim(duration_h=4.0, use_forecast=True,
+                        forecast_refresh_s=3600.0)
+        report = sim.run()
+        assert report.generated_bits > 0
+        # Conservation still holds with losses: delivered + true backlog ==
+        # generated.
+        backlog_bits = sum(report.final_backlog_gb.values()) * GB_TO_BITS
+        unacked_lost_ok = report.delivered_bits + backlog_bits
+        assert unacked_lost_ok == pytest.approx(report.generated_bits, rel=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for metrics collection and report statistics."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import MetricsCollector
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def build_report():
+    collector = MetricsCollector()
+    collector.record_generation(100.0)
+    collector.record_generation(100.0)
+    collector.record_delivery("sat-A", 600.0, 50.0, "gs-1")
+    collector.record_delivery("sat-A", 1200.0, 50.0, "gs-2")
+    collector.record_delivery("sat-B", 3000.0, 40.0, "gs-1")
+    collector.record_lost_transmission(10.0)
+    collector.record_requeue(2)
+    collector.record_step(3)
+    collector.record_step(1)
+    collector.record_snapshot(EPOCH, {"sat-A": 1.0})
+    return collector.finalize(
+        final_backlog_gb={"sat-A": 0.5, "sat-B": 2.0},
+        final_unacked_gb={"sat-A": 0.1, "sat-B": 0.0},
+    )
+
+
+class TestCollector:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().record_delivery("s", -1.0, 10.0, "g")
+
+    def test_report_totals(self):
+        report = build_report()
+        assert report.generated_bits == 200.0
+        assert report.delivered_bits == 140.0
+        assert report.lost_transmission_bits == 10.0
+        assert report.retransmitted_chunks == 2
+        assert report.matched_step_counts == [3, 1]
+        assert report.delivery_fraction == pytest.approx(0.7)
+
+    def test_station_accounting(self):
+        report = build_report()
+        assert report.station_bits == {"gs-1": 90.0, "gs-2": 50.0}
+
+    def test_snapshots_preserved(self):
+        report = build_report()
+        assert len(report.snapshots) == 1
+        assert report.snapshots[0].backlog_gb == {"sat-A": 1.0}
+
+
+class TestReportStatistics:
+    def test_latency_percentiles(self):
+        report = build_report()
+        pcts = report.latency_percentiles_min((50, 90))
+        all_lat = np.array([600.0, 1200.0, 3000.0])
+        assert pcts[50] == pytest.approx(np.percentile(all_lat, 50) / 60.0)
+        assert pcts[90] == pytest.approx(np.percentile(all_lat, 90) / 60.0)
+
+    def test_mean_latency(self):
+        report = build_report()
+        assert report.mean_latency_min() == pytest.approx(1600.0 / 60.0)
+
+    def test_backlog_percentiles(self):
+        report = build_report()
+        assert report.backlog_percentiles_gb((50,))[50] == pytest.approx(1.25)
+
+    def test_empty_latency_is_nan(self):
+        collector = MetricsCollector()
+        report = collector.finalize({}, {})
+        assert np.isnan(report.mean_latency_min())
+        assert np.isnan(report.latency_percentiles_min((50,))[50])
+
+    def test_empty_generation_fraction(self):
+        report = MetricsCollector().finalize({}, {})
+        assert report.delivery_fraction == 1.0
+
+    def test_delivered_tb(self):
+        collector = MetricsCollector()
+        collector.record_delivery("s", 1.0, 8e12, "g")
+        report = collector.finalize({}, {})
+        assert report.delivered_tb == pytest.approx(1.0)

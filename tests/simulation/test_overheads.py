@@ -1,0 +1,57 @@
+"""Tests for acquisition overhead and link-churn accounting."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.groundstations.network import satnogs_like_network
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.satellites.satellite import Satellite
+from repro.scheduling.value_functions import LatencyValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def build(acquisition_overhead_s=0.0, matcher="stable"):
+    tles = synthetic_leo_constellation(8, EPOCH, seed=21)
+    sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+    network = satnogs_like_network(15, seed=13)
+    config = SimulationConfig(
+        start=EPOCH, duration_s=4 * 3600.0,
+        acquisition_overhead_s=acquisition_overhead_s,
+        matcher=matcher,
+    )
+    return Simulation(sats, network, LatencyValue(), config)
+
+
+class TestAcquisitionOverhead:
+    def test_overhead_reduces_throughput(self):
+        clean = build(acquisition_overhead_s=0.0).run()
+        lossy = build(acquisition_overhead_s=30.0).run()
+        assert lossy.delivered_bits <= clean.delivered_bits
+
+    def test_zero_overhead_is_default(self):
+        assert SimulationConfig().acquisition_overhead_s == 0.0
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(step_s=60.0, acquisition_overhead_s=60.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(acquisition_overhead_s=-1.0)
+
+
+class TestLinkChurn:
+    def test_churn_counted(self):
+        sim = build()
+        sim.run()
+        # Every pass start is at least one link change.
+        assert sim.link_changes > 0
+
+    def test_churn_at_least_number_of_contacts(self):
+        sim = build()
+        report = sim.run()
+        # Each matched step either continues or changes a link; changes
+        # cannot exceed total matched slots.
+        assert sim.link_changes <= sum(report.matched_step_counts)

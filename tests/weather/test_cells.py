@@ -1,0 +1,132 @@
+"""Tests for the rain-cell weather field."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.weather.cells import RainCellField, WeatherSample, haversine_km
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(47.0, 8.0, 47.0, 8.0) == 0.0
+
+    def test_known_distance(self):
+        # London -> Paris ~ 344 km.
+        assert haversine_km(51.5074, -0.1278, 48.8566, 2.3522) == pytest.approx(
+            344.0, abs=10.0
+        )
+
+    def test_antipodal(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(3.14159265 * 6371.0, rel=1e-3)
+
+    def test_symmetry(self):
+        assert haversine_km(10.0, 20.0, -30.0, 140.0) == pytest.approx(
+            haversine_km(-30.0, 140.0, 10.0, 20.0)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_weather(self):
+        a = RainCellField(seed=5)
+        b = RainCellField(seed=5)
+        for hours in (0, 7, 31):
+            when = EPOCH + timedelta(hours=hours)
+            assert a.sample(47.0, 8.0, when) == b.sample(47.0, 8.0, when)
+
+    def test_different_seeds_differ_somewhere(self):
+        a = RainCellField(seed=1)
+        b = RainCellField(seed=2)
+        diffs = 0
+        for hours in range(0, 200, 5):
+            when = EPOCH + timedelta(hours=hours)
+            if a.sample(47.0, 8.0, when) != b.sample(47.0, 8.0, when):
+                diffs += 1
+        assert diffs > 0
+
+    def test_query_order_does_not_matter(self):
+        a = RainCellField(seed=9)
+        b = RainCellField(seed=9)
+        t1, t2 = EPOCH + timedelta(hours=2), EPOCH + timedelta(hours=50)
+        r1_then_r2 = (a.sample(47.0, 8.0, t1), a.sample(-30.0, 150.0, t2))
+        r2_then_r1 = (b.sample(-30.0, 150.0, t2), b.sample(47.0, 8.0, t1))
+        assert r1_then_r2[0] == r2_then_r1[1]
+        assert r1_then_r2[1] == r2_then_r1[0]
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def month_samples(self):
+        field = RainCellField(seed=3)
+        sites = [(1.0, 103.0), (47.0, 8.0), (51.0, 0.0), (-33.0, 151.0), (75.0, 20.0)]
+        samples = []
+        for lat, lon in sites:
+            for h in range(0, 720, 4):
+                samples.append(
+                    (lat, field.sample(lat, lon, EPOCH + timedelta(hours=h)))
+                )
+        return samples
+
+    def test_wet_fraction_plausible(self, month_samples):
+        wet = sum(1 for _lat, s in month_samples if s.is_raining)
+        fraction = wet / len(month_samples)
+        assert 0.02 < fraction < 0.35
+
+    def test_rain_rates_non_negative_and_bounded(self, month_samples):
+        for _lat, s in month_samples:
+            assert s.rain_rate_mm_h >= 0.0
+            assert s.rain_rate_mm_h < 300.0
+
+    def test_cloud_water_bounded(self, month_samples):
+        for _lat, s in month_samples:
+            assert 0.0 <= s.cloud_water_kg_m2 <= 6.0
+
+    def test_polar_colder_than_tropics(self, month_samples):
+        tropics = [s.temperature_k for lat, s in month_samples if abs(lat) < 10]
+        polar = [s.temperature_k for lat, s in month_samples if abs(lat) > 70]
+        assert min(tropics) > max(polar)
+
+    def test_temporal_correlation(self):
+        """Weather 5 minutes apart is almost always the same regime."""
+        field = RainCellField(seed=3)
+        agreements = 0
+        checks = 0
+        for h in range(0, 240, 3):
+            t = EPOCH + timedelta(hours=h)
+            a = field.sample(47.0, 8.0, t)
+            b = field.sample(47.0, 8.0, t + timedelta(minutes=5))
+            checks += 1
+            if a.is_raining == b.is_raining:
+                agreements += 1
+        assert agreements / checks > 0.9
+
+
+class TestIntensityScale:
+    def test_zero_scale_disables_rain(self):
+        field = RainCellField(seed=3, intensity_scale=0.0)
+        for h in range(0, 100, 5):
+            s = field.sample(47.0, 8.0, EPOCH + timedelta(hours=h))
+            assert s.rain_rate_mm_h == 0.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RainCellField(intensity_scale=-1.0)
+
+    def test_scale_amplifies(self):
+        nominal = RainCellField(seed=3, intensity_scale=1.0)
+        stormy = RainCellField(seed=3, intensity_scale=3.0)
+        total_nominal = total_stormy = 0.0
+        for h in range(0, 720, 6):
+            t = EPOCH + timedelta(hours=h)
+            total_nominal += nominal.sample(47.0, 8.0, t).rain_rate_mm_h
+            total_stormy += stormy.sample(47.0, 8.0, t).rain_rate_mm_h
+        assert total_stormy == pytest.approx(3.0 * total_nominal, rel=1e-6)
+
+
+class TestWeatherSample:
+    def test_is_raining_threshold(self):
+        assert not WeatherSample(0.05, 0.1).is_raining
+        assert WeatherSample(0.5, 0.1).is_raining

@@ -1,0 +1,57 @@
+"""Tests for climate-zone banding."""
+
+import pytest
+
+from repro.weather.climate import (
+    ALL_ZONES,
+    ZONE_BANDS,
+    climate_zone_for_latitude,
+)
+
+
+class TestZoneLookup:
+    def test_tropics(self):
+        assert climate_zone_for_latitude(0.0).name == "tropical"
+        assert climate_zone_for_latitude(-10.0).name == "tropical"
+
+    def test_temperate(self):
+        assert climate_zone_for_latitude(47.0).name == "temperate"
+        assert climate_zone_for_latitude(-47.0).name == "temperate"
+
+    def test_polar(self):
+        assert climate_zone_for_latitude(85.0).name == "polar"
+
+    def test_hemispheric_symmetry(self):
+        for lat in (5.0, 25.0, 45.0, 60.0, 80.0):
+            assert climate_zone_for_latitude(lat) is climate_zone_for_latitude(-lat)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            climate_zone_for_latitude(91.0)
+
+
+class TestZoneParameters:
+    def test_tropics_rain_hardest(self):
+        tropical = climate_zone_for_latitude(0.0)
+        polar = climate_zone_for_latitude(85.0)
+        assert tropical.mean_rain_rate_mm_h > polar.mean_rain_rate_mm_h
+
+    def test_all_parameters_positive(self):
+        for zone in ALL_ZONES:
+            assert zone.cell_density_per_mm_km2 > 0
+            assert zone.mean_rain_rate_mm_h > 0
+            assert zone.mean_cell_radius_km > 0
+            assert zone.mean_cell_lifetime_h > 0
+            assert zone.background_cloud_kg_m2 >= 0
+
+    def test_bands_cover_the_globe(self):
+        edges = sorted((lo, hi) for lo, hi, _z in ZONE_BANDS)
+        assert edges[0][0] == -90.0
+        assert edges[-1][1] == 90.0
+        for (lo1, hi1), (lo2, hi2) in zip(edges, edges[1:]):
+            assert hi1 == lo2  # contiguous, non-overlapping
+
+    def test_band_zones_match_lookup(self):
+        for lo, hi, zone in ZONE_BANDS:
+            mid = (lo + hi) / 2.0
+            assert climate_zone_for_latitude(mid).name == zone.name

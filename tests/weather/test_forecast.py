@@ -1,0 +1,83 @@
+"""Tests for forecast providers and error growth."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.weather.cells import RainCellField, WeatherSample
+from repro.weather.forecast import ForecastProvider, PerfectForecast
+from repro.weather.provider import ConstantWeatherProvider
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class TestPerfectForecast:
+    def test_reveals_truth(self):
+        truth = RainCellField(seed=4)
+        oracle = PerfectForecast(truth)
+        valid = EPOCH + timedelta(hours=36)
+        assert oracle.forecast(47.0, 8.0, EPOCH, valid) == truth.sample(
+            47.0, 8.0, valid
+        )
+
+
+class TestForecastProvider:
+    def test_nowcast_is_truth(self):
+        truth = RainCellField(seed=4)
+        fc = ForecastProvider(truth)
+        assert fc.forecast(47.0, 8.0, EPOCH, EPOCH) == truth.sample(47.0, 8.0, EPOCH)
+
+    def test_deterministic(self):
+        truth = RainCellField(seed=4)
+        a = ForecastProvider(truth, seed=7)
+        b = ForecastProvider(RainCellField(seed=4), seed=7)
+        valid = EPOCH + timedelta(hours=30)
+        assert a.forecast(47.0, 8.0, EPOCH, valid) == b.forecast(
+            47.0, 8.0, EPOCH, valid
+        )
+
+    def test_error_grows_with_lead_time(self):
+        """Longer leads deviate more from truth on average."""
+        truth = ConstantWeatherProvider(WeatherSample(10.0, 0.5))
+        fc = ForecastProvider(truth, seed=1)
+        def mean_abs_error(lead_h):
+            errors = []
+            for k in range(60):
+                issued = EPOCH + timedelta(hours=k)
+                predicted = fc.forecast(40.0, -100.0 + k, issued,
+                                        issued + timedelta(hours=lead_h))
+                errors.append(abs(predicted.rain_rate_mm_h - 10.0))
+            return sum(errors) / len(errors)
+
+        assert mean_abs_error(48.0) > mean_abs_error(6.0)
+
+    def test_short_lead_accurate(self):
+        truth = ConstantWeatherProvider(WeatherSample(10.0, 0.5))
+        fc = ForecastProvider(truth, seed=1, miss_probability_per_day=0.0)
+        predicted = fc.forecast(40.0, -100.0, EPOCH, EPOCH + timedelta(hours=1))
+        assert predicted.rain_rate_mm_h == pytest.approx(10.0, rel=0.5)
+
+    def test_misses_happen_at_long_lead(self):
+        truth = ConstantWeatherProvider(WeatherSample(10.0, 0.5))
+        fc = ForecastProvider(truth, seed=1, miss_probability_per_day=0.3)
+        misses = 0
+        for k in range(200):
+            predicted = fc.forecast(
+                40.0, -170.0 + k, EPOCH, EPOCH + timedelta(hours=36)
+            )
+            if predicted.rain_rate_mm_h == 0.0:
+                misses += 1
+        assert misses > 5  # ~45% expected
+
+    def test_invalid_parameters(self):
+        truth = RainCellField(seed=4)
+        with pytest.raises(ValueError):
+            ForecastProvider(truth, error_growth_per_day=-0.1)
+        with pytest.raises(ValueError):
+            ForecastProvider(truth, miss_probability_per_day=1.5)
+
+    def test_temperature_passes_through(self):
+        truth = ConstantWeatherProvider(WeatherSample(0.0, 0.1, temperature_k=250.0))
+        fc = ForecastProvider(truth, seed=1)
+        predicted = fc.forecast(40.0, -100.0, EPOCH, EPOCH + timedelta(hours=24))
+        assert predicted.temperature_k == 250.0

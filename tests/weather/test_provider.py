@@ -1,0 +1,92 @@
+"""Tests for weather provider implementations and the quantizing cache."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.weather.cells import RainCellField, WeatherSample
+from repro.weather.provider import (
+    ClearSkyProvider,
+    ConstantWeatherProvider,
+    QuantizedWeatherCache,
+    WeatherProvider,
+)
+
+EPOCH = datetime(2020, 6, 1)
+
+
+class CountingProvider:
+    """Test double that counts how often the inner provider is hit."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def sample(self, lat_deg, lon_deg, when):
+        self.calls += 1
+        return WeatherSample(1.0, 0.2)
+
+
+class TestProtocol:
+    def test_implementations_satisfy_protocol(self):
+        for provider in (ClearSkyProvider(),
+                         ConstantWeatherProvider(WeatherSample(0.0, 0.0)),
+                         RainCellField(seed=1),
+                         QuantizedWeatherCache(ClearSkyProvider())):
+            assert isinstance(provider, WeatherProvider)
+
+
+class TestClearSky:
+    def test_always_dry(self):
+        provider = ClearSkyProvider()
+        s = provider.sample(10.0, 20.0, EPOCH)
+        assert s.rain_rate_mm_h == 0.0
+        assert s.cloud_water_kg_m2 == 0.0
+
+
+class TestConstant:
+    def test_returns_configured_sample(self):
+        sample = WeatherSample(42.0, 1.5)
+        provider = ConstantWeatherProvider(sample)
+        assert provider.sample(0.0, 0.0, EPOCH) is sample
+
+
+class TestQuantizedCache:
+    def test_same_bucket_hits_cache(self):
+        inner = CountingProvider()
+        cache = QuantizedWeatherCache(inner, period_s=300.0)
+        cache.sample(47.0, 8.0, EPOCH)
+        cache.sample(47.0, 8.0, EPOCH + timedelta(seconds=60))
+        cache.sample(47.0, 8.0, EPOCH + timedelta(seconds=299))
+        assert inner.calls == 1
+
+    def test_new_bucket_misses(self):
+        inner = CountingProvider()
+        cache = QuantizedWeatherCache(inner, period_s=300.0)
+        cache.sample(47.0, 8.0, EPOCH)
+        cache.sample(47.0, 8.0, EPOCH + timedelta(seconds=600))
+        assert inner.calls == 2
+
+    def test_different_locations_cached_separately(self):
+        inner = CountingProvider()
+        cache = QuantizedWeatherCache(inner, period_s=300.0)
+        cache.sample(47.0, 8.0, EPOCH)
+        cache.sample(48.0, 8.0, EPOCH)
+        assert inner.calls == 2
+
+    def test_values_match_inner(self):
+        truth = RainCellField(seed=5)
+        cache = QuantizedWeatherCache(truth, period_s=1.0)
+        when = EPOCH + timedelta(hours=3)
+        assert cache.sample(47.0, 8.0, when) == truth.sample(47.0, 8.0, when)
+
+    def test_eviction_keeps_working(self):
+        inner = CountingProvider()
+        cache = QuantizedWeatherCache(inner, period_s=300.0, max_entries=4)
+        for k in range(20):
+            cache.sample(10.0 + k, 0.0, EPOCH)
+        assert inner.calls == 20
+        assert cache.sample(10.0, 0.0, EPOCH).rain_rate_mm_h == 1.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            QuantizedWeatherCache(ClearSkyProvider(), period_s=0.0)
