@@ -7,12 +7,18 @@ against performance regressions that would make full-scale reproduction
 impractical (a simulated day is ~1440 of each of these per scenario).
 """
 
+import time
 from datetime import datetime, timedelta
 
 import pytest
 
 from repro.core.scenarios import build_paper_fleet, build_paper_weather
 from repro.groundstations.network import satnogs_like_network
+from repro.orbits.ephemeris import (
+    EphemerisTable,
+    clear_ephemeris_cache,
+    shared_ephemeris_table,
+)
 from repro.orbits.sgp4 import SGP4
 from repro.scheduling.graph import GeometryEngine
 from repro.scheduling.matching import (
@@ -55,9 +61,94 @@ def test_bench_visibility_matrix(benchmark, world):
     benchmark(engine.visibility, fleet, EPOCH)
 
 
+def test_bench_ephemeris_table(benchmark, world):
+    """One vectorized SGP4 pass over the fleet for a 2 h horizon."""
+    fleet, _network, _scheduler = world
+    benchmark(EphemerisTable.build, fleet, EPOCH, 120, 60.0)
+
+
 def test_bench_contact_graph(benchmark, world):
     _fleet, _network, scheduler = world
     benchmark(scheduler.contact_graph, EPOCH)
+
+
+def test_bench_contact_graph_scalar(benchmark, world):
+    """The per-pair reference path, for before/after comparison."""
+    fleet, network, _scheduler = world
+    scheduler = DownlinkScheduler(
+        fleet, network, LatencyValue(), weather=build_paper_weather(),
+        batched=False,
+    )
+    benchmark(scheduler.contact_graph, EPOCH)
+
+
+def test_bench_contact_graph_batched_with_ephemeris(benchmark, world):
+    """The production configuration: ephemeris table + batched kernel."""
+    fleet, network, _scheduler = world
+    table = shared_ephemeris_table(fleet, EPOCH, 120, 60.0)
+    scheduler = DownlinkScheduler(
+        fleet, network, LatencyValue(), weather=build_paper_weather(),
+        ephemeris=table, batched=True,
+    )
+    benchmark(scheduler.contact_graph, EPOCH)
+
+
+def test_contact_graph_speedup_paper_scale():
+    """Acceptance gate: >= 3x on the paper's 259 x 173 scenario.
+
+    Times ``num_steps`` minutes of graph construction through both paths
+    (each including its own propagation strategy: per-satellite SGP4 for
+    the scalar path, the shared ephemeris table for the batched one) and
+    asserts the ratio.  Not a pytest-benchmark fixture on purpose -- the
+    two sides must run the same instants back to back.
+    """
+    num_steps = 50
+
+    def build(batched):
+        fleet = build_paper_fleet(259, seed=7)
+        for sat in fleet:
+            sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+        network = satnogs_like_network(173, seed=11)
+        table = None
+        if batched:
+            table = shared_ephemeris_table(fleet, EPOCH, num_steps, 60.0)
+        return DownlinkScheduler(
+            fleet, network, LatencyValue(), weather=build_paper_weather(),
+            ephemeris=table, batched=batched,
+        )
+
+    def run(scheduler):
+        graphs = []
+        start = time.perf_counter()
+        for k in range(num_steps):
+            graphs.append(
+                scheduler.contact_graph(EPOCH + timedelta(minutes=k))
+            )
+        return time.perf_counter() - start, graphs
+
+    clear_ephemeris_cache()
+    scalar = build(batched=False)
+    batched = build(batched=True)
+    # Warm the weather / pair-group caches so both sides time steady state.
+    scalar.contact_graph(EPOCH)
+    batched.contact_graph(EPOCH)
+    elapsed_batched, graphs_batched = run(batched)
+    elapsed_scalar, graphs_scalar = run(scalar)
+
+    for graph_s, graph_b in zip(graphs_scalar, graphs_batched):
+        assert len(graph_s.edges) == len(graph_b.edges)
+        for edge_s, edge_b in zip(graph_s.edges, graph_b.edges):
+            assert edge_s.satellite_index == edge_b.satellite_index
+            assert edge_s.station_index == edge_b.station_index
+            assert edge_s.weight == edge_b.weight
+            assert edge_s.bitrate_bps == edge_b.bitrate_bps
+
+    speedup = elapsed_scalar / elapsed_batched
+    print(
+        f"\ncontact graph 259x173: scalar {elapsed_scalar:.2f}s, "
+        f"batched {elapsed_batched:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
 
 
 def test_bench_full_schedule_step(benchmark, world):

@@ -2,9 +2,15 @@
 
 Figs. 3a and 3b are two views (backlog, latency) of the same three
 simulations -- Baseline, DGS, DGS(25%), all latency-optimized -- and
-Fig. 3c adds the throughput-optimized DGS(25%).  Running a full-scale day
-takes minutes, so each distinct (variant, duration, scale) runs exactly
-once per process.
+Fig. 3c adds the throughput-optimized DGS(25%).  Each distinct
+(variant, duration, scale) runs exactly once per process.
+
+Two layers of sharing keep multi-figure sessions cheap: the result cache
+here, and -- one level down -- the fleet ephemeris table
+(:func:`repro.orbits.ephemeris.shared_ephemeris_table`), which is keyed
+by (TLE set, start, step) rather than by variant, so dgs-L, dgs25-L and
+dgs25-T reuse one batched SGP4 propagation even though they are distinct
+simulations over different station subsets.
 """
 
 from __future__ import annotations

@@ -18,13 +18,28 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.linkbudget.antennas import AntennaSpec, ReceiverSpec
-from repro.linkbudget.dvbs2 import ModCod, best_modcod
-from repro.linkbudget.fspl import free_space_path_loss_db
+from repro.linkbudget.dvbs2 import (
+    DVBS2_MODCODS,
+    ESN0_THRESHOLDS_DB,
+    ModCod,
+    SPECTRAL_EFFICIENCIES,
+    best_modcod,
+    best_modcod_indices,
+)
+from repro.linkbudget.fspl import (
+    free_space_path_loss_db,
+    free_space_path_loss_db_batch,
+)
 from repro.linkbudget.itu import (
     cloud_attenuation_db,
+    cloud_attenuation_db_batch,
     gaseous_attenuation_db,
+    gaseous_attenuation_db_batch,
     rain_attenuation_db,
+    rain_attenuation_db_batch,
 )
 from repro.orbits.constants import BOLTZMANN_DBW
 
@@ -91,6 +106,35 @@ class LinkResult:
     @property
     def total_atmospheric_db(self) -> float:
         return self.rain_db + self.cloud_db + self.gas_db
+
+
+@dataclass(frozen=True)
+class BatchLinkResult:
+    """Per-pair arrays of everything :meth:`LinkBudget.evaluate` predicts.
+
+    ``modcod_index`` is the DVB-S2 table index (``-1`` where no MODCOD
+    closes); ``required_esn0_db`` carries the sentinel ``-100.0`` there,
+    matching :class:`ContactEdge`'s default.
+    """
+
+    esn0_db: np.ndarray
+    modcod_index: np.ndarray
+    bitrate_bps: np.ndarray
+    required_esn0_db: np.ndarray
+    fspl_db: np.ndarray
+    rain_db: np.ndarray
+    cloud_db: np.ndarray
+    gas_db: np.ndarray
+
+    @property
+    def closes(self) -> np.ndarray:
+        """Boolean mask: which pairs support at least QPSK 1/4."""
+        return self.modcod_index >= 0
+
+    def modcod_at(self, position: int) -> ModCod | None:
+        """The scalar MODCOD object for one element (None when open)."""
+        index = int(self.modcod_index[position])
+        return DVBS2_MODCODS[index] if index >= 0 else None
 
 
 @dataclass
@@ -162,6 +206,92 @@ class LinkBudget:
     def evaluate(self, *args, **kwargs) -> LinkResult:
         """Alias for :meth:`esn0_db`; kept for readable call sites."""
         return self.esn0_db(*args, **kwargs)
+
+    # -- batched path ------------------------------------------------------
+
+    def _bitrate_table_bps(self) -> np.ndarray:
+        """Aggregate bitrate per MODCOD index for this radio/receiver pair."""
+        table = getattr(self, "_bitrate_table_cache", None)
+        if table is not None:
+            return table
+        channels = min(self.radio.channels, self.receiver.channels)
+        if self.pilots:
+            from repro.linkbudget.dvbs2_framing import FrameSpec
+
+            table = np.array(
+                [
+                    FrameSpec(mc, pilots=True).net_bitrate_bps(
+                        self.radio.symbol_rate_baud
+                    ) * channels
+                    for mc in DVBS2_MODCODS
+                ]
+            )
+        else:
+            table = SPECTRAL_EFFICIENCIES * self.radio.symbol_rate_baud \
+                * channels
+        self._bitrate_table_cache = table
+        return table
+
+    def evaluate_batch(
+        self,
+        range_km: np.ndarray,
+        elevation_deg: np.ndarray,
+        station_latitude_deg: np.ndarray | float = 45.0,
+        rain_rate_mm_h: np.ndarray | float = 0.0,
+        cloud_water_kg_m2: np.ndarray | float = 0.0,
+        station_altitude_km: np.ndarray | float = 0.0,
+    ) -> BatchLinkResult:
+        """Vectorized :meth:`evaluate` over per-pair arrays.
+
+        All array arguments broadcast together; frequency, hardware terms,
+        and the ACM margin are fixed by this budget instance, exactly as
+        in the scalar path.  Results match :meth:`evaluate` element-wise
+        to float rounding (NumPy vs libm transcendentals, ~1e-12 dB); a
+        MODCOD choice can differ only for an Es/N0 within that distance
+        of a table threshold.
+        """
+        range_km = np.asarray(range_km, dtype=float)
+        elevation_deg = np.asarray(elevation_deg, dtype=float)
+        freq = self.radio.frequency_ghz
+        fspl = free_space_path_loss_db_batch(range_km, freq)
+        rain = rain_attenuation_db_batch(
+            rain_rate_mm_h, freq, elevation_deg,
+            station_latitude_deg, station_altitude_km,
+            self.radio.polarization,
+        )
+        cloud = cloud_attenuation_db_batch(
+            cloud_water_kg_m2, freq, elevation_deg
+        )
+        gas = gaseous_attenuation_db_batch(freq, elevation_deg)
+        channels = min(self.radio.channels, self.receiver.channels)
+        # Same accumulation order as the scalar path, for bit-stability.
+        cn0_dbhz = self.radio.eirp_dbw_per_channel(channels) \
+            + self.receiver.g_over_t_db(freq)
+        cn0_dbhz = cn0_dbhz - fspl
+        cn0_dbhz = cn0_dbhz - rain
+        cn0_dbhz = cn0_dbhz - cloud
+        cn0_dbhz = cn0_dbhz - gas
+        cn0_dbhz = cn0_dbhz - self.receiver.antenna.pointing_loss_db
+        cn0_dbhz = cn0_dbhz - self.receiver.implementation_loss_db
+        cn0_dbhz = cn0_dbhz - self.hardware_calibration_db
+        cn0_dbhz = cn0_dbhz - BOLTZMANN_DBW
+        esn0 = cn0_dbhz - 10.0 * math.log10(self.radio.symbol_rate_baud)
+        index = best_modcod_indices(esn0, self.acm_margin_db)
+        index = np.where(elevation_deg <= 0.0, -1, index)
+        open_link = index < 0
+        safe = np.where(open_link, 0, index)
+        bitrate = np.where(open_link, 0.0, self._bitrate_table_bps()[safe])
+        required = np.where(open_link, -100.0, ESN0_THRESHOLDS_DB[safe])
+        return BatchLinkResult(
+            esn0_db=esn0,
+            modcod_index=index,
+            bitrate_bps=bitrate,
+            required_esn0_db=required,
+            fspl_db=fspl,
+            rain_db=rain,
+            cloud_db=cloud,
+            gas_db=gas,
+        )
 
 
 def dgs_node_receiver(channels: int = 1) -> ReceiverSpec:

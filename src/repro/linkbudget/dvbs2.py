@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class ModCod:
@@ -83,6 +85,54 @@ def modcod_by_name(name: str) -> ModCod:
 def required_esn0_db(name: str) -> float:
     """Ideal Es/N0 threshold (dB) for a named MODCOD."""
     return modcod_by_name(name).esn0_db
+
+
+#: Es/N0 thresholds in table order (ascending -- required by searchsorted).
+ESN0_THRESHOLDS_DB = np.array([mc.esn0_db for mc in DVBS2_MODCODS])
+
+#: Spectral efficiency per table index, for batched bitrate computation.
+SPECTRAL_EFFICIENCIES = np.array(
+    [mc.spectral_efficiency for mc in DVBS2_MODCODS]
+)
+
+
+def _prefix_best_indices() -> np.ndarray:
+    """``best[c]``: index of the best MODCOD among the first ``c`` entries.
+
+    Efficiency is *not* monotone in Es/N0 (8PSK 3/5 beats QPSK 8/9 at a
+    lower threshold), so "supported" is a prefix of the table but "best"
+    needs this precomputed prefix-argmax.  ``best[0] = -1`` (nothing
+    closes).  Ties keep the earlier entry, matching :func:`best_modcod`'s
+    strict ``>`` replacement rule.
+    """
+    best = np.empty(len(DVBS2_MODCODS) + 1, dtype=np.int64)
+    best[0] = -1
+    top_eff = -1.0
+    top_index = -1
+    for index, mc in enumerate(DVBS2_MODCODS):
+        if mc.spectral_efficiency > top_eff:
+            top_eff = mc.spectral_efficiency
+            top_index = index
+        best[index + 1] = top_index
+    return best
+
+
+_PREFIX_BEST = _prefix_best_indices()
+
+
+def best_modcod_indices(esn0_db: np.ndarray,
+                        margin_db: float = 1.0) -> np.ndarray:
+    """Vectorized ACM selection: table indices, ``-1`` where nothing closes.
+
+    Exactly matches :func:`best_modcod` element-wise (including the
+    ``<=`` threshold comparison at exact boundaries): ``searchsorted``
+    counts the thresholds at or below the margin-adjusted Es/N0, and the
+    prefix-argmax table maps that count to the most efficient supported
+    MODCOD.
+    """
+    available = np.asarray(esn0_db, dtype=float) - margin_db
+    counts = np.searchsorted(ESN0_THRESHOLDS_DB, available, side="right")
+    return _PREFIX_BEST[counts]
 
 
 def best_modcod(esn0_db: float, margin_db: float = 1.0) -> ModCod | None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.orbits.constants import SPEED_OF_LIGHT_M_S
 
 
@@ -28,3 +30,16 @@ def free_space_path_loss_db(distance_km: float, frequency_ghz: float) -> float:
     return 10.0 * math.log10(
         free_space_loss_linear(distance_km * 1e3, frequency_ghz * 1e9)
     )
+
+
+def free_space_path_loss_db_batch(distance_km: np.ndarray,
+                                  frequency_ghz: float) -> np.ndarray:
+    """Vectorized :func:`free_space_path_loss_db` over an array of ranges."""
+    distance_m = np.asarray(distance_km, dtype=float) * 1e3
+    if (distance_m <= 0.0).any():
+        raise ValueError("distances must be positive")
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    ratio = 4.0 * math.pi * distance_m * (frequency_ghz * 1e9) \
+        / SPEED_OF_LIGHT_M_S
+    return 10.0 * np.log10(ratio * ratio)

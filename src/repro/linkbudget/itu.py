@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 # --------------------------------------------------------------------------
 # ITU-R P.838-3: specific attenuation coefficients k and alpha.
 #
@@ -199,6 +201,67 @@ def rain_attenuation_db(
     return gamma * slant * reduction
 
 
+def rain_height_km_batch(latitude_deg: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rain_height_km` over an array of latitudes."""
+    lat = np.asarray(latitude_deg, dtype=float)
+    north = np.where(
+        lat <= 23.0, 5.0, np.maximum(0.0, 5.0 - 0.075 * (lat - 23.0))
+    )
+    alat = np.abs(lat)
+    south = np.where(
+        alat <= 21.0,
+        5.0,
+        np.where(
+            alat <= 71.0, np.maximum(0.0, 5.0 - 0.1 * (alat - 21.0)), 0.0
+        ),
+    )
+    return np.where(lat >= 0.0, north, south)
+
+
+def rain_attenuation_db_batch(
+    rain_rate_mm_h: np.ndarray,
+    frequency_ghz: float,
+    elevation_deg: np.ndarray,
+    station_latitude_deg: np.ndarray,
+    station_altitude_km: np.ndarray | float = 0.0,
+    polarization: str = "circular",
+) -> np.ndarray:
+    """Vectorized :func:`rain_attenuation_db` over per-pair arrays.
+
+    Frequency and polarization are scalar (one radio per batch); rain
+    rate, elevation, latitude, and altitude broadcast together.  Matches
+    the scalar path to float rounding (np vs libm transcendentals).
+    """
+    rain = np.asarray(rain_rate_mm_h, dtype=float)
+    if (rain < 0.0).any():
+        raise ValueError("rain rate cannot be negative")
+    elevation = np.asarray(elevation_deg, dtype=float)
+    rain, elevation, lat, alt = np.broadcast_arrays(
+        rain, elevation,
+        np.asarray(station_latitude_deg, dtype=float),
+        np.asarray(station_altitude_km, dtype=float),
+    )
+    k, alpha = rain_coefficients(frequency_ghz, polarization)
+    with np.errstate(divide="ignore"):
+        gamma = np.where(rain > 0.0, k * rain**alpha, 0.0)
+    height = np.maximum(0.0, rain_height_km_batch(lat) - alt)
+    el = np.maximum(elevation, 5.0)
+    sin_el = np.sin(np.radians(el))
+    slant = np.where(height > 0.0, height / sin_el, 0.0)
+    # P.618 horizontal reduction factor, as in the scalar helper.
+    lg = slant * np.cos(np.radians(el))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        r = 1.0 / (
+            1.0
+            + 0.78 * np.sqrt(lg * gamma / frequency_ghz)
+            - 0.38 * (1.0 - np.exp(-2.0 * lg))
+        )
+    reduction = np.where(
+        (lg <= 0.0) | (gamma <= 0.0), 1.0, np.clip(r, 0.05, 2.5)
+    )
+    return np.where(rain > 0.0, gamma * slant * reduction, 0.0)
+
+
 def rain_attenuation_exceeded_db(
     rain_rate_001_mm_h: float,
     frequency_ghz: float,
@@ -330,6 +393,21 @@ def cloud_attenuation_db(
     return columnar_liquid_water_kg_m2 * kl / math.sin(math.radians(el))
 
 
+def cloud_attenuation_db_batch(
+    columnar_liquid_water_kg_m2: np.ndarray,
+    frequency_ghz: float,
+    elevation_deg: np.ndarray,
+    temperature_k: float = 273.15,
+) -> np.ndarray:
+    """Vectorized :func:`cloud_attenuation_db` over per-pair arrays."""
+    clw = np.asarray(columnar_liquid_water_kg_m2, dtype=float)
+    if (clw < 0.0).any():
+        raise ValueError("columnar liquid water cannot be negative")
+    el = np.maximum(np.asarray(elevation_deg, dtype=float), 5.0)
+    kl = cloud_specific_coefficient(frequency_ghz, temperature_k)
+    return np.where(clw > 0.0, clw * kl / np.sin(np.radians(el)), 0.0)
+
+
 # --------------------------------------------------------------------------
 # Gaseous attenuation (coarse P.676 stand-in).
 # --------------------------------------------------------------------------
@@ -355,8 +433,8 @@ _GAS_ZENITH_TABLE = (
 )
 
 
-def gaseous_attenuation_db(frequency_ghz: float, elevation_deg: float) -> float:
-    """Oxygen + water-vapour slant attenuation (dB), log-log interpolated."""
+def _gas_zenith_db(frequency_ghz: float) -> float:
+    """Zenith gaseous attenuation at a frequency, log-log interpolated."""
     table = _GAS_ZENITH_TABLE
     f = min(max(frequency_ghz, table[0][0]), table[-1][0])
     zenith = table[-1][1]
@@ -370,5 +448,19 @@ def gaseous_attenuation_db(frequency_ghz: float, elevation_deg: float) -> float:
                     math.log(a0) + frac * (math.log(a1) - math.log(a0))
                 )
             break
+    return zenith
+
+
+def gaseous_attenuation_db(frequency_ghz: float, elevation_deg: float) -> float:
+    """Oxygen + water-vapour slant attenuation (dB), log-log interpolated."""
+    zenith = _gas_zenith_db(frequency_ghz)
     el = max(elevation_deg, 5.0)
     return zenith / math.sin(math.radians(el))
+
+
+def gaseous_attenuation_db_batch(frequency_ghz: float,
+                                 elevation_deg: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`gaseous_attenuation_db` over an elevation array."""
+    zenith = _gas_zenith_db(frequency_ghz)
+    el = np.maximum(np.asarray(elevation_deg, dtype=float), 5.0)
+    return zenith / np.sin(np.radians(el))

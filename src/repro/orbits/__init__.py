@@ -32,6 +32,12 @@ from repro.orbits.kepler import (
     true_anomaly_from_eccentric,
 )
 from repro.orbits.sgp4 import SGP4, SGP4Error
+from repro.orbits.ephemeris import (
+    BatchSGP4,
+    EphemerisTable,
+    clear_ephemeris_cache,
+    shared_ephemeris_table,
+)
 from repro.orbits.frames import (
     ecef_to_geodetic,
     geodetic_to_ecef,
@@ -73,6 +79,10 @@ __all__ = [
     "true_anomaly_from_eccentric",
     "SGP4",
     "SGP4Error",
+    "BatchSGP4",
+    "EphemerisTable",
+    "clear_ephemeris_cache",
+    "shared_ephemeris_table",
     "teme_to_ecef",
     "ecef_to_geodetic",
     "geodetic_to_ecef",

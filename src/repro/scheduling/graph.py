@@ -5,19 +5,24 @@ satellites and ground stations: an edge exists when the satellite is above
 the station's elevation mask and the station's constraint bitmap allows it;
 the edge weight is the value function applied to the link-model bitrate.
 
-Geometry is vectorized: station ECEF positions and ENU bases are
-precomputed once, satellite positions once per instant, and the full
-M x N elevation/range matrix comes from a handful of numpy operations --
-this is what makes minute-cadence simulation of 259 x 173 tractable in
-pure Python.
+Everything numeric is vectorized: station ECEF positions and ENU bases are
+precomputed once, satellite positions come from the shared
+:class:`~repro.orbits.ephemeris.EphemerisTable` when one covers the
+instant (one batched SGP4 pass per fleet per horizon, reused across
+experiment variants), and the full M x N elevation/range matrix is a
+handful of numpy operations.  Edge pricing runs the batched link-budget
+kernel (:meth:`LinkBudget.evaluate_batch`) over all visible pairs at once
+-- FSPL, ITU rain/cloud/gas, and MODCOD selection as array expressions --
+instead of a per-pair scalar call.  The original per-pair loop is kept as
+the reference path (``batched=False``) for the equivalence tests.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -28,6 +33,9 @@ from repro.orbits.timebase import datetime_to_jd, gmst_rad
 from repro.satellites.satellite import Satellite
 from repro.scheduling.value_functions import ValueFunction
 from repro.weather.cells import WeatherSample
+
+if TYPE_CHECKING:
+    from repro.orbits.ephemeris import EphemerisTable
 
 #: Forecast oracle: (lat, lon, valid_at) -> WeatherSample, already bound to
 #: an issue time by the caller.
@@ -57,18 +65,44 @@ class ContactGraph:
     edges: list[ContactEdge]
     num_satellites: int
     num_stations: int
+    #: Per-endpoint adjacency, built once at construction so repeated
+    #: ``edges_for_*`` calls are O(degree) rather than O(E) scans.
+    _by_satellite: list[list[ContactEdge]] = field(
+        init=False, repr=False, compare=False
+    )
+    _by_station: list[list[ContactEdge]] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        by_sat: list[list[ContactEdge]] = [[] for _ in range(self.num_satellites)]
+        by_station: list[list[ContactEdge]] = [[] for _ in range(self.num_stations)]
+        for e in self.edges:
+            by_sat[e.satellite_index].append(e)
+            by_station[e.station_index].append(e)
+        self._by_satellite = by_sat
+        self._by_station = by_station
 
     def edges_for_satellite(self, sat_index: int) -> list[ContactEdge]:
-        return [e for e in self.edges if e.satellite_index == sat_index]
+        return self._by_satellite[sat_index]
 
     def edges_for_station(self, gs_index: int) -> list[ContactEdge]:
-        return [e for e in self.edges if e.station_index == gs_index]
+        return self._by_station[gs_index]
 
     def weight_matrix(self) -> np.ndarray:
         """Dense M x N weight matrix (0 where no edge)."""
         mat = np.zeros((self.num_satellites, self.num_stations))
-        for e in self.edges:
-            mat[e.satellite_index, e.station_index] = e.weight
+        if not self.edges:
+            return mat
+        count = len(self.edges)
+        sat_idx = np.fromiter(
+            (e.satellite_index for e in self.edges), np.intp, count
+        )
+        gs_idx = np.fromiter(
+            (e.station_index for e in self.edges), np.intp, count
+        )
+        weights = np.fromiter((e.weight for e in self.edges), float, count)
+        mat[sat_idx, gs_idx] = weights
         return mat
 
 
@@ -107,11 +141,16 @@ class GeometryEngine:
         self._east = np.array(easts)
         self._north = np.array(norths)
         self._min_elevation = np.array([st.min_elevation_deg for st in network])
+        # Per-station scalars the batched budget kernel consumes.
+        self._station_lat_deg = np.array([st.latitude_deg for st in network])
+        self._station_alt_km = np.array([st.altitude_km for st in network])
+        self._can_transmit = np.array(
+            [st.can_transmit for st in network], dtype=bool
+        )
 
-    def visibility(
-        self, satellites: list[Satellite], when: datetime
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(elevation_deg, range_km, visible_mask) matrices, shape (M, N)."""
+    def satellite_ecef(self, satellites: list[Satellite],
+                       when: datetime) -> np.ndarray:
+        """Fleet ECEF positions ``(M, 3)`` by per-satellite propagation."""
         jd = datetime_to_jd(when)
         theta = gmst_rad(jd)
         cos_t, sin_t = math.cos(theta), math.sin(theta)
@@ -122,6 +161,21 @@ class GeometryEngine:
         for i, sat in enumerate(satellites):
             pos_teme, _ = sat.position_teme(when)
             sat_ecef[i] = rot @ pos_teme
+        return sat_ecef
+
+    def visibility(
+        self,
+        satellites: list[Satellite],
+        when: datetime,
+        sat_ecef: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(elevation_deg, range_km, visible_mask) matrices, shape (M, N).
+
+        ``sat_ecef`` short-circuits propagation with precomputed fleet
+        positions (an :class:`EphemerisTable` row).
+        """
+        if sat_ecef is None:
+            sat_ecef = self.satellite_ecef(satellites, when)
         # rel[i, j] = satellite i relative to station j.
         rel = sat_ecef[:, None, :] - self._station_ecef[None, :, :]
         rng = np.linalg.norm(rel, axis=2)
@@ -144,6 +198,9 @@ def build_contact_graph(
     require_current_plan: bool = False,
     plan_max_age_s: float = float("inf"),
     station_available: Callable[[int, datetime], bool] | None = None,
+    ephemeris: "EphemerisTable | None" = None,
+    batched: bool = True,
+    pair_groups: PairGroupCache | None = None,
 ) -> ContactGraph:
     """Construct the weighted bipartite graph at ``when``.
 
@@ -155,6 +212,13 @@ def build_contact_graph(
     transmit-capable stations, which can retask them in real time.
     ``station_available(station_index, when)`` lets callers exclude
     stations the scheduler knows to be down (announced maintenance).
+
+    ``ephemeris`` supplies precomputed fleet positions for on-grid
+    instants (off-grid instants fall back to per-satellite propagation).
+    ``batched=False`` selects the scalar per-pair reference path; the
+    default batched path prices all visible pairs through
+    :meth:`LinkBudget.evaluate_batch` and produces the same edges in the
+    same order (see the equivalence tests).
     """
     if geometry is None:
         geometry = GeometryEngine(network)
@@ -163,7 +227,49 @@ def build_contact_graph(
         unavailable = {
             j for j in range(len(network)) if not station_available(j, when)
         }
-    elevation, rng_km, visible = geometry.visibility(satellites, when)
+    sat_ecef = None
+    if ephemeris is not None:
+        sat_ecef = ephemeris.positions_ecef(when)
+    elevation, rng_km, visible = geometry.visibility(
+        satellites, when, sat_ecef=sat_ecef
+    )
+    if batched:
+        edges = _batched_edges(
+            satellites, network, when, value_function, link_budget_for,
+            forecast, step_s, geometry, elevation, rng_km, visible,
+            unavailable, require_current_plan, plan_max_age_s, pair_groups,
+        )
+    else:
+        edges = _scalar_edges(
+            satellites, network, when, value_function, link_budget_for,
+            forecast, step_s, geometry, elevation, rng_km, visible,
+            unavailable, require_current_plan, plan_max_age_s,
+        )
+    return ContactGraph(
+        when=when,
+        edges=edges,
+        num_satellites=len(satellites),
+        num_stations=len(network),
+    )
+
+
+def _scalar_edges(
+    satellites: list[Satellite],
+    network: GroundStationNetwork,
+    when: datetime,
+    value_function: ValueFunction,
+    link_budget_for: Callable[[Satellite, int], LinkBudget],
+    forecast: ForecastFn,
+    step_s: float,
+    geometry: GeometryEngine,
+    elevation: np.ndarray,
+    rng_km: np.ndarray,
+    visible: np.ndarray,
+    unavailable: set[int],
+    require_current_plan: bool,
+    plan_max_age_s: float,
+) -> list[ContactEdge]:
+    """The per-pair reference path: one scalar budget call per visible pair."""
     edges: list[ContactEdge] = []
     weather_cache: dict[int, WeatherSample] = {}
     for i, sat in enumerate(satellites):
@@ -212,9 +318,174 @@ def build_contact_graph(
                     required_esn0_db=result.modcod.esn0_db,
                 )
             )
-    return ContactGraph(
-        when=when,
-        edges=edges,
-        num_satellites=len(satellites),
-        num_stations=len(network),
+    return edges
+
+
+def _budget_group_key(budget: LinkBudget) -> tuple:
+    """Pairs sharing this key evaluate identically and can batch together."""
+    return (
+        budget.radio,
+        budget.receiver,
+        budget.acm_margin_db,
+        budget.hardware_calibration_db,
+        budget.pilots,
     )
+
+
+#: Interned hardware-class ids: hashing the full (radio, receiver, ...)
+#: tuple per pair per step is measurable, so each LinkBudget caches its
+#: small-int class id after the first lookup.  The registry stays tiny --
+#: one entry per distinct hardware class ever seen.
+_GROUP_IDS: dict[tuple, int] = {}
+
+
+def _budget_group_id(budget: LinkBudget) -> int:
+    gid = budget.__dict__.get("_group_id")
+    if gid is None:
+        key = _budget_group_key(budget)
+        gid = _GROUP_IDS.setdefault(key, len(_GROUP_IDS))
+        budget.__dict__["_group_id"] = gid
+    return gid
+
+
+class PairGroupCache:
+    """Lazily-filled (satellite, station) -> hardware-class-id matrix.
+
+    Budget assignment is time-invariant, so after the first step touching
+    a pair the batched path resolves its hardware class with one fancy
+    index instead of a ``link_budget_for`` call per pair per step.
+    """
+
+    def __init__(self, num_satellites: int, num_stations: int):
+        self.gid = np.full((num_satellites, num_stations), -1, dtype=np.int32)
+        #: One representative (value-identical) budget per class id.
+        self.budget_of: dict[int, LinkBudget] = {}
+
+
+def _batched_edges(
+    satellites: list[Satellite],
+    network: GroundStationNetwork,
+    when: datetime,
+    value_function: ValueFunction,
+    link_budget_for: Callable[[Satellite, int], LinkBudget],
+    forecast: ForecastFn,
+    step_s: float,
+    geometry: GeometryEngine,
+    elevation: np.ndarray,
+    rng_km: np.ndarray,
+    visible: np.ndarray,
+    unavailable: set[int],
+    require_current_plan: bool,
+    plan_max_age_s: float,
+    pair_groups: PairGroupCache | None = None,
+) -> list[ContactEdge]:
+    """Masked-array edge construction: one budget kernel call per hardware
+    class instead of a scalar call per pair.
+
+    Produces the same edges, in the same (satellite, station) row-major
+    order, as :func:`_scalar_edges` -- matchers tie-break on edge order,
+    so order preservation is part of the equivalence contract.
+    """
+    num_sats, num_stations = visible.shape
+    mask = visible.copy()
+    if unavailable:
+        mask[:, sorted(unavailable)] = False
+    # Constraint bitmaps: only stations that are not allow-all need the
+    # per-satellite expansion (rare: volunteer stations allow everyone).
+    for j, station in enumerate(network):
+        if station.constraints.bitmap != -1 and mask[:, j].any():
+            allowed = np.fromiter(
+                (station.allows_satellite(i) for i in range(num_sats)),
+                bool, num_sats,
+            )
+            mask[:, j] &= allowed
+    if require_current_plan:
+        has_plan = np.fromiter(
+            (s.has_current_plan(when, plan_max_age_s) for s in satellites),
+            bool, num_sats,
+        )
+        mask &= has_plan[:, None] | geometry._can_transmit[None, :]
+    sat_idx, gs_idx = np.nonzero(mask)
+    if sat_idx.size == 0:
+        return []
+
+    # Weather once per involved station, as in the scalar path's cache.
+    rain = np.zeros(num_stations)
+    cloud = np.zeros(num_stations)
+    for j in np.unique(gs_idx):
+        station = network[int(j)]
+        sample = forecast(station.latitude_deg, station.longitude_deg, when)
+        rain[j] = sample.rain_rate_mm_h
+        cloud[j] = sample.cloud_water_kg_m2
+
+    # Group pairs by budget hardware class; the paper's scenarios collapse
+    # to one or two classes, so the kernel runs once or twice per instant.
+    # The class of a pair never changes, so the PairGroupCache resolves
+    # previously-seen pairs with one fancy index.
+    sat_list = sat_idx.tolist()
+    gs_list = gs_idx.tolist()
+    if pair_groups is None:
+        pair_groups = PairGroupCache(num_sats, num_stations)
+    gids = pair_groups.gid[sat_idx, gs_idx]
+    for p in np.nonzero(gids < 0)[0].tolist():
+        i, j = sat_list[p], gs_list[p]
+        budget = link_budget_for(satellites[i], j)
+        gid = _budget_group_id(budget)
+        pair_groups.gid[i, j] = gid
+        pair_groups.budget_of.setdefault(gid, budget)
+        gids[p] = gid
+
+    pair_count = sat_idx.size
+    closes = np.zeros(pair_count, dtype=bool)
+    bitrate = np.zeros(pair_count)
+    required_esn0 = np.full(pair_count, -100.0)
+    pair_elevation = elevation[sat_idx, gs_idx]
+    pair_range = rng_km[sat_idx, gs_idx]
+    for gid in np.unique(gids).tolist():
+        budget = pair_groups.budget_of[gid]
+        pos = np.nonzero(gids == gid)[0]
+        stations_of = gs_idx[pos]
+        result = budget.evaluate_batch(
+            range_km=pair_range[pos],
+            elevation_deg=pair_elevation[pos],
+            station_latitude_deg=geometry._station_lat_deg[stations_of],
+            rain_rate_mm_h=rain[stations_of],
+            cloud_water_kg_m2=cloud[stations_of],
+            station_altitude_km=geometry._station_alt_km[stations_of],
+        )
+        closes[pos] = result.closes
+        bitrate[pos] = result.bitrate_bps
+        required_esn0[pos] = result.required_esn0_db
+
+    # Value pricing needs each satellite's live queue state; it stays a
+    # (cheap) Python pass over the closing pairs only.
+    edges: list[ContactEdge] = []
+    stations = list(network)
+    closes_list = closes.tolist()
+    bitrate_list = bitrate.tolist()
+    elev_list = pair_elevation.tolist()
+    range_list = pair_range.tolist()
+    esn0_list = required_esn0.tolist()
+    for p in range(pair_count):
+        if not closes_list[p]:
+            continue
+        i = sat_list[p]
+        j = gs_list[p]
+        weight = value_function.edge_value(
+            satellites[i], stations[j].station_id, bitrate_list[p],
+            when, step_s,
+        )
+        if weight <= 0.0:
+            continue
+        edges.append(
+            ContactEdge(
+                satellite_index=i,
+                station_index=j,
+                weight=weight,
+                bitrate_bps=bitrate_list[p],
+                elevation_deg=elev_list[p],
+                range_km=range_list[p],
+                required_esn0_db=esn0_list[p],
+            )
+        )
+    return edges

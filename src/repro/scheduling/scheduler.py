@@ -18,12 +18,16 @@ from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import Literal
 
+import numpy as np
+
 from repro.groundstations.network import GroundStationNetwork
 from repro.linkbudget.budget import LinkBudget
+from repro.orbits.ephemeris import EphemerisTable
 from repro.satellites.satellite import Satellite
 from repro.scheduling.graph import (
     ContactGraph,
     GeometryEngine,
+    PairGroupCache,
     build_contact_graph,
 )
 from repro.scheduling.matching import (
@@ -171,6 +175,8 @@ class DownlinkScheduler:
         require_current_plan: bool = False,
         plan_max_age_s: float = float("inf"),
         station_available=None,
+        ephemeris: EphemerisTable | None = None,
+        batched: bool = True,
     ):
         if matcher not in _MATCHERS:
             raise ValueError(f"unknown matcher {matcher!r}; use {sorted(_MATCHERS)}")
@@ -188,9 +194,17 @@ class DownlinkScheduler:
         #: Optional (station_index, when) -> bool availability oracle used
         #: to route around announced outages.
         self.station_available = station_available
+        #: Precomputed fleet positions for on-grid instants (shared across
+        #: variants via :func:`repro.orbits.ephemeris.shared_ephemeris_table`);
+        #: off-grid instants fall back to per-satellite propagation.
+        self.ephemeris = ephemeris
+        #: ``False`` selects the scalar per-pair reference path (used by
+        #: the batch-vs-scalar equivalence harness).
+        self.batched = batched
         self._geometry = GeometryEngine(network)
         self._budgets: dict[tuple[int, int], LinkBudget] = {}
         self._acm_margin_db = acm_margin_db
+        self._pair_groups = PairGroupCache(len(satellites), len(network))
 
     # -- link budget cache ---------------------------------------------------
 
@@ -235,6 +249,21 @@ class DownlinkScheduler:
             require_current_plan=self.require_current_plan,
             plan_max_age_s=self.plan_max_age_s,
             station_available=self.station_available,
+            ephemeris=self.ephemeris,
+            batched=self.batched,
+            pair_groups=self._pair_groups,
+        )
+
+    def visibility(
+        self, when: datetime
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(elevation, range, visible) matrices at ``when``, using the
+        shared ephemeris table when it covers the instant."""
+        sat_ecef = None
+        if self.ephemeris is not None:
+            sat_ecef = self.ephemeris.positions_ecef(when)
+        return self._geometry.visibility(
+            self.satellites, when, sat_ecef=sat_ecef
         )
 
     def schedule_step(self, when: datetime,

@@ -55,6 +55,14 @@ class SimulationConfig:
     execution_mode: str = "live"
     plan_refresh_s: float = 3600.0
     plan_horizon_s: float = 2 * 3600.0
+    #: Batch-propagate the fleet over the whole horizon up front (one
+    #: vectorized SGP4 pass, shared across variants via the ephemeris
+    #: cache) instead of per-satellite propagation at every step.
+    precompute_ephemeris: bool = True
+    #: Price edges through the batched link-budget kernel.  ``False``
+    #: selects the scalar per-pair reference path; the equivalence tests
+    #: run both and compare schedules.
+    batched_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:

@@ -25,6 +25,8 @@ from datetime import datetime, timedelta
 from repro.groundstations.network import GroundStationNetwork
 from repro.network.backend import BackendCollator
 from repro.network.messages import ChunkReceiptMessage
+from repro.orbits.ephemeris import EphemerisTable, shared_ephemeris_table
+from repro.orbits.sgp4 import SGP4Error
 from repro.satellites.satellite import Satellite
 from repro.scheduling.matching import Assignment
 from repro.scheduling.scheduler import DownlinkScheduler
@@ -66,6 +68,7 @@ class Simulation:
         if outages is not None and outages_announced:
             def station_available(index: int, when) -> bool:
                 return not outages.is_down(network[index].station_id, when)
+        self.ephemeris = self._build_ephemeris(satellites, config)
         self.scheduler = DownlinkScheduler(
             satellites=satellites,
             network=network,
@@ -78,6 +81,8 @@ class Simulation:
             require_current_plan=config.enforce_plan_distribution,
             plan_max_age_s=config.plan_max_age_s,
             station_available=station_available,
+            ephemeris=self.ephemeris,
+            batched=config.batched_kernels,
         )
         self.backend = BackendCollator()
         self.metrics = MetricsCollector()
@@ -100,6 +105,28 @@ class Simulation:
         #: Steps where a satellite transmitted per its (stale) plan at a
         #: station that was no longer pointing at it.
         self.plan_mismatch_steps = 0
+
+    @staticmethod
+    def _build_ephemeris(satellites: list[Satellite],
+                         config: SimulationConfig) -> "EphemerisTable | None":
+        """Batch-propagate the fleet over the run's scheduling grid.
+
+        Planned execution looks ahead a plan horizon past the last step,
+        so the table covers that too.  A fleet that decays mid-horizon
+        falls back to lazy per-satellite propagation (which raises at the
+        offending step, as the scalar path always did).
+        """
+        if not config.precompute_ephemeris or not satellites:
+            return None
+        steps = config.num_steps
+        if config.execution_mode == "planned":
+            steps += int(config.plan_horizon_s // config.step_s) + 1
+        try:
+            return shared_ephemeris_table(
+                satellites, config.start, steps, config.step_s
+            )
+        except SGP4Error:
+            return None
 
     # -- main loop --------------------------------------------------------------
 
@@ -338,9 +365,7 @@ class Simulation:
         ]
         if not planless:
             return
-        elevation, _rng, visible = self.scheduler._geometry.visibility(
-            self.satellites, now
-        )
+        elevation, _rng, visible = self.scheduler.visibility(now)
         for sat_index in planless:
             for j in tx_indices:
                 if visible[sat_index, j]:

@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass
 from datetime import datetime, timedelta
 
+import numpy as np
+
 from repro.weather.climate import ZONE_BANDS, ClimateZone
 
 _EARTH_RADIUS_KM = 6371.0
@@ -34,6 +36,17 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     dl = math.radians(lon2 - lon1)
     a = math.sin(dp / 2.0) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dl / 2.0) ** 2
     return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def _haversine_km_vec(lat1_rad, lon1_rad, lat2_rad, lon2_rad):
+    """Broadcasting haversine; all inputs already in radians."""
+    dp = lat2_rad - lat1_rad
+    dl = lon2_rad - lon1_rad
+    a = (
+        np.sin(dp / 2.0) ** 2
+        + np.cos(lat1_rad) * np.cos(lat2_rad) * np.sin(dl / 2.0) ** 2
+    )
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
 
 
 @dataclass(frozen=True)
@@ -108,6 +121,7 @@ class RainCellField:
         self.seed = seed
         self.intensity_scale = intensity_scale
         self._epoch_cells: dict[int, list[RainCell]] = {}
+        self._epoch_arrays: dict[int, dict[str, np.ndarray]] = {}
         self._station_cache: dict[tuple[float, float, int], list[RainCell]] = {}
 
     # -- cell generation ---------------------------------------------------
@@ -128,10 +142,37 @@ class RainCellField:
         if len(self._epoch_cells) > 64:
             oldest = min(self._epoch_cells)
             del self._epoch_cells[oldest]
+            self._epoch_arrays.pop(oldest, None)
             self._station_cache = {
                 k: v for k, v in self._station_cache.items() if k[2] != oldest
             }
         return cells
+
+    def _arrays_for_epoch(self, epoch_index: int) -> dict[str, np.ndarray]:
+        """Column arrays of the epoch's cells for the vectorized pre-filter:
+        start/end track positions (radians), conservative reach, and travel."""
+        cached = self._epoch_arrays.get(epoch_index)
+        if cached is not None:
+            return cached
+        cells = self._cells_for_epoch(epoch_index)
+        starts = [c.center_at(c.birth_time_s) for c in cells]
+        ends = [c.center_at(c.birth_time_s + c.lifetime_s) for c in cells]
+        start_lat = np.radians([p[0] for p in starts])
+        start_lon = np.radians([p[1] for p in starts])
+        end_lat = np.radians([p[0] for p in ends])
+        end_lon = np.radians([p[1] for p in ends])
+        arrays = {
+            "start_lat": start_lat,
+            "start_lon": start_lon,
+            "end_lat": end_lat,
+            "end_lon": end_lon,
+            "reach": 3.0 * np.array([c.radius_km for c in cells]),
+            "travel": _haversine_km_vec(
+                start_lat, start_lon, end_lat, end_lon
+            ),
+        }
+        self._epoch_arrays[epoch_index] = arrays
+        return arrays
 
     def _seed_band(self, rng: random.Random, lat_lo: float, lat_hi: float,
                    zone: ClimateZone, epoch_start_s: float) -> list[RainCell]:
@@ -170,25 +211,28 @@ class RainCellField:
     # -- station-local evaluation -------------------------------------------
 
     def _relevant_cells(self, lat: float, lon: float, epoch_index: int) -> list[RainCell]:
-        """Cells from an epoch that could ever rain on (lat, lon)."""
+        """Cells from an epoch that could ever rain on (lat, lon).
+
+        Conservative reach: start/end positions +- 3 radii (cloud anvil
+        extends to 2 radii; 3 adds slack for the coarse 2-point check).
+        The distance tests run vectorized over the whole epoch's cells.
+        """
         key = (round(lat, 3), round(lon, 3), epoch_index)
         cached = self._station_cache.get(key)
         if cached is not None:
             return cached
-        relevant = []
-        for cell in self._cells_for_epoch(epoch_index):
-            # Conservative reach: start/end positions +- 3 radii (cloud anvil
-            # extends to 2 radii; 3 adds slack for the coarse 2-point check).
-            start = cell.center_at(cell.birth_time_s)
-            end = cell.center_at(cell.birth_time_s + cell.lifetime_s)
-            reach = 3.0 * cell.radius_km
-            travel = haversine_km(start[0], start[1], end[0], end[1])
-            if (
-                haversine_km(lat, lon, start[0], start[1]) <= reach + travel
-                and haversine_km(lat, lon, end[0], end[1]) <= reach + travel
-            ) or haversine_km(lat, lon, start[0], start[1]) <= reach \
-                    or haversine_km(lat, lon, end[0], end[1]) <= reach:
-                relevant.append(cell)
+        cells = self._cells_for_epoch(epoch_index)
+        if not cells:
+            self._station_cache[key] = []
+            return []
+        arr = self._arrays_for_epoch(epoch_index)
+        lat_r, lon_r = math.radians(lat), math.radians(lon)
+        d_start = _haversine_km_vec(lat_r, lon_r, arr["start_lat"], arr["start_lon"])
+        d_end = _haversine_km_vec(lat_r, lon_r, arr["end_lat"], arr["end_lon"])
+        limit = arr["reach"] + arr["travel"]
+        mask = ((d_start <= limit) & (d_end <= limit)) | \
+            (d_start <= arr["reach"]) | (d_end <= arr["reach"])
+        relevant = [cells[i] for i in np.nonzero(mask)[0]]
         self._station_cache[key] = relevant
         return relevant
 

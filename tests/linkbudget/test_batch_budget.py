@@ -1,0 +1,184 @@
+"""Batched link-budget kernel vs the scalar reference, element by element."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linkbudget.budget import (
+    LinkBudget,
+    RadioConfig,
+    baseline_receiver,
+    dgs_node_receiver,
+)
+from repro.linkbudget.dvbs2 import (
+    DVBS2_MODCODS,
+    ESN0_THRESHOLDS_DB,
+    best_modcod,
+    best_modcod_indices,
+)
+
+BUDGETS = {
+    "dgs": LinkBudget(RadioConfig(), dgs_node_receiver()),
+    "baseline-calibrated": LinkBudget(
+        RadioConfig(),
+        baseline_receiver(),
+        acm_margin_db=2.0,
+        hardware_calibration_db=1.5,
+    ),
+    "pilots": LinkBudget(RadioConfig(), dgs_node_receiver(), pilots=True),
+}
+
+
+def _random_samples(n, seed):
+    rng = random.Random(seed)
+    return {
+        "range_km": np.array([rng.uniform(300.0, 3000.0) for _ in range(n)]),
+        "elevation_deg": np.array([rng.uniform(-10.0, 90.0) for _ in range(n)]),
+        "station_latitude_deg": np.array(
+            [rng.uniform(-80.0, 80.0) for _ in range(n)]
+        ),
+        "rain_rate_mm_h": np.array(
+            [rng.choice([0.0, rng.uniform(0.0, 60.0)]) for _ in range(n)]
+        ),
+        "cloud_water_kg_m2": np.array(
+            [rng.uniform(0.0, 2.0) for _ in range(n)]
+        ),
+        "station_altitude_km": np.array(
+            [rng.uniform(0.0, 3.0) for _ in range(n)]
+        ),
+    }
+
+
+class TestBestModcodIndices:
+    @pytest.mark.parametrize("margin_db", [0.0, 1.0, 2.0])
+    def test_matches_scalar_at_every_threshold(self, margin_db):
+        """Exact agreement at thresholds, just above, and just below."""
+        probes = []
+        for thr in ESN0_THRESHOLDS_DB:
+            probes.extend(
+                [thr + margin_db, thr + margin_db + 1e-9, thr + margin_db - 1e-9]
+            )
+        probes.extend([-50.0, 0.0, 50.0])
+        probes = np.array(probes)
+        indices = best_modcod_indices(probes, margin_db)
+        for esn0, index in zip(probes, indices):
+            expected = best_modcod(float(esn0), margin_db)
+            if expected is None:
+                assert index == -1
+            else:
+                assert DVBS2_MODCODS[index] is expected
+
+    def test_prefix_argmax_handles_nonmonotone_efficiency(self):
+        """8PSK 3/5 outranks QPSK 8/9 despite a lower threshold: the batch
+        path must pick by efficiency over all supported rows, like the
+        scalar loop, not just the last supported row."""
+        esn0 = np.array([6.5])  # supports up to ~QPSK 8/9 + 8PSK 3/5
+        index = best_modcod_indices(esn0, margin_db=0.0)[0]
+        assert DVBS2_MODCODS[index] is best_modcod(6.5, 0.0)
+
+
+class TestEvaluateBatch:
+    @pytest.mark.parametrize("name", sorted(BUDGETS))
+    def test_matches_scalar_on_random_samples(self, name):
+        budget = BUDGETS[name]
+        samples = _random_samples(400, seed=sum(map(ord, name)))
+        result = budget.evaluate_batch(**samples)
+        for p in range(400):
+            scalar = budget.evaluate(
+                range_km=float(samples["range_km"][p]),
+                elevation_deg=float(samples["elevation_deg"][p]),
+                station_latitude_deg=float(
+                    samples["station_latitude_deg"][p]
+                ),
+                rain_rate_mm_h=float(samples["rain_rate_mm_h"][p]),
+                cloud_water_kg_m2=float(samples["cloud_water_kg_m2"][p]),
+                station_altitude_km=float(
+                    samples["station_altitude_km"][p]
+                ),
+            )
+            assert result.esn0_db[p] == pytest.approx(
+                scalar.esn0_db, abs=1e-9
+            )
+            assert bool(result.closes[p]) == scalar.closes
+            if scalar.closes:
+                assert result.modcod_at(p) is scalar.modcod
+                assert result.bitrate_bps[p] == pytest.approx(
+                    scalar.bitrate_bps, rel=1e-12
+                )
+                assert result.required_esn0_db[p] == scalar.modcod.esn0_db
+            else:
+                assert result.bitrate_bps[p] == 0.0
+                assert result.required_esn0_db[p] == -100.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        range_km=st.floats(min_value=200.0, max_value=4000.0),
+        elevation_deg=st.floats(min_value=-20.0, max_value=90.0),
+        latitude_deg=st.floats(min_value=-85.0, max_value=85.0),
+        rain_mm_h=st.floats(min_value=0.0, max_value=100.0),
+        cloud_kg_m2=st.floats(min_value=0.0, max_value=5.0),
+        altitude_km=st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_property_single_element_matches_scalar(
+        self, range_km, elevation_deg, latitude_deg, rain_mm_h,
+        cloud_kg_m2, altitude_km,
+    ):
+        budget = BUDGETS["dgs"]
+        result = budget.evaluate_batch(
+            range_km=np.array([range_km]),
+            elevation_deg=np.array([elevation_deg]),
+            station_latitude_deg=np.array([latitude_deg]),
+            rain_rate_mm_h=np.array([rain_mm_h]),
+            cloud_water_kg_m2=np.array([cloud_kg_m2]),
+            station_altitude_km=np.array([altitude_km]),
+        )
+        scalar = budget.evaluate(
+            range_km=range_km,
+            elevation_deg=elevation_deg,
+            station_latitude_deg=latitude_deg,
+            rain_rate_mm_h=rain_mm_h,
+            cloud_water_kg_m2=cloud_kg_m2,
+            station_altitude_km=altitude_km,
+        )
+        assert result.esn0_db[0] == pytest.approx(scalar.esn0_db, abs=1e-9)
+        assert bool(result.closes[0]) == scalar.closes
+        if scalar.closes:
+            assert result.modcod_at(0) is scalar.modcod
+            assert result.bitrate_bps[0] == pytest.approx(
+                scalar.bitrate_bps, rel=1e-12
+            )
+
+    def test_below_horizon_never_closes(self):
+        budget = BUDGETS["dgs"]
+        result = budget.evaluate_batch(
+            range_km=np.array([500.0, 500.0]),
+            elevation_deg=np.array([-5.0, 0.0]),
+        )
+        assert not result.closes.any()
+        assert (result.bitrate_bps == 0.0).all()
+
+    def test_attenuation_components_match_scalar(self):
+        budget = BUDGETS["dgs"]
+        samples = _random_samples(50, seed=99)
+        result = budget.evaluate_batch(**samples)
+        for p in range(50):
+            scalar = budget.evaluate(
+                range_km=float(samples["range_km"][p]),
+                elevation_deg=float(samples["elevation_deg"][p]),
+                station_latitude_deg=float(
+                    samples["station_latitude_deg"][p]
+                ),
+                rain_rate_mm_h=float(samples["rain_rate_mm_h"][p]),
+                cloud_water_kg_m2=float(samples["cloud_water_kg_m2"][p]),
+                station_altitude_km=float(
+                    samples["station_altitude_km"][p]
+                ),
+            )
+            assert result.fspl_db[p] == pytest.approx(scalar.fspl_db, abs=1e-9)
+            assert result.rain_db[p] == pytest.approx(scalar.rain_db, abs=1e-9)
+            assert result.cloud_db[p] == pytest.approx(
+                scalar.cloud_db, abs=1e-9
+            )
+            assert result.gas_db[p] == pytest.approx(scalar.gas_db, abs=1e-9)
