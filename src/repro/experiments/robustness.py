@@ -23,6 +23,7 @@ from repro.core.scenarios import (
     make_dgs_scenario,
 )
 from repro.experiments.common import ExperimentResult, scaled_counts
+from repro.faults import FaultSchedule
 from repro.simulation.faults import OutageSchedule
 
 
@@ -142,4 +143,86 @@ def run(duration_s: float = 43200.0, scale: float = 0.3) -> ExperimentResult:
         f"announced worst-station loss: baseline {base_hit:+.1f}% vs "
         f"DGS {dgs_hit:+.1f}% delivered bytes"
     )
+    return result
+
+
+# -- fault-intensity sweep -----------------------------------------------------
+
+_SWEEP_HEADERS = ["intensity", "delivered (TB)", "lat p50 (min)",
+                  "delivery vs healthy", "requeues", "fault events"]
+
+
+def _run_with_faults(num_sats: int, num_stations: int, duration_s: float,
+                     faults: FaultSchedule | None, announced: bool = True):
+    """A DGS run with the seeded fault layer attached (None = healthy)."""
+    network, sim = _build("dgs", num_sats, num_stations, duration_s)
+    if faults is not None:
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation(
+            satellites=sim.satellites,
+            network=network,
+            value_function=sim.scheduler.value_function,
+            config=sim.config,
+            truth_weather=sim.truth_weather,
+            faults=faults,
+            faults_announced=announced,
+        )
+    return network, sim.run()
+
+
+def fault_sweep(duration_s: float = 21600.0, scale: float = 0.2,
+                intensities=(0.0, 0.1, 0.25, 0.5),
+                seed: int = 7, announced: bool = True) -> ExperimentResult:
+    """Sweep seeded fault intensity over the DGS scenario.
+
+    The analogue of the station-count sweep, along the fault axis: each
+    intensity draws one :meth:`FaultSchedule.generate` schedule (same
+    seed, so runs are reproducible) mixing station outages, backhaul
+    partitions/latency spikes, undecoded passes, and stale-TLE windows,
+    then measures delivered volume, latency, and the per-fault counters.
+    """
+    num_sats, num_stations, _base_n = scaled_counts(scale)
+    result = ExperimentResult(
+        experiment_id="fault-sweep",
+        description="DGS degradation vs injected fault intensity",
+    )
+    rows: list[list[str]] = []
+    healthy_tb = None
+    for intensity in intensities:
+        faults = None
+        if intensity > 0.0:
+            network, sim = _build("dgs", num_sats, num_stations, duration_s)
+            faults = FaultSchedule.generate(
+                station_ids=[st.station_id for st in network],
+                satellite_ids=[s.satellite_id for s in sim.satellites],
+                start=PAPER_EPOCH,
+                horizon_s=duration_s,
+                intensity=intensity,
+                seed=seed,
+            )
+        _network, report = _run_with_faults(
+            num_sats, num_stations, duration_s, faults, announced
+        )
+        if healthy_tb is None:
+            healthy_tb = report.delivered_tb
+        degradation = (
+            100.0 * (report.delivered_tb - healthy_tb) / healthy_tb
+            if healthy_tb else 0.0
+        )
+        counters = report.fault_counters
+        rows.append([
+            f"{intensity:.2f}",
+            f"{report.delivered_tb:.2f}",
+            f"{report.latency_percentiles_min((50,))[50]:.1f}",
+            f"{degradation:+.1f}%",
+            str(report.retransmitted_chunks),
+            str(sum(counters.values())),
+        ])
+        key = f"intensity:{intensity:.2f}"
+        result.series[key] = [report.delivered_tb]
+        for name, count in sorted(counters.items()):
+            result.series[f"{key}:{name}"] = [float(count)]
+    result.notes.append(format_table(_SWEEP_HEADERS, rows,
+                                     title="-- fault-intensity sweep --"))
     return result

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the downlink pipeline.
+
+The subsystem is pure opt-in: with ``faults=None`` (the default
+everywhere) the engine, scheduler, and kernels behave bit-identically to
+a build without this package.  A seeded :class:`FaultSchedule` injects
+station outages (full and partial), backhaul latency spikes and
+partitions, ground-side decode failures, and stale-TLE windows; the
+engine degrades gracefully and reports :class:`FaultCounters` alongside
+the delivery metrics.
+"""
+
+from repro.faults.counters import FaultCounters
+from repro.faults.events import (
+    BackhaulFault,
+    StaleTleWindow,
+    StationOutage,
+    UndecodedPass,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "BackhaulFault",
+    "FaultCounters",
+    "FaultSchedule",
+    "StaleTleWindow",
+    "StationOutage",
+    "UndecodedPass",
+]

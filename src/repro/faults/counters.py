@@ -1,0 +1,43 @@
+"""Per-fault counters the engine reports next to the delivery metrics.
+
+Counting happens at the engine step level -- not inside the contact-graph
+kernels -- so the totals are identical whether the scalar or batched
+scheduling path ran (the kernels only ever see availability *weights*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class FaultCounters:
+    """How often each fault class actually bit during a run."""
+
+    #: Executed assignments wasted on a hard-down station (unannounced
+    #: outage, or an announced one the availability prior gambled on).
+    station_outage_steps: int = 0
+    #: Executed assignments throttled by a partial outage.
+    partial_outage_steps: int = 0
+    #: Transmission steps lost to a ground-side decode fault.
+    undecoded_steps: int = 0
+    #: Transmission steps lost to stale orbital elements.
+    stale_tle_steps: int = 0
+    #: Chunk receipts swallowed by a backhaul partition.
+    receipts_dropped: int = 0
+    #: Chunk receipts that arrived late through a backhaul latency spike.
+    receipts_delayed: int = 0
+    #: Tx-capable contacts where a partition blocked the plan upload and
+    #: the ack batch (the satellite leaves with stale state).
+    ack_batches_missed: int = 0
+    #: Chunks the ground decoded a second time because the first receipt
+    #: never reached the backend; counted once per redelivery.
+    redelivered_chunks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Field-order-stable dict for reports and JSON serialization."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.as_dict().values())

@@ -1,0 +1,121 @@
+"""Fault event types: the vocabulary of things that go wrong.
+
+Each event is a time window attached to one entity (a station or a
+satellite).  The engine and scheduler never mutate events; the
+:class:`~repro.faults.schedule.FaultSchedule` owns the collections and
+answers point-in-time queries.
+
+All windows are half-open ``[start, end)``, matching the legacy
+:class:`~repro.simulation.faults.Outage` convention, so back-to-back
+windows never double-cover an instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+
+def _check_window(start: datetime, end: datetime) -> None:
+    if end <= start:
+        raise ValueError("fault window must end after it starts")
+
+
+class _WindowMixin:
+    """Shared point-in-time behavior for fault windows."""
+
+    start: datetime
+    end: datetime
+
+    def covers(self, when: datetime) -> bool:
+        return self.start <= when < self.end
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end - self.start).total_seconds()
+
+
+@dataclass(frozen=True)
+class StationOutage(_WindowMixin):
+    """A station down (fully or partially) for one interval.
+
+    ``severity`` is the capacity fraction lost: 1.0 is hard down (no RF,
+    no edges), 0.5 models e.g. one of two dishes offline or a degraded
+    LNA -- the pass still happens at half the planned throughput.
+    """
+
+    station_id: str
+    start: datetime
+    end: datetime
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must be in (0, 1]")
+
+    @property
+    def availability(self) -> float:
+        """Usable capacity fraction while the outage covers an instant."""
+        return 1.0 - self.severity
+
+
+@dataclass(frozen=True)
+class BackhaulFault(_WindowMixin):
+    """A station's Internet backhaul misbehaving for one interval.
+
+    ``partitioned=True`` severs the station from the backend entirely:
+    chunk receipts posted during the window are lost, and a tx-capable
+    contact during the window can upload neither a fresh plan nor the
+    collated ack batch.  Otherwise the fault is a latency spike: receipts
+    still arrive, ``extra_latency_s`` late.
+    """
+
+    station_id: str
+    start: datetime
+    end: datetime
+    extra_latency_s: float = 0.0
+    partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if self.extra_latency_s < 0:
+            raise ValueError("extra latency cannot be negative")
+        if not self.partitioned and self.extra_latency_s <= 0:
+            raise ValueError(
+                "a backhaul fault must partition or add latency"
+            )
+
+
+@dataclass(frozen=True)
+class UndecodedPass(_WindowMixin):
+    """Ground-side decode failure at one station (RFI, SDR crash, ...).
+
+    The satellite transmits per plan and cannot tell; every bit sent to
+    the station during the window is lost and recovered only by the
+    ack-timeout requeue path.
+    """
+
+    station_id: str
+    start: datetime
+    end: datetime
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class StaleTleWindow(_WindowMixin):
+    """A satellite operating on stale orbital elements.
+
+    Stale TLEs degrade pointing on both ends enough that transmissions
+    fail to decode (the scheduler's geometry still uses its own
+    propagation -- the error is in the executed pass, not the plan).
+    """
+
+    satellite_id: str
+    start: datetime
+    end: datetime
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)

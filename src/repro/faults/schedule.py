@@ -1,0 +1,188 @@
+"""The fault schedule: every injected fault for one run, plus queries.
+
+A :class:`FaultSchedule` is pure data -- the engine and scheduler query
+it point-in-time and never mutate it, so one schedule can be replayed
+across experiment variants.  :meth:`FaultSchedule.generate` draws a full
+schedule from a single seeded RNG; the same (entities, horizon,
+intensity, seed) always produces the identical schedule, which is what
+makes fault runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Sequence
+
+from repro.faults.events import (
+    BackhaulFault,
+    StaleTleWindow,
+    StationOutage,
+    UndecodedPass,
+)
+
+#: How the generator splits the requested intensity across fault classes.
+#: Outages dominate (station churn is the GSaaS norm); backhaul and
+#: decode faults share the rest; stale TLEs are per-satellite on top.
+_OUTAGE_SHARE = 0.4
+_BACKHAUL_SHARE = 0.3
+_UNDECODED_SHARE = 0.3
+_STALE_TLE_SHARE = 0.3
+
+
+@dataclass
+class FaultSchedule:
+    """Every fault injected into one simulation run."""
+
+    outages: list[StationOutage] = field(default_factory=list)
+    backhaul: list[BackhaulFault] = field(default_factory=list)
+    undecoded: list[UndecodedPass] = field(default_factory=list)
+    stale_tle: list[StaleTleWindow] = field(default_factory=list)
+
+    # -- queries (all half-open [start, end)) --------------------------------
+
+    @property
+    def event_count(self) -> int:
+        return (len(self.outages) + len(self.backhaul)
+                + len(self.undecoded) + len(self.stale_tle))
+
+    def station_availability(self, station_id: str, when: datetime) -> float:
+        """Usable capacity fraction in [0, 1]; 1.0 = healthy, 0.0 = dark.
+
+        Overlapping outages compound pessimistically: the worst one wins.
+        """
+        worst = 1.0
+        for o in self.outages:
+            if o.station_id == station_id and o.covers(when):
+                worst = min(worst, o.availability)
+        return worst
+
+    def backhaul_fault(self, station_id: str,
+                       when: datetime) -> BackhaulFault | None:
+        """The active backhaul fault, partition winning over latency spikes."""
+        active = None
+        for b in self.backhaul:
+            if b.station_id == station_id and b.covers(when):
+                if b.partitioned:
+                    return b
+                if active is None:
+                    active = b
+        return active
+
+    def is_partitioned(self, station_id: str, when: datetime) -> bool:
+        fault = self.backhaul_fault(station_id, when)
+        return fault is not None and fault.partitioned
+
+    def is_undecoded(self, station_id: str, when: datetime) -> bool:
+        return any(
+            u.station_id == station_id and u.covers(when)
+            for u in self.undecoded
+        )
+
+    def is_tle_stale(self, satellite_id: str, when: datetime) -> bool:
+        return any(
+            w.satellite_id == satellite_id and w.covers(when)
+            for w in self.stale_tle
+        )
+
+    def faulted_stations(self, when: datetime) -> set[str]:
+        """Stations with any active fault (outage, backhaul, or decode)."""
+        down = {o.station_id for o in self.outages if o.covers(when)}
+        down |= {b.station_id for b in self.backhaul if b.covers(when)}
+        down |= {u.station_id for u in self.undecoded if u.covers(when)}
+        return down
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        station_ids: Sequence[str],
+        satellite_ids: Sequence[str],
+        start: datetime,
+        horizon_s: float,
+        *,
+        intensity: float = 0.25,
+        seed: int = 0,
+        mean_outage_s: float = 3600.0,
+        mean_backhaul_s: float = 1800.0,
+        mean_undecoded_s: float = 900.0,
+        mean_stale_tle_s: float = 7200.0,
+    ) -> "FaultSchedule":
+        """Draw a full fault schedule from one seeded RNG.
+
+        ``intensity`` in [0, 1] is, per fault class, roughly the expected
+        fraction of entity-time spent faulted (scaled by the class share
+        constants above); 0 yields an empty schedule.  Identical inputs
+        produce the identical schedule -- the RNG is consumed in a fixed
+        entity-by-entity, class-by-class order.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        schedule = cls()
+        if intensity == 0.0:
+            return schedule
+        rng = random.Random(seed)
+
+        def windows(share: float, mean_s: float):
+            """Poisson arrivals with exponential durations, clamped to
+            the horizon; expected covered fraction ~= intensity * share."""
+            fraction = min(intensity * share, 0.95)
+            if fraction <= 0.0:
+                return
+            mtbf = mean_s * (1.0 - fraction) / fraction
+            clock = 0.0
+            while True:
+                clock += rng.expovariate(1.0 / mtbf)
+                if clock >= horizon_s:
+                    return
+                duration = rng.expovariate(1.0 / mean_s)
+                begin = start + timedelta(seconds=clock)
+                finish = start + timedelta(
+                    seconds=min(clock + duration, horizon_s)
+                )
+                if finish > begin:
+                    yield begin, finish
+                clock += duration
+
+        for sid in station_ids:
+            for begin, finish in windows(_OUTAGE_SHARE, mean_outage_s):
+                if rng.random() < 0.6:
+                    severity = 1.0  # hard down
+                else:
+                    severity = rng.uniform(0.3, 0.9)  # partial capacity
+                schedule.outages.append(
+                    StationOutage(sid, begin, finish, severity=severity)
+                )
+            for begin, finish in windows(_BACKHAUL_SHARE, mean_backhaul_s):
+                if rng.random() < 0.5:
+                    schedule.backhaul.append(
+                        BackhaulFault(sid, begin, finish, partitioned=True)
+                    )
+                else:
+                    spike_s = 60.0 + rng.expovariate(1.0 / 600.0)
+                    schedule.backhaul.append(
+                        BackhaulFault(sid, begin, finish,
+                                      extra_latency_s=spike_s)
+                    )
+            for begin, finish in windows(_UNDECODED_SHARE, mean_undecoded_s):
+                schedule.undecoded.append(UndecodedPass(sid, begin, finish))
+        for sat_id in satellite_ids:
+            for begin, finish in windows(_STALE_TLE_SHARE, mean_stale_tle_s):
+                schedule.stale_tle.append(
+                    StaleTleWindow(sat_id, begin, finish)
+                )
+        return schedule
+
+    @classmethod
+    def station_blackout(cls, station_ids: Sequence[str], start: datetime,
+                         duration_s: float) -> "FaultSchedule":
+        """Every listed station hard-down for one interval (scenario helper)."""
+        end = start + timedelta(seconds=duration_s)
+        return cls(outages=[
+            StationOutage(sid, start, end, severity=1.0)
+            for sid in station_ids
+        ])

@@ -37,6 +37,10 @@ class BackendCollator:
     _acked: dict[str, set[int]] = field(default_factory=dict)
     total_receipts: int = 0
     total_bits_received: float = 0.0
+    #: Receipts that re-reported a chunk already known (pending or acked),
+    #: e.g. a retransmission the satellite sent because its ack went
+    #: missing.  These never contribute to the throughput totals.
+    duplicate_receipts: int = 0
 
     def submit_receipt(self, message: ChunkReceiptMessage,
                        backhaul_latency_s: float) -> None:
@@ -49,19 +53,30 @@ class BackendCollator:
         self._in_flight.append(PendingReceipt(message, arrives))
 
     def advance(self, now: datetime) -> int:
-        """Land every in-flight receipt that has arrived by ``now``."""
+        """Land every in-flight receipt that has arrived by ``now``.
+
+        A receipt for a chunk the backend already knows about -- either
+        awaiting ack upload or already acked -- is a retransmission
+        artifact (the ack-free design re-sends chunks whose acks went
+        missing).  It is counted in :attr:`duplicate_receipts` but does
+        not bump the throughput totals, so ``total_bits_received`` stays
+        the volume of *unique* data received.
+        """
         landed = 0
         still_flying = []
         for pending in self._in_flight:
             if pending.arrives_at <= now:
                 msg = pending.message
-                already = self._acked.get(msg.satellite_id, set())
-                if msg.chunk_id not in already:
+                acked = self._acked.get(msg.satellite_id, set())
+                unacked = self._unacked.get(msg.satellite_id, set())
+                if msg.chunk_id in acked or msg.chunk_id in unacked:
+                    self.duplicate_receipts += 1
+                else:
                     self._unacked.setdefault(msg.satellite_id, set()).add(
                         msg.chunk_id
                     )
-                self.total_receipts += 1
-                self.total_bits_received += msg.size_bits
+                    self.total_receipts += 1
+                    self.total_bits_received += msg.size_bits
                 landed += 1
             else:
                 still_flying.append(pending)

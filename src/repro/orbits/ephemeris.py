@@ -453,8 +453,35 @@ def shared_ephemeris_table(
     _TABLE_CACHE[key] = table
     if disk_path is not None:
         os.makedirs(cache_dir, exist_ok=True)
-        table.save(disk_path)
+        _atomic_save(table, disk_path, cache_dir)
     return table
+
+
+def _atomic_save(table: EphemerisTable, disk_path: str,
+                 cache_dir: str) -> None:
+    """Write the table to a temp file and atomically rename into place.
+
+    A process killed mid-write must never leave a truncated ``.npz`` at
+    the final path -- readers tolerate corrupt caches by rebuilding, but a
+    half-written file would be silently re-read on every run until evicted.
+    The temp file lives in ``cache_dir`` so the ``os.replace`` stays on
+    one filesystem (rename is only atomic within a filesystem).
+    """
+    import tempfile
+
+    fd, tmp_path = tempfile.mkstemp(
+        dir=cache_dir, prefix=".ephemeris_tmp_", suffix=".npz"
+    )
+    os.close(fd)
+    try:
+        table.save(tmp_path)
+        os.replace(tmp_path, disk_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def clear_ephemeris_cache() -> None:

@@ -112,18 +112,25 @@ class OnboardStorage:
         return sent_total, completed
 
     def requeue_stale_unacked(self, sent_before: datetime) -> list[DataChunk]:
-        """Requeue delivered-unacked chunks sent before ``sent_before``.
+        """Requeue delivered-unacked chunks sent at or before ``sent_before``.
 
         Called right after processing an ack batch at a transmit-capable
         contact: anything sent long enough ago that its ack should have
         arrived -- and did not -- is presumed lost and goes back in the
         send queue (the paper's "missing pieces ... communicated to the
         satellite during next contact").
+
+        The boundary is **inclusive**: a chunk whose ack deadline lands
+        exactly on the contact instant has had its full timeout window and
+        is requeued *now* rather than surviving until an entire extra
+        tx-capable contact.  This cannot race a timely ack -- the engine
+        processes the contact's ack batch before calling this, so a chunk
+        whose ack did arrive is already off the unacked list.
         """
         requeued = []
         remaining = []
         for chunk in self._delivered_unacked:
-            if chunk.delivery_time is not None and chunk.delivery_time < sent_before:
+            if chunk.delivery_time is not None and chunk.delivery_time <= sent_before:
                 chunk.requeue()
                 self._onboard.append(chunk)
                 self._dirty = True

@@ -198,6 +198,7 @@ def build_contact_graph(
     require_current_plan: bool = False,
     plan_max_age_s: float = float("inf"),
     station_available: Callable[[int, datetime], bool] | None = None,
+    station_weight: Callable[[int, datetime], float] | None = None,
     ephemeris: "EphemerisTable | None" = None,
     batched: bool = True,
     pair_groups: PairGroupCache | None = None,
@@ -212,6 +213,13 @@ def build_contact_graph(
     transmit-capable stations, which can retask them in real time.
     ``station_available(station_index, when)`` lets callers exclude
     stations the scheduler knows to be down (announced maintenance).
+    ``station_weight(station_index, when)`` is the graded variant used by
+    the fault layer: every edge weight to the station is multiplied by
+    the returned factor (a partial outage down-weights the station, an
+    availability prior keeps a gamble edge to a dark one), and a factor
+    <= 0 prunes the station entirely.  The factor is applied identically
+    -- same float operation, same edge order -- in the scalar and batched
+    paths, preserving the equivalence contract.
 
     ``ephemeris`` supplies precomputed fleet positions for on-grid
     instants (off-grid instants fall back to per-satellite propagation).
@@ -227,6 +235,14 @@ def build_contact_graph(
         unavailable = {
             j for j in range(len(network)) if not station_available(j, when)
         }
+    weight_factor: list[float] | None = None
+    if station_weight is not None:
+        weight_factor = [
+            float(station_weight(j, when)) for j in range(len(network))
+        ]
+        unavailable |= {
+            j for j, f in enumerate(weight_factor) if f <= 0.0
+        }
     sat_ecef = None
     if ephemeris is not None:
         sat_ecef = ephemeris.positions_ecef(when)
@@ -237,13 +253,14 @@ def build_contact_graph(
         edges = _batched_edges(
             satellites, network, when, value_function, link_budget_for,
             forecast, step_s, geometry, elevation, rng_km, visible,
-            unavailable, require_current_plan, plan_max_age_s, pair_groups,
+            unavailable, require_current_plan, plan_max_age_s, weight_factor,
+            pair_groups,
         )
     else:
         edges = _scalar_edges(
             satellites, network, when, value_function, link_budget_for,
             forecast, step_s, geometry, elevation, rng_km, visible,
-            unavailable, require_current_plan, plan_max_age_s,
+            unavailable, require_current_plan, plan_max_age_s, weight_factor,
         )
     return ContactGraph(
         when=when,
@@ -268,6 +285,7 @@ def _scalar_edges(
     unavailable: set[int],
     require_current_plan: bool,
     plan_max_age_s: float,
+    weight_factor: list[float] | None = None,
 ) -> list[ContactEdge]:
     """The per-pair reference path: one scalar budget call per visible pair."""
     edges: list[ContactEdge] = []
@@ -305,6 +323,8 @@ def _scalar_edges(
             weight = value_function.edge_value(
                 sat, station.station_id, result.bitrate_bps, when, step_s
             )
+            if weight_factor is not None:
+                weight *= weight_factor[int(j)]
             if weight <= 0.0:
                 continue
             edges.append(
@@ -377,6 +397,7 @@ def _batched_edges(
     unavailable: set[int],
     require_current_plan: bool,
     plan_max_age_s: float,
+    weight_factor: list[float] | None = None,
     pair_groups: PairGroupCache | None = None,
 ) -> list[ContactEdge]:
     """Masked-array edge construction: one budget kernel call per hardware
@@ -475,6 +496,8 @@ def _batched_edges(
             satellites[i], stations[j].station_id, bitrate_list[p],
             when, step_s,
         )
+        if weight_factor is not None:
+            weight *= weight_factor[j]
         if weight <= 0.0:
             continue
         edges.append(

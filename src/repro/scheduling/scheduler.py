@@ -175,6 +175,7 @@ class DownlinkScheduler:
         require_current_plan: bool = False,
         plan_max_age_s: float = float("inf"),
         station_available=None,
+        station_weight=None,
         ephemeris: EphemerisTable | None = None,
         batched: bool = True,
     ):
@@ -194,6 +195,10 @@ class DownlinkScheduler:
         #: Optional (station_index, when) -> bool availability oracle used
         #: to route around announced outages.
         self.station_available = station_available
+        #: Optional (station_index, when) -> float availability weight from
+        #: the fault layer: edge weights are scaled by it, and a factor
+        #: <= 0 prunes the station from the graph.
+        self.station_weight = station_weight
         #: Precomputed fleet positions for on-grid instants (shared across
         #: variants via :func:`repro.orbits.ephemeris.shared_ephemeris_table`);
         #: off-grid instants fall back to per-satellite propagation.
@@ -249,6 +254,7 @@ class DownlinkScheduler:
             require_current_plan=self.require_current_plan,
             plan_max_age_s=self.plan_max_age_s,
             station_available=self.station_available,
+            station_weight=self.station_weight,
             ephemeris=self.ephemeris,
             batched=self.batched,
             pair_groups=self._pair_groups,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from datetime import datetime, timedelta
 
+from repro.faults import FaultCounters, FaultSchedule
 from repro.groundstations.network import GroundStationNetwork
 from repro.network.backend import BackendCollator
 from repro.network.messages import ChunkReceiptMessage
@@ -51,6 +52,9 @@ class Simulation:
         capacities: list[int] | None = None,
         outages: "OutageSchedule | None" = None,
         outages_announced: bool = False,
+        faults: FaultSchedule | None = None,
+        faults_announced: bool = True,
+        fault_availability_prior: float | None = None,
     ):
         self.satellites = satellites
         self.network = network
@@ -59,6 +63,21 @@ class Simulation:
         #: Announced outages (maintenance) are known to the scheduler, so
         #: it routes around them; unannounced failures waste the pass.
         self.outages_announced = outages_announced
+        #: The seeded fault-injection layer (None = healthy run; the
+        #: engine then behaves bit-identically to a build without it).
+        self.faults = faults
+        #: Announced faults let the scheduler prune/down-weight edges to
+        #: faulted stations; unannounced ones are discovered the hard way.
+        self.faults_announced = faults_announced
+        #: With a prior p in (0, 1], edges to hard-down announced stations
+        #: survive at weight * p -- the scheduler gambles the station may
+        #: recover -- instead of being pruned outright.
+        self.fault_availability_prior = fault_availability_prior
+        self.fault_counters = FaultCounters()
+        #: Chunk ids whose first decoded delivery has been recorded; a
+        #: redelivery (receipt lost in a partition -> requeue ->
+        #: retransmit) must not double-count delivered bits or latency.
+        self._delivered_chunk_ids: set[int] = set()
         self.truth_weather = truth_weather or ClearSkyProvider()
         if config.use_forecast and forecast is None:
             forecast = ForecastProvider(self.truth_weather)
@@ -68,6 +87,16 @@ class Simulation:
         if outages is not None and outages_announced:
             def station_available(index: int, when) -> bool:
                 return not outages.is_down(network[index].station_id, when)
+        station_weight = None
+        if faults is not None and faults_announced:
+            def station_weight(index: int, when) -> float:
+                availability = faults.station_availability(
+                    network[index].station_id, when
+                )
+                if availability <= 0.0:
+                    # Hard down: prune, unless a prior keeps a gamble edge.
+                    return fault_availability_prior or 0.0
+                return availability
         self.ephemeris = self._build_ephemeris(satellites, config)
         self.scheduler = DownlinkScheduler(
             satellites=satellites,
@@ -81,6 +110,7 @@ class Simulation:
             require_current_plan=config.enforce_plan_distribution,
             plan_max_age_s=config.plan_max_age_s,
             station_available=station_available,
+            station_weight=station_weight,
             ephemeris=self.ephemeris,
             batched=config.batched_kernels,
         )
@@ -183,6 +213,10 @@ class Simulation:
                 s.satellite_id: s.storage.unacked_bits / GB_TO_BITS
                 for s in self.satellites
             },
+            fault_counters=(
+                self.fault_counters.as_dict()
+                if self.faults is not None else None
+            ),
         )
 
     # -- step pieces --------------------------------------------------------------
@@ -212,6 +246,23 @@ class Simulation:
             )
             self.metrics.record_lost_transmission(sent)
             return
+        availability = 1.0
+        if self.faults is not None:
+            availability = self.faults.station_availability(
+                station.station_id, now
+            )
+            if availability <= 0.0:
+                # Injected hard outage.  Announced ones are normally pruned
+                # from the graph, but an availability prior can keep the
+                # edge as a gamble; unannounced ones always land here.  The
+                # satellite transmits per plan and every bit is wasted.
+                self.fault_counters.station_outage_steps += 1
+                sent, _completed = sat.storage.transmit(
+                    assignment.bitrate_bps * self.config.step_s, now,
+                    decoded=False,
+                )
+                self.metrics.record_lost_transmission(sent)
+                return
         if sat.power is not None and not sat.power.can_transmit():
             # Flight rules: battery too low to power the radio this pass.
             self.power_blocked_steps += 1
@@ -229,7 +280,20 @@ class Simulation:
                 )
         if self.config.use_forecast:
             decoded = self._decodes_under_truth(assignment, sat, station, now)
+        if self.faults is not None and decoded:
+            if self.faults.is_undecoded(station.station_id, now):
+                # Ground-side decode fault: the pass happens, nothing lands.
+                decoded = False
+                self.fault_counters.undecoded_steps += 1
+            elif self.faults.is_tle_stale(sat.satellite_id, now):
+                # Stale elements degrade pointing; the transmission fails.
+                decoded = False
+                self.fault_counters.stale_tle_steps += 1
         bits_budget = assignment.bitrate_bps * self.config.step_s * usable_fraction
+        if availability < 1.0:
+            # Partial outage: the pass proceeds at reduced capacity.
+            bits_budget *= availability
+            self.fault_counters.partial_outage_steps += 1
         sent, completed = sat.storage.transmit(bits_budget, now, decoded=decoded)
         if self.events is not None and sent > 0:
             self.events.record(
@@ -237,17 +301,40 @@ class Simulation:
                 bits=sent, bitrate_bps=assignment.bitrate_bps, decoded=decoded,
             )
         if decoded:
-            for chunk in completed:
-                latency = (now - chunk.capture_time).total_seconds()
-                self.metrics.record_delivery(
-                    sat.satellite_id, latency, chunk.size_bits, station.station_id
+            backhaul_fault = None
+            if self.faults is not None:
+                backhaul_fault = self.faults.backhaul_fault(
+                    station.station_id, now
                 )
-                if self.events is not None:
-                    self.events.record(
-                        now, "delivery", sat.satellite_id, station.station_id,
-                        chunk_id=chunk.chunk_id, latency_s=latency,
-                        bits=chunk.size_bits,
+            for chunk in completed:
+                if chunk.chunk_id not in self._delivered_chunk_ids:
+                    self._delivered_chunk_ids.add(chunk.chunk_id)
+                    latency = (now - chunk.capture_time).total_seconds()
+                    self.metrics.record_delivery(
+                        sat.satellite_id, latency, chunk.size_bits,
+                        station.station_id,
                     )
+                    if self.events is not None:
+                        self.events.record(
+                            now, "delivery", sat.satellite_id,
+                            station.station_id, chunk_id=chunk.chunk_id,
+                            latency_s=latency, bits=chunk.size_bits,
+                        )
+                else:
+                    # The ground already has this chunk (its first receipt
+                    # was lost, so the satellite retransmitted): unique
+                    # delivered bits and latency are not recounted.
+                    self.fault_counters.redelivered_chunks += 1
+                if backhaul_fault is not None and backhaul_fault.partitioned:
+                    # The station cannot reach the backend: the receipt is
+                    # lost.  The ack never happens, so the ack-timeout
+                    # requeue path retransmits the chunk later.
+                    self.fault_counters.receipts_dropped += 1
+                    continue
+                backhaul_latency_s = station.backhaul_latency_s
+                if backhaul_fault is not None:
+                    backhaul_latency_s += backhaul_fault.extra_latency_s
+                    self.fault_counters.receipts_delayed += 1
                 self.backend.submit_receipt(
                     ChunkReceiptMessage(
                         station_id=station.station_id,
@@ -256,7 +343,7 @@ class Simulation:
                         received_at=now,
                         size_bits=chunk.size_bits,
                     ),
-                    backhaul_latency_s=station.backhaul_latency_s,
+                    backhaul_latency_s=backhaul_latency_s,
                 )
         else:
             self.metrics.record_lost_transmission(sent)
@@ -405,6 +492,16 @@ class Simulation:
     def _tx_contact(self, sat: Satellite, now: datetime,
                     station_id: str = "") -> None:
         """Plan upload + delayed-ack delivery during a tx-capable contact."""
+        if (
+            self.faults is not None
+            and station_id
+            and self.faults.is_partitioned(station_id, now)
+        ):
+            # The station is cut off from the backend: it has no fresh
+            # plan to upload and no collated ack batch.  The satellite
+            # leaves with stale state and recovers via the ack timeout.
+            self.fault_counters.ack_batches_missed += 1
+            return
         sat.receive_plan(now)
         if self.events is not None:
             self.events.record(now, "plan_upload", sat.satellite_id, station_id)

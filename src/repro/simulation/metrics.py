@@ -45,6 +45,9 @@ class SimulationReport:
     snapshots: list[BacklogSnapshot]
     station_bits: dict[str, float]  # station -> bits received
     satellite_bits: dict[str, float]  # satellite -> bits delivered
+    #: Per-fault event counts from the fault-injection layer; empty when
+    #: the run had no FaultSchedule (the default).
+    fault_counters: dict[str, int] = field(default_factory=dict)
 
     # -- latency --------------------------------------------------------------
 
@@ -131,7 +134,9 @@ class MetricsCollector:
         )
 
     def finalize(self, final_backlog_gb: dict[str, float],
-                 final_unacked_gb: dict[str, float]) -> SimulationReport:
+                 final_unacked_gb: dict[str, float],
+                 fault_counters: dict[str, int] | None = None
+                 ) -> SimulationReport:
         return SimulationReport(
             latency_s={k: list(v) for k, v in self.latency_s.items()},
             final_backlog_gb=dict(final_backlog_gb),
@@ -144,4 +149,5 @@ class MetricsCollector:
             snapshots=list(self.snapshots),
             station_bits=dict(self.station_bits),
             satellite_bits=dict(self.satellite_bits),
+            fault_counters=dict(fault_counters or {}),
         )

@@ -51,6 +51,88 @@ def _random_samples(n, seed):
     }
 
 
+class TestRainClampEdges:
+    """Scalar-vs-batch parity at the edges of the rain model's clamps:
+    zero rain, zero effective path (station above the rain height), 90 deg
+    elevation (cos -> ~0 horizontal projection), and rain heavy enough to
+    pin the P.618 reduction factor at its 0.05 lower clamp."""
+
+    FREQ_GHZ = 30.0
+
+    def _parity(self, rain, elevation, latitude, altitude=0.0):
+        from repro.linkbudget.itu import (
+            rain_attenuation_db,
+            rain_attenuation_db_batch,
+        )
+
+        scalar = rain_attenuation_db(
+            rain, self.FREQ_GHZ, elevation, latitude, altitude
+        )
+        batch = rain_attenuation_db_batch(
+            np.array([rain]), self.FREQ_GHZ, np.array([elevation]),
+            np.array([latitude]), np.array([altitude]),
+        )
+        assert batch[0] == pytest.approx(scalar, abs=1e-9)
+        return scalar
+
+    def test_zero_rain_is_exactly_zero(self):
+        assert self._parity(0.0, 30.0, 45.0) == 0.0
+
+    def test_station_above_rain_height_zero_path(self):
+        # 5.5 km station vs a 5.0 km tropical rain height: the effective
+        # path is non-positive, so attenuation is exactly zero and the
+        # reduction factor's lg <= 0 branch is exercised.
+        assert self._parity(25.0, 10.0, 0.0, altitude=5.5) == 0.0
+
+    def test_high_latitude_zero_rain_height(self):
+        # P.839 height hits its 0.0 floor poleward of ~71 deg south.
+        assert self._parity(10.0, 20.0, -80.0) == 0.0
+
+    def test_vertical_path_at_90_deg_elevation(self):
+        # cos(90 deg) collapses the horizontal projection to ~0; the
+        # reduction factor is ~1 and attenuation ~= gamma * height.
+        value = self._parity(20.0, 90.0, 0.0)
+        assert value > 0.0
+
+    def test_extreme_rain_pins_lower_clamp(self):
+        from repro.linkbudget.itu import (
+            _horizontal_reduction_factor,
+            rain_specific_attenuation_db_km,
+            slant_path_length_km,
+        )
+
+        rain, elevation, latitude = 5000.0, 5.0, 0.0
+        gamma = rain_specific_attenuation_db_km(rain, self.FREQ_GHZ)
+        slant = slant_path_length_km(elevation, 5.0)
+        # The probe really does drive r below the clamp...
+        assert _horizontal_reduction_factor(
+            slant, elevation, gamma, self.FREQ_GHZ
+        ) == 0.05
+        # ...and batch still matches scalar exactly on the clamped branch.
+        self._parity(rain, elevation, latitude)
+
+    def test_clamp_edge_grid_parity(self):
+        """A dense grid straddling every branch in one batched call."""
+        from repro.linkbudget.itu import (
+            rain_attenuation_db,
+            rain_attenuation_db_batch,
+        )
+
+        rain = np.array([0.0, 0.0, 0.5, 25.0, 5000.0, 120.0, 40.0])
+        elevation = np.array([5.0, 90.0, 90.0, 10.0, 5.0, 7.5, 90.0])
+        latitude = np.array([0.0, 45.0, 0.0, 0.0, 0.0, -80.0, 23.0])
+        altitude = np.array([0.0, 0.0, 0.0, 5.5, 0.0, 0.0, 4.99])
+        batch = rain_attenuation_db_batch(
+            rain, self.FREQ_GHZ, elevation, latitude, altitude
+        )
+        for p in range(rain.size):
+            scalar = rain_attenuation_db(
+                float(rain[p]), self.FREQ_GHZ, float(elevation[p]),
+                float(latitude[p]), float(altitude[p]),
+            )
+            assert batch[p] == pytest.approx(scalar, abs=1e-9)
+
+
 class TestBestModcodIndices:
     @pytest.mark.parametrize("margin_db", [0.0, 1.0, 2.0])
     def test_matches_scalar_at_every_threshold(self, margin_db):

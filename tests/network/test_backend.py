@@ -40,6 +40,36 @@ class TestReceiptFlow:
         with pytest.raises(ValueError):
             BackendCollator().submit_receipt(receipt(1), -1.0)
 
+    def test_redelivered_chunk_does_not_double_count(self):
+        """Regression: a retransmitted chunk whose first receipt was already
+        acked must not inflate the throughput totals."""
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1, size=100.0), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        backend.issue_ack_batch("sat-A", EPOCH + timedelta(minutes=5))
+        # The ack batch never reached the satellite; it retransmits and the
+        # station dutifully reports the chunk again.
+        backend.submit_receipt(receipt(1, size=100.0), 0.0)
+        landed = backend.advance(EPOCH + timedelta(minutes=10))
+        assert landed == 1  # the receipt did land...
+        assert backend.total_receipts == 1  # ...but is not re-counted
+        assert backend.total_bits_received == pytest.approx(100.0)
+        assert backend.duplicate_receipts == 1
+        # And it must not be re-queued for acking either.
+        assert backend.pending_acks("sat-A") == set()
+
+    def test_duplicate_of_pending_receipt_not_double_counted(self):
+        """Two receipts for the same not-yet-acked chunk (e.g. duplicate
+        relay) count once toward the totals."""
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(7, size=50.0), 0.0)
+        backend.submit_receipt(receipt(7, size=50.0), 0.0)
+        backend.advance(EPOCH + timedelta(seconds=1))
+        assert backend.total_receipts == 1
+        assert backend.total_bits_received == pytest.approx(50.0)
+        assert backend.duplicate_receipts == 1
+        assert backend.pending_acks("sat-A") == {7}
+
 
 class TestAckBatches:
     def test_batch_contains_landed_receipts(self):

@@ -129,6 +129,34 @@ class TestSharedCache:
         )
         np.testing.assert_array_equal(rebuilt.positions, table.positions)
 
+    def test_truncated_disk_cache_is_rebuilt(self, tles, tmp_path):
+        """A file cut off mid-array (killed writer on a non-atomic
+        filesystem, torn download, ...) must be treated as corrupt."""
+        fleet = [Satellite(tle=t) for t in tles]
+        table = shared_ephemeris_table(
+            fleet, EPOCH, 6, 60.0, cache_dir=str(tmp_path)
+        )
+        (cache_file,) = tmp_path.glob("ephemeris_*.npz")
+        payload = cache_file.read_bytes()
+        # Keep the zip header and most of the positions array, drop the tail.
+        cache_file.write_bytes(payload[: int(len(payload) * 0.6)])
+        clear_ephemeris_cache()
+        rebuilt = shared_ephemeris_table(
+            fleet, EPOCH, 6, 60.0, cache_dir=str(tmp_path)
+        )
+        np.testing.assert_array_equal(rebuilt.positions, table.positions)
+        # The rebuild also repaired the on-disk copy.
+        clear_ephemeris_cache()
+        reloaded = shared_ephemeris_table(
+            fleet, EPOCH, 6, 60.0, cache_dir=str(tmp_path)
+        )
+        np.testing.assert_array_equal(reloaded.positions, table.positions)
+
+    def test_no_temp_files_left_behind(self, tles, tmp_path):
+        fleet = [Satellite(tle=t) for t in tles]
+        shared_ephemeris_table(fleet, EPOCH, 6, 60.0, cache_dir=str(tmp_path))
+        assert not list(tmp_path.glob(".ephemeris_tmp_*"))
+
     def test_disk_cache_roundtrip(self, tles, tmp_path):
         fleet = [Satellite(tle=t) for t in tles]
         table = shared_ephemeris_table(

@@ -118,6 +118,29 @@ class TestAcks:
         assert storage.backlog_bits == 100.0  # old is back in the queue
         assert storage.unacked_bits == 100.0  # recent still awaiting ack
 
+    def test_requeue_boundary_is_inclusive(self):
+        """A chunk whose ack deadline lands exactly on the contact instant
+        requeues at that contact instead of waiting out an extra pass."""
+        storage = OnboardStorage()
+        boundary = chunk_at(0, 100.0)
+        storage.capture(boundary)
+        delivered_at = EPOCH + timedelta(hours=1)
+        storage.transmit(100.0, delivered_at, decoded=False)
+        # Contact happens exactly ack_timeout after delivery: cutoff ==
+        # delivery_time.  The inclusive boundary requeues it now.
+        requeued = storage.requeue_stale_unacked(sent_before=delivered_at)
+        assert requeued == [boundary]
+        assert storage.unacked_bits == 0.0
+        assert storage.backlog_bits == 100.0
+        # One microsecond younger: still within the ack window.
+        survivor = chunk_at(0, 100.0)
+        storage.capture(survivor)
+        storage.transmit(
+            100.0, delivered_at + timedelta(microseconds=1), decoded=False
+        )
+        assert storage.requeue_stale_unacked(sent_before=delivered_at) == []
+        assert storage.unacked_bits == 100.0
+
 
 class TestAccounting:
     def test_true_backlog_counts_lost_chunks(self):

@@ -118,6 +118,67 @@ class TestGaleShapley:
             )
 
 
+#: Like ``graphs`` but weights drawn from a tiny discrete set, so tied
+#: edge weights are the norm rather than a measure-zero accident.
+tied_graphs = st.builds(
+    make_graph,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=5),
+            st.sampled_from([1.0, 2.0, 2.0, 3.0, 5.0]),
+        ),
+        max_size=30,
+        unique_by=lambda t: (t[0], t[1]),
+    ),
+    num_sats=st.just(8),
+    num_stations=st.just(6),
+)
+
+
+class TestGaleShapleyTiedWeights:
+    """The satellite preference sort and the station eviction sort break
+    ties differently (station index ascending vs satellite index
+    descending).  Under *weak* stability -- the guarantee ``is_stable``
+    checks, where a blocking pair needs strict preference on both sides --
+    any deferred-acceptance run is stable regardless of tie-break order;
+    these tests pin that so a future tie-break change cannot regress it.
+    """
+
+    @settings(max_examples=120)
+    @given(graph=tied_graphs)
+    def test_stable_under_ties(self, graph):
+        assignments = gale_shapley(graph)
+        assert_valid(graph, assignments)
+        assert is_stable(graph, assignments)
+
+    @settings(max_examples=60)
+    @given(graph=tied_graphs, cap=st.integers(min_value=1, max_value=3))
+    def test_stable_under_ties_with_capacity(self, graph, cap):
+        caps = [cap] * graph.num_stations
+        assignments = gale_shapley(graph, caps)
+        assert_valid(graph, assignments, caps)
+        assert is_stable(graph, assignments, caps)
+
+    def test_all_weights_equal(self):
+        # Fully tied: every maximal matching is weakly stable; check the
+        # algorithm still yields a valid, stable, maximal result.
+        graph = make_graph(
+            [(s, g, 1.0) for s in range(3) for g in range(3)]
+        )
+        assignments = gale_shapley(graph)
+        assert len(assignments) == 3
+        assert_valid(graph, assignments)
+        assert is_stable(graph, assignments)
+
+    def test_deterministic_under_ties(self):
+        spec = [(0, 0, 2.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 2.0),
+                (2, 0, 2.0), (2, 1, 1.0)]
+        first = gale_shapley(make_graph(spec))
+        second = gale_shapley(make_graph(spec))
+        assert first == second
+
+
 class TestHungarian:
     def test_identity(self):
         cost = np.array([[1.0, 2.0], [2.0, 1.0]])
