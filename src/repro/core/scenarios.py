@@ -6,15 +6,24 @@ stations (or a 25% subset, or the 5-station baseline); the synthetic
 weather month; stable matching at 60 s cadence.  Experiments and
 benchmarks build everything through here so the variants differ in
 exactly one dimension at a time.
+
+The one way in is :class:`ScenarioSpec`: a frozen, fully-serializable
+description of a run.  ``ScenarioSpec.dgs(...)`` / ``.baseline(...)``
+construct specs, ``spec.build()`` assembles the fleet/network/simulation
+triple, and ``spec.run(label)`` executes it.  The historical
+``make_dgs_scenario`` / ``make_baseline_scenario`` helpers remain as thin
+deprecation shims over the spec.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, replace
 from datetime import datetime
 
 from repro.baseline.system import CentralizedBaseline
 from repro.groundstations.network import GroundStationNetwork, satnogs_like_network
+from repro.obs import ObsConfig
 from repro.orbits.constellation import synthetic_leo_constellation
 from repro.satellites.satellite import Satellite
 from repro.scheduling.scheduler import MatcherName
@@ -81,6 +90,149 @@ class ScenarioResult:
     report: SimulationReport
 
 
+@dataclass
+class Scenario:
+    """An assembled scenario: the fleet/network pair and its simulation."""
+
+    spec: "ScenarioSpec"
+    fleet: list[Satellite]
+    network: GroundStationNetwork
+    simulation: Simulation
+
+    def run(self, label: str | None = None) -> ScenarioResult:
+        """Execute the simulation into a labelled result."""
+        report = self.simulation.run()
+        return ScenarioResult(
+            label=label if label is not None else self.spec.label(),
+            num_satellites=len(self.fleet),
+            num_stations=len(self.network),
+            report=report,
+        )
+
+    # Tuple compatibility: the legacy builders returned (fleet, network,
+    # sim), and a lot of call sites unpack exactly that.
+    def __iter__(self):
+        return iter((self.fleet, self.network, self.simulation))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A frozen, reproducible description of one paper scenario.
+
+    ``kind`` selects the ground segment: ``"dgs"`` (SatNOGS-like
+    distributed network, optionally a fraction of it) or ``"baseline"``
+    (the centralized 5-dish operator).  Everything else is a knob with
+    the paper's defaults.  Build with :meth:`build`, or run directly with
+    :meth:`run`.
+    """
+
+    kind: str = "dgs"
+    value: str = "latency"
+    matcher: MatcherName = "stable"
+    num_satellites: int = PAPER_SATELLITES
+    num_stations: int = PAPER_STATIONS
+    station_fraction: float = 1.0
+    #: Baseline-only: how many centralized dishes.
+    station_count: int = 5
+    duration_s: float = 86400.0
+    step_s: float = 60.0
+    weather_seed: int = 3
+    network_seed: int = 11
+    fleet_seed: int = 7
+    use_forecast: bool = False
+    enforce_plan_distribution: bool = False
+    tx_capable_fraction: float = 0.1
+    observability: ObsConfig | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in ("dgs", "baseline"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if not 0.0 < self.station_fraction <= 1.0:
+            raise ValueError(
+                f"station_fraction must be in (0, 1], got {self.station_fraction}"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def dgs(cls, **kwargs) -> "ScenarioSpec":
+        """A DGS scenario spec (full network or a station fraction)."""
+        return cls(kind="dgs", **kwargs)
+
+    @classmethod
+    def baseline(cls, **kwargs) -> "ScenarioSpec":
+        """The centralized-baseline scenario spec."""
+        kwargs.setdefault("station_fraction", 1.0)
+        return cls(kind="baseline", **kwargs)
+
+    # -- identity -----------------------------------------------------------
+
+    def label(self) -> str:
+        """A short human label: 'dgs25-L', 'baseline-T', 'dgs-L', ..."""
+        prefix = self.kind
+        if self.kind == "dgs" and self.station_fraction < 1.0:
+            prefix = f"dgs{round(self.station_fraction * 100):d}"
+        suffix = "L" if self.value == "latency" else "T"
+        return f"{prefix}-{suffix}"
+
+    def seeds(self) -> dict[str, int]:
+        """All RNG seeds the scenario consumes (for the run manifest)."""
+        return {
+            "fleet": self.fleet_seed,
+            "weather": self.weather_seed,
+            "network": self.network_seed,
+        }
+
+    # -- assembly -----------------------------------------------------------
+
+    def build(self) -> Scenario:
+        """Assemble the fleet, ground network, and simulation."""
+        fleet = build_paper_fleet(self.num_satellites, seed=self.fleet_seed)
+        if self.kind == "baseline":
+            network = CentralizedBaseline(
+                station_count=self.station_count
+            ).network()
+        else:
+            network = satnogs_like_network(
+                self.num_stations,
+                tx_capable_fraction=self.tx_capable_fraction,
+                seed=self.network_seed,
+            )
+            if self.station_fraction < 1.0:
+                network = network.subset_fraction(
+                    self.station_fraction, seed=self.network_seed
+                )
+        weather = build_paper_weather(self.weather_seed)
+        config = SimulationConfig(
+            start=PAPER_EPOCH,
+            duration_s=self.duration_s,
+            step_s=self.step_s,
+            matcher=self.matcher,
+            use_forecast=self.use_forecast,
+            enforce_plan_distribution=self.enforce_plan_distribution,
+        )
+        observability = self.observability
+        if observability is not None and not observability.seeds:
+            # Stamp the scenario's seeds into the manifest automatically.
+            observability = replace(observability, seeds=self.seeds())
+        sim = Simulation(
+            satellites=fleet,
+            network=network,
+            value_function=value_function_by_name(self.value),
+            config=config,
+            truth_weather=weather,
+            observability=observability,
+        )
+        return Scenario(spec=self, fleet=fleet, network=network, simulation=sim)
+
+    def run(self, label: str | None = None) -> ScenarioResult:
+        """Assemble and execute in one call."""
+        return self.build().run(label)
+
+
+# -- legacy builders (deprecation shims over ScenarioSpec) -------------------
+
+
 def make_dgs_scenario(
     station_fraction: float = 1.0,
     value: str = "latency",
@@ -96,30 +248,27 @@ def make_dgs_scenario(
     enforce_plan_distribution: bool = False,
     tx_capable_fraction: float = 0.1,
 ) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
-    """Assemble a DGS simulation (full network or a fraction of it)."""
-    fleet = build_paper_fleet(num_satellites, seed=fleet_seed)
-    network = satnogs_like_network(
-        num_stations, tx_capable_fraction=tx_capable_fraction, seed=network_seed
+    """Deprecated: use ``ScenarioSpec.dgs(...).build()``."""
+    warnings.warn(
+        "make_dgs_scenario is deprecated; use ScenarioSpec.dgs(...).build()",
+        DeprecationWarning, stacklevel=2,
     )
-    if station_fraction < 1.0:
-        network = network.subset_fraction(station_fraction, seed=network_seed)
-    weather = build_paper_weather(weather_seed)
-    config = SimulationConfig(
-        start=PAPER_EPOCH,
+    scenario = ScenarioSpec.dgs(
+        station_fraction=station_fraction,
+        value=value,
+        matcher=matcher,
+        num_satellites=num_satellites,
+        num_stations=num_stations,
         duration_s=duration_s,
         step_s=step_s,
-        matcher=matcher,
+        weather_seed=weather_seed,
+        network_seed=network_seed,
+        fleet_seed=fleet_seed,
         use_forecast=use_forecast,
         enforce_plan_distribution=enforce_plan_distribution,
-    )
-    sim = Simulation(
-        satellites=fleet,
-        network=network,
-        value_function=value_function_by_name(value),
-        config=config,
-        truth_weather=weather,
-    )
-    return fleet, network, sim
+        tx_capable_fraction=tx_capable_fraction,
+    ).build()
+    return scenario.fleet, scenario.network, scenario.simulation
 
 
 def make_baseline_scenario(
@@ -132,24 +281,23 @@ def make_baseline_scenario(
     fleet_seed: int = 7,
     station_count: int = 5,
 ) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
-    """Assemble the centralized-baseline simulation."""
-    fleet = build_paper_fleet(num_satellites, seed=fleet_seed)
-    network = CentralizedBaseline(station_count=station_count).network()
-    weather = build_paper_weather(weather_seed)
-    config = SimulationConfig(
-        start=PAPER_EPOCH,
+    """Deprecated: use ``ScenarioSpec.baseline(...).build()``."""
+    warnings.warn(
+        "make_baseline_scenario is deprecated; "
+        "use ScenarioSpec.baseline(...).build()",
+        DeprecationWarning, stacklevel=2,
+    )
+    scenario = ScenarioSpec.baseline(
+        value=value,
+        matcher=matcher,
+        num_satellites=num_satellites,
         duration_s=duration_s,
         step_s=step_s,
-        matcher=matcher,
-    )
-    sim = Simulation(
-        satellites=fleet,
-        network=network,
-        value_function=value_function_by_name(value),
-        config=config,
-        truth_weather=weather,
-    )
-    return fleet, network, sim
+        weather_seed=weather_seed,
+        fleet_seed=fleet_seed,
+        station_count=station_count,
+    ).build()
+    return scenario.fleet, scenario.network, scenario.simulation
 
 
 def run_scenario(label: str, sim: Simulation) -> ScenarioResult:

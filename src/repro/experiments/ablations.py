@@ -20,12 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.scenarios import (
-    build_paper_fleet,
-    build_paper_weather,
-    make_dgs_scenario,
-)
+from repro.core.scenarios import ScenarioSpec, build_paper_weather
 from repro.experiments.common import ExperimentResult, scaled_counts
+
+
+def _dgs_sim(**kwargs):
+    """Assemble one DGS simulation through the unified spec."""
+    return ScenarioSpec.dgs(**kwargs).build().simulation
 
 
 @dataclass
@@ -77,7 +78,7 @@ def run_matching(duration_s: float = 21600.0, scale: float = 0.3) -> list[Ablati
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for matcher in ("stable", "optimal", "greedy"):
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             matcher=matcher,
             num_satellites=num_sats,
             num_stations=num_stations,
@@ -98,7 +99,7 @@ def run_tx_fraction(duration_s: float = 21600.0, scale: float = 0.3,
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for fraction in fractions:
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -116,7 +117,7 @@ def run_weather(duration_s: float = 21600.0, scale: float = 0.3) -> list[Ablatio
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for label, intensity in (("clear", 0.0), ("nominal", 1.0), ("stormy", 2.5)):
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -140,7 +141,7 @@ def run_horizon(duration_s: float = 21600.0, scale: float = 0.3,
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for horizon in horizons:
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -170,7 +171,7 @@ def run_beamforming(duration_s: float = 21600.0, scale: float = 0.3,
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for beams in beam_counts:
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -192,7 +193,7 @@ def run_forecast_error(duration_s: float = 21600.0,
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for label, use_forecast in (("oracle weather", False), ("forecast", True)):
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -221,7 +222,7 @@ def run_band_sweep(duration_s: float = 21600.0, scale: float = 0.3) -> list[Abla
     rows = []
     for label, freq in (("X 8.2 GHz", 8.2), ("Ku 14 GHz", 14.0),
                         ("Ka 26.5 GHz", 26.5)):
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,
@@ -249,7 +250,7 @@ def run_execution_mode(duration_s: float = 21600.0,
     num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
     for label, mode in (("live", "live"), ("planned 1h refresh", "planned")):
-        _f, _n, sim = make_dgs_scenario(
+        sim = _dgs_sim(
             num_satellites=num_sats,
             num_stations=num_stations,
             duration_s=duration_s,

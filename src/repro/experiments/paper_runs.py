@@ -15,15 +15,32 @@ simulations over different station subsets.
 
 from __future__ import annotations
 
-from repro.core.scenarios import (
-    ScenarioResult,
-    make_baseline_scenario,
-    make_dgs_scenario,
-    run_scenario,
-)
+from repro.core.scenarios import ScenarioResult, ScenarioSpec
 from repro.experiments.common import scaled_counts
 
 _CACHE: dict[tuple, ScenarioResult] = {}
+
+
+def spec_for_variant(variant: str, duration_s: float = 86400.0,
+                     scale: float = 1.0) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` behind one named variant."""
+    num_sats, num_stations, baseline_stations = scaled_counts(scale)
+    value = "latency" if variant.endswith("L") else "throughput"
+    if variant.startswith("baseline"):
+        return ScenarioSpec.baseline(
+            value=value,
+            num_satellites=num_sats,
+            duration_s=duration_s,
+            station_count=baseline_stations,
+        )
+    fraction = 0.25 if variant.startswith("dgs25") else 1.0
+    return ScenarioSpec.dgs(
+        station_fraction=fraction,
+        value=value,
+        num_satellites=num_sats,
+        num_stations=num_stations,
+        duration_s=duration_s,
+    )
 
 
 def get_run(variant: str, duration_s: float = 86400.0,
@@ -37,26 +54,8 @@ def get_run(variant: str, duration_s: float = 86400.0,
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    num_sats, num_stations, baseline_stations = scaled_counts(scale)
-    if variant.startswith("baseline"):
-        value = "latency" if variant.endswith("L") else "throughput"
-        _fleet, _net, sim = make_baseline_scenario(
-            value=value,
-            num_satellites=num_sats,
-            duration_s=duration_s,
-            station_count=baseline_stations,
-        )
-    else:
-        fraction = 0.25 if variant.startswith("dgs25") else 1.0
-        value = "latency" if variant.endswith("L") else "throughput"
-        _fleet, _net, sim = make_dgs_scenario(
-            station_fraction=fraction,
-            value=value,
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-    result = run_scenario(variant, sim)
+    spec = spec_for_variant(variant, duration_s, scale)
+    result = spec.run(label=variant)
     _CACHE[key] = result
     return result
 

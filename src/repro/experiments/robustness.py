@@ -17,11 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.scenarios import (
-    PAPER_EPOCH,
-    make_baseline_scenario,
-    make_dgs_scenario,
-)
+from repro.core.scenarios import PAPER_EPOCH, ScenarioSpec
 from repro.experiments.common import ExperimentResult, scaled_counts
 from repro.faults import FaultSchedule
 from repro.simulation.faults import OutageSchedule
@@ -51,15 +47,16 @@ _HEADERS = ["system", "fault", "delivered (TB)", "lat p50 (min)",
 
 def _build(system: str, num_sats: int, num_stations: int, duration_s: float):
     if system == "baseline":
-        _f, network, sim = make_baseline_scenario(
+        spec = ScenarioSpec.baseline(
             num_satellites=num_sats, duration_s=duration_s
         )
     else:
-        _f, network, sim = make_dgs_scenario(
+        spec = ScenarioSpec.dgs(
             num_satellites=num_sats, num_stations=num_stations,
             duration_s=duration_s,
         )
-    return network, sim
+    scenario = spec.build()
+    return scenario.network, scenario.simulation
 
 
 def _run_with_outages(system: str, num_sats: int, num_stations: int,

@@ -110,3 +110,14 @@ class BackendCollator:
     @property
     def in_flight_count(self) -> int:
         return len(self._in_flight)
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate data-plane totals for the observability layer."""
+        return {
+            "total_receipts": self.total_receipts,
+            "total_bits_received": self.total_bits_received,
+            "duplicate_receipts": self.duplicate_receipts,
+            "in_flight_receipts": self.in_flight_count,
+            "unacked_chunks": sum(len(v) for v in self._unacked.values()),
+            "acked_chunks": sum(len(v) for v in self._acked.values()),
+        }

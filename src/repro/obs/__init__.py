@@ -1,0 +1,48 @@
+"""Structured observability: spans, counters, traces, run manifests.
+
+The engine is instrumented with *stages* -- hierarchical span timers
+around ephemeris build, weather sampling, contact-graph construction,
+matching, execution, plan upload, and ack collation -- plus counters and
+gauges (cache hits, edge counts, backend totals).  Three sinks consume
+them:
+
+* :class:`Recorder` aggregates span totals into
+  ``SimulationReport.stage_timings`` and streams a schema-versioned JSONL
+  event trace (step boundaries, assignments, decode outcomes, fault
+  events) when :attr:`ObsConfig.trace_path` is set.
+* :mod:`repro.obs.manifest` captures a run manifest -- config hash, RNG
+  seeds, package versions, git revision -- for bit-reproducibility audits.
+* A :mod:`cProfile` hook can wrap any named span
+  (:attr:`ObsConfig.profile_spans`).
+
+The default is :data:`NULL_RECORDER`, a no-op with near-zero overhead:
+simulations without an ``observability=`` argument behave (and output)
+bit-identically to an uninstrumented build.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.manifest import build_manifest, config_digest, write_manifest
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder, make_recorder
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceValidationError,
+    TraceWriter,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "make_recorder",
+    "TraceWriter",
+    "TRACE_SCHEMA",
+    "TraceValidationError",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "build_manifest",
+    "config_digest",
+    "write_manifest",
+]

@@ -1,0 +1,48 @@
+"""Observability configuration.
+
+``ObsConfig`` is the single opt-in switch: pass one to the unified entry
+points (``ScenarioSpec.build(observability=...)``,
+``Simulation(observability=...)``, ``DGSNetwork.simulate(observability=...)``,
+or ``repro simulate --trace``) and the run records span timings, counters,
+an optional JSONL trace, an optional run manifest, and optional cProfile
+captures.  Without one, the engine uses the no-op recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """All knobs of the observability layer for one run.
+
+    A constructed ``ObsConfig`` is enabled unless ``enabled=False`` --
+    the *absence* of a config (``observability=None``) is what selects
+    the no-op recorder.
+    """
+
+    #: Master switch; ``False`` behaves exactly like passing no config.
+    enabled: bool = True
+    #: Stream a schema-versioned JSONL event trace to this path.
+    trace_path: str | None = None
+    #: Write the run manifest (config hash, seeds, versions, git revision)
+    #: to this path.  The manifest is embedded in the trace either way.
+    manifest_path: str | None = None
+    #: Span names to wrap in :mod:`cProfile`; stats land in
+    #: ``profile_dir/<span>.prof``.  Only the outermost matching span
+    #: profiles (cProfile cannot nest).
+    profile_spans: tuple[str, ...] = ()
+    #: Directory for the ``.prof`` dumps (default: current directory).
+    profile_dir: str | None = None
+    #: RNG seeds the scenario was built from, recorded in the manifest.
+    #: ``ScenarioSpec.build`` fills this automatically.
+    seeds: dict = field(default_factory=dict)
+    #: Free-form extras merged into the manifest (scenario label, CLI
+    #: argv, experiment id, ...).
+    manifest_extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.profile_spans and not isinstance(self.profile_spans, tuple):
+            object.__setattr__(self, "profile_spans",
+                               tuple(self.profile_spans))

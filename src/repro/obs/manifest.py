@@ -1,0 +1,112 @@
+"""Run manifests: everything needed to audit bit-reproducibility.
+
+A manifest answers "what exactly produced this output?": a canonical hash
+of the simulation configuration, the RNG seeds the scenario was built
+from, interpreter/package versions, the git revision of the working tree,
+and the platform.  Two runs with equal manifests (ignoring the wall-clock
+``created_utc`` and ``git_dirty`` fields) must produce bit-identical
+reports -- that is the contract the equivalence tests lean on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+
+#: Version tag stamped into every manifest.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of a config value."""
+    if isinstance(value, datetime):
+        return value.isoformat()
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_digest(config) -> str:
+    """SHA-256 of a config's canonical JSON form (dataclass or dict)."""
+    canonical = json.dumps(_jsonable(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _git_revision() -> tuple[str | None, bool | None]:
+    """(revision, dirty) of the current working tree, if it is a repo."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+        )
+        if rev.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=5.0,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return rev.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def _package_versions() -> dict[str, str]:
+    versions = {"python": platform.python_version()}
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        import repro
+
+        versions["repro"] = repro.__version__
+    except (ImportError, AttributeError):  # pragma: no cover
+        pass
+    return versions
+
+
+def build_manifest(config=None, seeds: dict | None = None,
+                   extra: dict | None = None) -> dict:
+    """Assemble the manifest dict for one run.
+
+    ``config`` is typically a :class:`~repro.simulation.config.SimulationConfig`
+    (any dataclass or dict works); ``seeds`` maps seed names to values;
+    ``extra`` is merged verbatim (scenario label, CLI argv, ...).
+    """
+    revision, dirty = _git_revision()
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "config": _jsonable(config) if config is not None else {},
+        "config_sha256": config_digest(config) if config is not None else None,
+        "seeds": dict(seeds or {}),
+        "versions": _package_versions(),
+        "git_revision": revision,
+        "git_dirty": dirty,
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+    }
+    if extra:
+        manifest.update(_jsonable(extra))
+    return manifest
+
+
+def write_manifest(path: str, manifest: dict) -> None:
+    """Write a manifest as pretty-printed, key-sorted JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,238 @@
+"""Span timers, counters, and gauges -- the recorder every stage talks to.
+
+Two implementations share one duck-typed surface:
+
+* :class:`NullRecorder` (the default, via :data:`NULL_RECORDER`): every
+  method is a no-op and ``span()`` returns a shared inert context
+  manager.  The engine's instrumentation therefore costs a few hundred
+  nanoseconds per *step* when observability is off -- unmeasurable next
+  to the step's real work -- and touches no simulation state, so output
+  stays bit-identical.
+* :class:`Recorder`: maintains a span stack, accumulates wall time per
+  span *path* (``run/schedule/graph_build``), counts and gauges, streams
+  events to a :class:`~repro.obs.trace.TraceWriter`, and can wrap named
+  spans in :mod:`cProfile`.
+
+Span paths are slash-joined stacks, so ``stage_timings()`` is
+hierarchy-aware without separate bookkeeping: the children of ``run`` are
+exactly the keys matching ``run/<stage>`` with no further slash.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import time
+
+from repro.obs.config import ObsConfig
+from repro.obs.trace import TRACE_SCHEMA, TraceWriter
+
+
+class _NullSpan:
+    """Inert context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The do-nothing recorder: same surface, zero effect."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def add_time(self, path: str, seconds: float) -> None:
+        pass
+
+    def counter(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def stage_timings(self) -> dict[str, float]:
+        return {}
+
+    def counters_snapshot(self) -> dict[str, float]:
+        return {}
+
+    def gauges_snapshot(self) -> dict[str, float]:
+        return {}
+
+    def start_run(self, manifest: dict) -> None:
+        pass
+
+    def finish_run(self, **summary) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared singleton; everything uninstrumented points here.
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """One live span: pushes itself on the stack, times its body."""
+
+    __slots__ = ("_rec", "_name", "_path", "_t0", "_profile")
+
+    def __init__(self, rec: "Recorder", name: str):
+        self._rec = rec
+        self._name = name
+        self._path = ""
+        self._t0 = 0.0
+        self._profile: cProfile.Profile | None = None
+
+    def __enter__(self):
+        rec = self._rec
+        rec._stack.append(self._name)
+        self._path = "/".join(rec._stack)
+        if self._name in rec._profile_spans and rec._active_profile is None:
+            # One Profile per span name, re-enabled on each occurrence so
+            # repeated spans (per-step stages) accumulate into one dump.
+            self._profile = rec._profiles.setdefault(
+                self._name, cProfile.Profile()
+            )
+            rec._active_profile = self._profile
+            self._profile.enable()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = time.perf_counter() - self._t0
+        rec = self._rec
+        if self._profile is not None:
+            self._profile.disable()
+            rec._active_profile = None
+        rec._stack.pop()
+        rec._totals[self._path] = rec._totals.get(self._path, 0.0) + elapsed
+        rec._span_calls[self._path] = rec._span_calls.get(self._path, 0) + 1
+        return False
+
+
+class Recorder:
+    """The live recorder behind an enabled :class:`ObsConfig`."""
+
+    enabled = True
+
+    def __init__(self, config: ObsConfig | None = None):
+        self.config = config or ObsConfig()
+        self._stack: list[str] = []
+        self._totals: dict[str, float] = {}
+        self._span_calls: dict[str, int] = {}
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._profile_spans = frozenset(self.config.profile_spans)
+        self._profiles: dict[str, cProfile.Profile] = {}
+        self._active_profile: cProfile.Profile | None = None
+        self._trace: TraceWriter | None = None
+        if self.config.trace_path is not None:
+            self._trace = TraceWriter(self.config.trace_path)
+        self.manifest: dict | None = None
+        self._finished = False
+
+    # -- spans and metrics -------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Context manager timing one stage; nest freely."""
+        return _Span(self, name)
+
+    def add_time(self, path: str, seconds: float) -> None:
+        """Manually account time under a fixed path (no stack push)."""
+        self._totals[path] = self._totals.get(path, 0.0) + seconds
+        self._span_calls[path] = self._span_calls.get(path, 0) + 1
+
+    def counter(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    # -- snapshots ---------------------------------------------------------
+
+    def stage_timings(self) -> dict[str, float]:
+        """Accumulated seconds per span path (``run/schedule/matching``)."""
+        return dict(self._totals)
+
+    def span_calls(self) -> dict[str, int]:
+        return dict(self._span_calls)
+
+    def counters_snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def gauges_snapshot(self) -> dict[str, float]:
+        return dict(self._gauges)
+
+    # -- trace -------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one event to the trace (no-op when tracing is off)."""
+        if self._trace is not None:
+            self._trace.write_event(kind, **fields)
+
+    def start_run(self, manifest: dict) -> None:
+        """Record the manifest and open the trace with a run_start event."""
+        self.manifest = manifest
+        if self.config.manifest_path is not None:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(self.config.manifest_path, manifest)
+        if self._trace is not None:
+            self._trace.write_event(
+                "run_start", schema=TRACE_SCHEMA, manifest=manifest
+            )
+            self._trace.flush()
+
+    def finish_run(self, fault_counters: dict | None = None,
+                   **summary) -> None:
+        """Emit the run_end record and close the trace (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        for name, profile in self._profiles.items():
+            self._dump_profile(name, profile)
+        if self._trace is not None:
+            self._trace.write_event(
+                "run_end",
+                stage_timings=self.stage_timings(),
+                counters=self.counters_snapshot(),
+                gauges=self.gauges_snapshot(),
+                fault_counters=dict(fault_counters or {}),
+                **summary,
+            )
+        self.close()
+
+    def close(self) -> None:
+        if self._trace is not None:
+            self._trace.close()
+
+    # -- profiling ---------------------------------------------------------
+
+    def _dump_profile(self, span_name: str, profile: cProfile.Profile) -> None:
+        directory = self.config.profile_dir or "."
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{span_name.replace('/', '_')}.prof")
+        profile.dump_stats(path)
+
+
+def make_recorder(config: ObsConfig | None) -> Recorder | NullRecorder:
+    """The recorder for a config: live when enabled, the shared null
+    recorder when ``config`` is None or disabled."""
+    if config is None or not config.enabled:
+        return NULL_RECORDER
+    return Recorder(config)

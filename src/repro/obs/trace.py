@@ -1,0 +1,200 @@
+"""Streaming JSONL event traces and their schema validator.
+
+One trace = one run.  Every line is a JSON object with a ``kind`` field;
+the first line is a ``run_start`` record carrying the schema version and
+the run manifest, and a well-formed trace ends with exactly one
+``run_end`` record carrying stage timings, counters, and totals.  The
+schema is versioned (:data:`TRACE_SCHEMA`) so offline tooling can reject
+traces it does not understand instead of misreading them.
+
+Validation is deliberately dependency-free (no jsonschema): the schema is
+a table of required fields and types per event kind, checked line by
+line.  ``repro validate-trace`` and the CI trace job both go through
+:func:`validate_trace_file`.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from typing import IO, Iterable
+
+#: Version tag stamped into every ``run_start`` record.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Required fields (and their JSON types) per event kind.  Extra fields
+#: are always allowed -- the schema is a floor, not a ceiling.
+EVENT_SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
+    "run_start": {"schema": str, "manifest": dict},
+    "step": {"step": int, "when": str, "matched": int},
+    "assignment": {
+        "when": str,
+        "satellite_id": str,
+        "station_id": str,
+        "bitrate_bps": (int, float),
+        "decoded": bool,
+    },
+    "delivery": {
+        "when": str,
+        "satellite_id": str,
+        "station_id": str,
+        "chunk_id": int,
+        "latency_s": (int, float),
+    },
+    "fault": {"when": str, "fault": str},
+    "cache": {"name": str, "hits": int, "misses": int},
+    "run_end": {
+        "stage_timings": dict,
+        "counters": dict,
+        "gauges": dict,
+        "fault_counters": dict,
+    },
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace file violated the schema; ``errors`` lists every finding."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        summary = errors[0] if errors else "invalid trace"
+        if len(errors) > 1:
+            summary += f" (+{len(errors) - 1} more)"
+        super().__init__(summary)
+
+
+class TraceWriter:
+    """Append-only JSONL sink for one run's events.
+
+    Lines are written as events arrive (streaming -- a killed run leaves
+    a readable prefix), keys sorted for diff-stable output.
+    """
+
+    def __init__(self, path_or_handle: str | IO[str]):
+        if hasattr(path_or_handle, "write"):
+            self._fh: IO[str] = path_or_handle  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path_or_handle, "w", encoding="utf-8")
+            self._owns = True
+        self._closed = False
+        self.lines_written = 0
+
+    def write_event(self, kind: str, **fields) -> None:
+        if self._closed:
+            return
+        record = {"kind": kind, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.lines_written += 1
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+# -- validation --------------------------------------------------------------
+
+
+def _check_fields(record: dict, lineno: int, errors: list[str]) -> None:
+    kind = record.get("kind")
+    spec = EVENT_SCHEMA.get(kind)  # type: ignore[arg-type]
+    if spec is None:
+        errors.append(f"line {lineno}: unknown event kind {kind!r}")
+        return
+    for name, expected in spec.items():
+        if name not in record:
+            errors.append(
+                f"line {lineno}: {kind} event missing field {name!r}"
+            )
+            continue
+        value = record[name]
+        # bool is an int subclass; an int-typed field must not be a bool.
+        if expected is int and isinstance(value, bool):
+            errors.append(
+                f"line {lineno}: {kind}.{name} must be int, got bool"
+            )
+        elif not isinstance(value, expected):
+            type_name = getattr(expected, "__name__", str(expected))
+            errors.append(
+                f"line {lineno}: {kind}.{name} must be {type_name}, "
+                f"got {type(value).__name__}"
+            )
+    when = record.get("when")
+    if isinstance(when, str):
+        try:
+            datetime.fromisoformat(when)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: 'when' is not an ISO-8601 timestamp: "
+                f"{when!r}"
+            )
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """All schema violations in an iterable of JSONL lines (empty = valid)."""
+    errors: list[str] = []
+    first_kind: str | None = None
+    run_end_count = 0
+    last_kind: str | None = None
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: event must be a JSON object")
+            continue
+        _check_fields(record, lineno, errors)
+        kind = record.get("kind")
+        if first_kind is None:
+            first_kind = kind
+            if kind == "run_start" and record.get("schema") != TRACE_SCHEMA:
+                errors.append(
+                    f"line {lineno}: unsupported schema "
+                    f"{record.get('schema')!r} (expected {TRACE_SCHEMA!r})"
+                )
+        if kind == "run_end":
+            run_end_count += 1
+        last_kind = kind
+    if count == 0:
+        errors.append("trace is empty")
+        return errors
+    if first_kind != "run_start":
+        errors.append(
+            f"first event must be run_start, got {first_kind!r}"
+        )
+    if run_end_count != 1:
+        errors.append(
+            f"trace must contain exactly one run_end event, "
+            f"found {run_end_count}"
+        )
+    elif last_kind != "run_end":
+        errors.append("run_end must be the last event")
+    return errors
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace file; returns the event count or raises.
+
+    Raises :class:`TraceValidationError` listing every violation, or
+    :class:`OSError` when the file cannot be read.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    errors = validate_trace_lines(lines)
+    if errors:
+        raise TraceValidationError(errors)
+    return sum(1 for line in lines if line.strip())

@@ -420,6 +420,7 @@ def shared_ephemeris_table(
     num_steps: int,
     step_s: float,
     cache_dir: str | None = None,
+    recorder=None,
 ) -> EphemerisTable:
     """Fetch (or build) the fleet's position grid from the shared cache.
 
@@ -427,11 +428,15 @@ def shared_ephemeris_table(
     least ``num_steps`` rows serves any shorter request, so fig3a/3b/3c
     and every ablation over the same horizon share one propagation.  With
     ``cache_dir`` (or ``$REPRO_EPHEMERIS_CACHE``) set, tables also persist
-    to disk and survive across processes.
+    to disk and survive across processes.  ``recorder`` (a
+    :class:`repro.obs.Recorder`) receives hit/miss counters
+    (``ephemeris_cache/memory_hit`` / ``disk_hit`` / ``build``).
     """
     key = (_fleet_key(satellites), start.isoformat(), round(float(step_s), 9))
     cached = _TABLE_CACHE.get(key)
     if cached is not None and cached.covers(start, num_steps, step_s):
+        if recorder is not None:
+            recorder.counter("ephemeris_cache/memory_hit")
         return cached
 
     cache_dir = cache_dir or os.environ.get("REPRO_EPHEMERIS_CACHE")
@@ -447,10 +452,14 @@ def shared_ephemeris_table(
                 table = None
             if table is not None and table.covers(start, num_steps, step_s):
                 _TABLE_CACHE[key] = table
+                if recorder is not None:
+                    recorder.counter("ephemeris_cache/disk_hit")
                 return table
 
     table = EphemerisTable.build(satellites, start, num_steps, step_s)
     _TABLE_CACHE[key] = table
+    if recorder is not None:
+        recorder.counter("ephemeris_cache/build")
     if disk_path is not None:
         os.makedirs(cache_dir, exist_ok=True)
         _atomic_save(table, disk_path, cache_dir)

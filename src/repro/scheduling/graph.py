@@ -202,6 +202,7 @@ def build_contact_graph(
     ephemeris: "EphemerisTable | None" = None,
     batched: bool = True,
     pair_groups: PairGroupCache | None = None,
+    recorder=None,
 ) -> ContactGraph:
     """Construct the weighted bipartite graph at ``when``.
 
@@ -227,6 +228,9 @@ def build_contact_graph(
     default batched path prices all visible pairs through
     :meth:`LinkBudget.evaluate_batch` and produces the same edges in the
     same order (see the equivalence tests).
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) receives visible-pair and
+    ephemeris-row counters; it never influences the constructed graph.
     """
     if geometry is None:
         geometry = GeometryEngine(network)
@@ -249,6 +253,12 @@ def build_contact_graph(
     elevation, rng_km, visible = geometry.visibility(
         satellites, when, sat_ecef=sat_ecef
     )
+    if recorder is not None and recorder.enabled:
+        recorder.counter("visible_pairs", int(visible.sum()))
+        recorder.counter(
+            "ephemeris_row_hits" if sat_ecef is not None
+            else "ephemeris_row_misses"
+        )
     if batched:
         edges = _batched_edges(
             satellites, network, when, value_function, link_budget_for,

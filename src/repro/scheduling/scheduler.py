@@ -178,6 +178,7 @@ class DownlinkScheduler:
         station_weight=None,
         ephemeris: EphemerisTable | None = None,
         batched: bool = True,
+        recorder=None,
     ):
         if matcher not in _MATCHERS:
             raise ValueError(f"unknown matcher {matcher!r}; use {sorted(_MATCHERS)}")
@@ -206,6 +207,11 @@ class DownlinkScheduler:
         #: ``False`` selects the scalar per-pair reference path (used by
         #: the batch-vs-scalar equivalence harness).
         self.batched = batched
+        #: Observability sink for graph-build/matching spans and counters;
+        #: the shared no-op recorder unless the engine passed a live one.
+        from repro.obs.recorder import NULL_RECORDER
+
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._geometry = GeometryEngine(network)
         self._budgets: dict[tuple[int, int], LinkBudget] = {}
         self._acm_margin_db = acm_margin_db
@@ -242,6 +248,23 @@ class DownlinkScheduler:
                 return provider.sample(lat, lon, valid_at)
             return provider.forecast(lat, lon, valid_at, valid_at)
 
+        if self.recorder.enabled:
+            # Account weather-oracle time separately: it runs inside the
+            # graph-build span but is a distinct stage of the taxonomy.
+            import time as _time
+
+            inner_fn = forecast_fn
+
+            def forecast_fn(lat: float, lon: float, valid_at: datetime):
+                t0 = _time.perf_counter()
+                try:
+                    return inner_fn(lat, lon, valid_at)
+                finally:
+                    self.recorder.add_time(
+                        "weather_sampling", _time.perf_counter() - t0
+                    )
+                    self.recorder.counter("weather_samples")
+
         return build_contact_graph(
             satellites=self.satellites,
             network=self.network,
@@ -258,6 +281,7 @@ class DownlinkScheduler:
             ephemeris=self.ephemeris,
             batched=self.batched,
             pair_groups=self._pair_groups,
+            recorder=self.recorder,
         )
 
     def visibility(
@@ -275,9 +299,15 @@ class DownlinkScheduler:
     def schedule_step(self, when: datetime,
                       forecast_issued_at: datetime | None = None) -> ScheduleStep:
         """Match the contact graph at ``when``."""
-        graph = self.contact_graph(when, forecast_issued_at)
+        rec = self.recorder
+        with rec.span("graph_build"):
+            graph = self.contact_graph(when, forecast_issued_at)
         matcher = _MATCHERS[self.matcher_name]
-        assignments = matcher(graph, self.capacities)
+        with rec.span("matching"):
+            assignments = matcher(graph, self.capacities)
+        if rec.enabled:
+            rec.counter("contact_edges", len(graph.edges))
+            rec.counter("assignments", len(assignments))
         return ScheduleStep(
             when=when, assignments=assignments, num_edges=len(graph.edges)
         )

@@ -20,12 +20,14 @@ per experiment variant (``repro.core`` scenario helpers do this).
 
 from __future__ import annotations
 
+import warnings
 from datetime import datetime, timedelta
 
 from repro.faults import FaultCounters, FaultSchedule
 from repro.groundstations.network import GroundStationNetwork
 from repro.network.backend import BackendCollator
 from repro.network.messages import ChunkReceiptMessage
+from repro.obs import ObsConfig, build_manifest, make_recorder
 from repro.orbits.ephemeris import EphemerisTable, shared_ephemeris_table
 from repro.orbits.sgp4 import SGP4Error
 from repro.satellites.satellite import Satellite
@@ -37,16 +39,28 @@ from repro.simulation.metrics import GB_TO_BITS, MetricsCollector, SimulationRep
 from repro.weather.forecast import ForecastProvider
 from repro.weather.provider import ClearSkyProvider, WeatherProvider
 
+#: Legacy positional order of the pre-keyword-only constructor; the shim
+#: maps stray positional arguments onto these names.
+_POSITIONAL_PARAMS = (
+    "satellites", "network", "value_function", "config", "truth_weather",
+)
+
 
 class Simulation:
-    """One configured data-transfer simulation."""
+    """One configured data-transfer simulation.
+
+    All constructor arguments are keyword-only; ``satellites``,
+    ``network``, ``value_function``, and ``config`` are required.  (A
+    deprecation shim still accepts the historical positional order.)
+    """
 
     def __init__(
         self,
-        satellites: list[Satellite],
-        network: GroundStationNetwork,
-        value_function: ValueFunction,
-        config: SimulationConfig,
+        *args,
+        satellites: list[Satellite] | None = None,
+        network: GroundStationNetwork | None = None,
+        value_function: ValueFunction | None = None,
+        config: SimulationConfig | None = None,
         truth_weather: WeatherProvider | None = None,
         forecast: ForecastProvider | None = None,
         capacities: list[int] | None = None,
@@ -55,7 +69,49 @@ class Simulation:
         faults: FaultSchedule | None = None,
         faults_announced: bool = True,
         fault_availability_prior: float | None = None,
+        observability: ObsConfig | None = None,
     ):
+        if args:
+            warnings.warn(
+                "positional Simulation(...) arguments are deprecated; pass "
+                "satellites=, network=, value_function=, config= as keywords",
+                DeprecationWarning, stacklevel=2,
+            )
+            if len(args) > len(_POSITIONAL_PARAMS):
+                raise TypeError(
+                    f"Simulation takes at most {len(_POSITIONAL_PARAMS)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            provided = {
+                "satellites": satellites, "network": network,
+                "value_function": value_function, "config": config,
+                "truth_weather": truth_weather,
+            }
+            for name, value in zip(_POSITIONAL_PARAMS, args):
+                if provided[name] is not None:
+                    raise TypeError(
+                        f"Simulation got multiple values for argument {name!r}"
+                    )
+                provided[name] = value
+            satellites = provided["satellites"]
+            network = provided["network"]
+            value_function = provided["value_function"]
+            config = provided["config"]
+            truth_weather = provided["truth_weather"]
+        missing = [
+            name for name, value in (
+                ("satellites", satellites), ("network", network),
+                ("value_function", value_function), ("config", config),
+            ) if value is None
+        ]
+        if missing:
+            raise TypeError(
+                "Simulation missing required keyword arguments: "
+                + ", ".join(f"{name}=" for name in missing)
+            )
+        #: The run's recorder: a live :class:`repro.obs.Recorder` when an
+        #: enabled ObsConfig was passed, the shared no-op otherwise.
+        self.obs = make_recorder(observability)
         self.satellites = satellites
         self.network = network
         self.config = config
@@ -97,7 +153,10 @@ class Simulation:
                     # Hard down: prune, unless a prior keeps a gamble edge.
                     return fault_availability_prior or 0.0
                 return availability
-        self.ephemeris = self._build_ephemeris(satellites, config)
+        with self.obs.span("ephemeris_build"):
+            self.ephemeris = self._build_ephemeris(
+                satellites, config, recorder=self.obs
+            )
         self.scheduler = DownlinkScheduler(
             satellites=satellites,
             network=network,
@@ -113,6 +172,7 @@ class Simulation:
             station_weight=station_weight,
             ephemeris=self.ephemeris,
             batched=config.batched_kernels,
+            recorder=self.obs,
         )
         self.backend = BackendCollator()
         self.metrics = MetricsCollector()
@@ -138,7 +198,8 @@ class Simulation:
 
     @staticmethod
     def _build_ephemeris(satellites: list[Satellite],
-                         config: SimulationConfig) -> "EphemerisTable | None":
+                         config: SimulationConfig,
+                         recorder=None) -> "EphemerisTable | None":
         """Batch-propagate the fleet over the run's scheduling grid.
 
         Planned execution looks ahead a plan horizon past the last step,
@@ -153,7 +214,8 @@ class Simulation:
             steps += int(config.plan_horizon_s // config.step_s) + 1
         try:
             return shared_ephemeris_table(
-                satellites, config.start, steps, config.step_s
+                satellites, config.start, steps, config.step_s,
+                recorder=recorder,
             )
         except SGP4Error:
             return None
@@ -163,47 +225,92 @@ class Simulation:
     def run(self) -> SimulationReport:
         """Execute the configured run and return the report."""
         cfg = self.config
+        rec = self.obs
+        if rec.enabled:
+            rec.start_run(build_manifest(
+                config=cfg,
+                seeds=rec.config.seeds,
+                extra=rec.config.manifest_extra,
+            ))
+        try:
+            report = self._run_observed()
+        except BaseException:
+            rec.finish_run(status="error")
+            raise
+        rec.finish_run(
+            fault_counters=(
+                self.fault_counters.as_dict()
+                if self.faults is not None else None
+            ),
+            status="ok",
+            delivered_bits=report.delivered_bits,
+            generated_bits=report.generated_bits,
+        )
+        return report
+
+    def _run_observed(self) -> SimulationReport:
+        """The main loop, staged under the recorder's ``run`` span."""
+        cfg = self.config
+        rec = self.obs
         last_forecast_issue = cfg.start
         now = cfg.start
-        for k in range(cfg.num_steps):
-            now = cfg.start + timedelta(seconds=k * cfg.step_s)
-            self._generate(now)
-            self.backend.advance(now)
-            if cfg.use_forecast and (
-                (now - last_forecast_issue).total_seconds() >= cfg.forecast_refresh_s
-            ):
-                last_forecast_issue = now
-            self._transmitted_this_step = set()
-            if cfg.execution_mode == "planned":
-                executed = self._planned_step(now)
-            else:
-                step = self.scheduler.schedule_step(
-                    now,
-                    forecast_issued_at=(
-                        last_forecast_issue if cfg.use_forecast else None
-                    ),
-                )
-                for assignment in step.assignments:
-                    self._execute_assignment(assignment, now)
-                executed = {
-                    a.satellite_index: a.station_index
-                    for a in step.assignments
-                }
-            if self._power_enabled:
-                self._update_power(now, k)
-            self.metrics.record_step(len(executed))
-            self._record_churn(executed)
-            self._previous_links = executed
-            if cfg.snapshot_every_steps and k % cfg.snapshot_every_steps == 0:
-                self.metrics.record_snapshot(
-                    now,
-                    {s.satellite_id: s.storage.true_backlog_bits / GB_TO_BITS
-                     for s in self.satellites},
-                    {s.satellite_id: s.storage.stored_bits / GB_TO_BITS
-                     for s in self.satellites},
-                )
-        # Land any receipts still in flight so totals are conserved.
-        self.backend.advance(now + timedelta(seconds=3600.0))
+        with rec.span("run"):
+            for k in range(cfg.num_steps):
+                now = cfg.start + timedelta(seconds=k * cfg.step_s)
+                with rec.span("generate"):
+                    self._generate(now)
+                with rec.span("backend_advance"):
+                    self.backend.advance(now)
+                if cfg.use_forecast and (
+                    (now - last_forecast_issue).total_seconds()
+                    >= cfg.forecast_refresh_s
+                ):
+                    last_forecast_issue = now
+                self._transmitted_this_step = set()
+                if cfg.execution_mode == "planned":
+                    with rec.span("plan_execution"):
+                        executed = self._planned_step(now)
+                else:
+                    with rec.span("schedule"):
+                        step = self.scheduler.schedule_step(
+                            now,
+                            forecast_issued_at=(
+                                last_forecast_issue if cfg.use_forecast
+                                else None
+                            ),
+                        )
+                    with rec.span("execute"):
+                        for assignment in step.assignments:
+                            self._execute_assignment(assignment, now)
+                    executed = {
+                        a.satellite_index: a.station_index
+                        for a in step.assignments
+                    }
+                with rec.span("bookkeeping"):
+                    if self._power_enabled:
+                        self._update_power(now, k)
+                    self.metrics.record_step(len(executed))
+                    self._record_churn(executed)
+                    self._previous_links = executed
+                    if cfg.snapshot_every_steps \
+                            and k % cfg.snapshot_every_steps == 0:
+                        self.metrics.record_snapshot(
+                            now,
+                            {s.satellite_id:
+                             s.storage.true_backlog_bits / GB_TO_BITS
+                             for s in self.satellites},
+                            {s.satellite_id:
+                             s.storage.stored_bits / GB_TO_BITS
+                             for s in self.satellites},
+                        )
+                if rec.enabled:
+                    rec.event("step", step=k, when=now.isoformat(),
+                              matched=len(executed))
+            # Land any receipts still in flight so totals are conserved.
+            with rec.span("drain"):
+                self.backend.advance(now + timedelta(seconds=3600.0))
+        if rec.enabled:
+            self._record_component_stats()
         return self.metrics.finalize(
             final_backlog_gb={
                 s.satellite_id: s.storage.true_backlog_bits / GB_TO_BITS
@@ -217,6 +324,30 @@ class Simulation:
                 self.fault_counters.as_dict()
                 if self.faults is not None else None
             ),
+            stage_timings=rec.stage_timings(),
+        )
+
+    def _record_component_stats(self) -> None:
+        """End-of-run gauges and cache events from the engine's parts."""
+        rec = self.obs
+        for name, stat in self.backend.stats().items():
+            rec.gauge(f"backend/{name}", stat)
+        for label, provider in (("truth_weather", self.truth_weather),
+                                ("forecast", self.forecast)):
+            hits = getattr(provider, "hits", None)
+            misses = getattr(provider, "misses", None)
+            if hits is None or misses is None:
+                continue
+            rec.gauge(f"weather_cache/{label}/hits", hits)
+            rec.gauge(f"weather_cache/{label}/misses", misses)
+            rec.event("cache", name=f"weather/{label}",
+                      hits=int(hits), misses=int(misses))
+        counters = rec.counters_snapshot()
+        rec.event(
+            "cache", name="ephemeris",
+            hits=int(counters.get("ephemeris_cache/memory_hit", 0)
+                     + counters.get("ephemeris_cache/disk_hit", 0)),
+            misses=int(counters.get("ephemeris_cache/build", 0)),
         )
 
     # -- step pieces --------------------------------------------------------------
@@ -234,6 +365,7 @@ class Simulation:
     def _execute_assignment(self, assignment, now: datetime) -> None:
         sat = self.satellites[assignment.satellite_index]
         station = self.network[assignment.station_index]
+        rec = self.obs
         if self.outages is not None and self.outages.is_down(
             station.station_id, now
         ):
@@ -245,6 +377,12 @@ class Simulation:
                 bits_budget, now, decoded=False
             )
             self.metrics.record_lost_transmission(sent)
+            if rec.enabled:
+                rec.event("assignment", when=now.isoformat(),
+                          satellite_id=sat.satellite_id,
+                          station_id=station.station_id,
+                          bitrate_bps=assignment.bitrate_bps,
+                          decoded=False, bits=sent)
             return
         availability = 1.0
         if self.faults is not None:
@@ -262,6 +400,16 @@ class Simulation:
                     decoded=False,
                 )
                 self.metrics.record_lost_transmission(sent)
+                if rec.enabled:
+                    rec.event("fault", when=now.isoformat(),
+                              fault="station_outage",
+                              satellite_id=sat.satellite_id,
+                              station_id=station.station_id)
+                    rec.event("assignment", when=now.isoformat(),
+                              satellite_id=sat.satellite_id,
+                              station_id=station.station_id,
+                              bitrate_bps=assignment.bitrate_bps,
+                              decoded=False, bits=sent)
                 return
         if sat.power is not None and not sat.power.can_transmit():
             # Flight rules: battery too low to power the radio this pass.
@@ -285,16 +433,37 @@ class Simulation:
                 # Ground-side decode fault: the pass happens, nothing lands.
                 decoded = False
                 self.fault_counters.undecoded_steps += 1
+                if rec.enabled:
+                    rec.event("fault", when=now.isoformat(),
+                              fault="undecoded",
+                              satellite_id=sat.satellite_id,
+                              station_id=station.station_id)
             elif self.faults.is_tle_stale(sat.satellite_id, now):
                 # Stale elements degrade pointing; the transmission fails.
                 decoded = False
                 self.fault_counters.stale_tle_steps += 1
+                if rec.enabled:
+                    rec.event("fault", when=now.isoformat(),
+                              fault="stale_tle",
+                              satellite_id=sat.satellite_id,
+                              station_id=station.station_id)
         bits_budget = assignment.bitrate_bps * self.config.step_s * usable_fraction
         if availability < 1.0:
             # Partial outage: the pass proceeds at reduced capacity.
             bits_budget *= availability
             self.fault_counters.partial_outage_steps += 1
+            if rec.enabled:
+                rec.event("fault", when=now.isoformat(),
+                          fault="partial_outage",
+                          satellite_id=sat.satellite_id,
+                          station_id=station.station_id)
         sent, completed = sat.storage.transmit(bits_budget, now, decoded=decoded)
+        if rec.enabled:
+            rec.event("assignment", when=now.isoformat(),
+                      satellite_id=sat.satellite_id,
+                      station_id=station.station_id,
+                      bitrate_bps=assignment.bitrate_bps,
+                      decoded=decoded, bits=sent)
         if self.events is not None and sent > 0:
             self.events.record(
                 now, "transmission", sat.satellite_id, station.station_id,
@@ -320,21 +489,42 @@ class Simulation:
                             station.station_id, chunk_id=chunk.chunk_id,
                             latency_s=latency, bits=chunk.size_bits,
                         )
+                    if rec.enabled:
+                        rec.event("delivery", when=now.isoformat(),
+                                  satellite_id=sat.satellite_id,
+                                  station_id=station.station_id,
+                                  chunk_id=chunk.chunk_id,
+                                  latency_s=latency, bits=chunk.size_bits)
                 else:
                     # The ground already has this chunk (its first receipt
                     # was lost, so the satellite retransmitted): unique
                     # delivered bits and latency are not recounted.
                     self.fault_counters.redelivered_chunks += 1
+                    if rec.enabled:
+                        rec.event("fault", when=now.isoformat(),
+                                  fault="redelivery",
+                                  satellite_id=sat.satellite_id,
+                                  station_id=station.station_id)
                 if backhaul_fault is not None and backhaul_fault.partitioned:
                     # The station cannot reach the backend: the receipt is
                     # lost.  The ack never happens, so the ack-timeout
                     # requeue path retransmits the chunk later.
                     self.fault_counters.receipts_dropped += 1
+                    if rec.enabled:
+                        rec.event("fault", when=now.isoformat(),
+                                  fault="receipt_dropped",
+                                  satellite_id=sat.satellite_id,
+                                  station_id=station.station_id)
                     continue
                 backhaul_latency_s = station.backhaul_latency_s
                 if backhaul_fault is not None:
                     backhaul_latency_s += backhaul_fault.extra_latency_s
                     self.fault_counters.receipts_delayed += 1
+                    if rec.enabled:
+                        rec.event("fault", when=now.isoformat(),
+                                  fault="receipt_delayed",
+                                  satellite_id=sat.satellite_id,
+                                  station_id=station.station_id)
                 self.backend.submit_receipt(
                     ChunkReceiptMessage(
                         station_id=station.station_id,
@@ -501,24 +691,36 @@ class Simulation:
             # plan to upload and no collated ack batch.  The satellite
             # leaves with stale state and recovers via the ack timeout.
             self.fault_counters.ack_batches_missed += 1
+            if self.obs.enabled:
+                self.obs.event("fault", when=now.isoformat(),
+                               fault="ack_batch_missed",
+                               satellite_id=sat.satellite_id,
+                               station_id=station_id)
             return
-        sat.receive_plan(now)
-        if self.events is not None:
-            self.events.record(now, "plan_upload", sat.satellite_id, station_id)
-        batch = self.backend.issue_ack_batch(sat.satellite_id, now)
-        if batch is not None:
-            sat.storage.acknowledge(batch.chunk_ids, now)
+        with self.obs.span("plan_upload"):
+            sat.receive_plan(now)
             if self.events is not None:
-                self.events.record(
-                    now, "ack_batch", sat.satellite_id, station_id,
-                    chunk_count=len(batch.chunk_ids),
-                )
-        cutoff = now - timedelta(seconds=self.config.ack_timeout_s)
-        requeued = sat.storage.requeue_stale_unacked(cutoff)
-        if requeued:
-            self.metrics.record_requeue(len(requeued))
-            if self.events is not None:
-                self.events.record(
-                    now, "requeue", sat.satellite_id, station_id,
-                    chunk_count=len(requeued),
-                )
+                self.events.record(now, "plan_upload", sat.satellite_id,
+                                   station_id)
+            self.obs.counter("plan_uploads")
+        with self.obs.span("ack_collation"):
+            batch = self.backend.issue_ack_batch(sat.satellite_id, now)
+            if batch is not None:
+                sat.storage.acknowledge(batch.chunk_ids, now)
+                self.obs.counter("ack_batches")
+                self.obs.counter("acked_chunks", len(batch.chunk_ids))
+                if self.events is not None:
+                    self.events.record(
+                        now, "ack_batch", sat.satellite_id, station_id,
+                        chunk_count=len(batch.chunk_ids),
+                    )
+            cutoff = now - timedelta(seconds=self.config.ack_timeout_s)
+            requeued = sat.storage.requeue_stale_unacked(cutoff)
+            if requeued:
+                self.metrics.record_requeue(len(requeued))
+                self.obs.counter("requeued_chunks", len(requeued))
+                if self.events is not None:
+                    self.events.record(
+                        now, "requeue", sat.satellite_id, station_id,
+                        chunk_count=len(requeued),
+                    )

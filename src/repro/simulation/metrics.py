@@ -9,12 +9,16 @@ those, with time-series snapshots for debugging and ablations.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from datetime import datetime
 
 import numpy as np
 
 GB_TO_BITS = 8e9
+
+#: Version tag stamped into serialized reports.
+REPORT_SCHEMA = "repro-report/1"
 
 
 @dataclass
@@ -48,6 +52,10 @@ class SimulationReport:
     #: Per-fault event counts from the fault-injection layer; empty when
     #: the run had no FaultSchedule (the default).
     fault_counters: dict[str, int] = field(default_factory=dict)
+    #: Accumulated wall seconds per engine stage, keyed by span path
+    #: (``run/schedule/matching``); empty unless the run was observed
+    #: (``observability=ObsConfig(...)``).
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     # -- latency --------------------------------------------------------------
 
@@ -87,6 +95,92 @@ class SimulationReport:
         if self.generated_bits == 0:
             return 1.0
         return self.delivered_bits / self.generated_bits
+
+    # -- stage timings ---------------------------------------------------------
+
+    def run_stage_seconds(self) -> dict[str, float]:
+        """Direct children of the ``run`` span: the per-step stage totals."""
+        return {
+            path.split("/", 1)[1]: seconds
+            for path, seconds in self.stage_timings.items()
+            if path.startswith("run/") and "/" not in path.split("/", 1)[1]
+        }
+
+    def stage_coverage(self) -> float:
+        """Fraction of measured ``run`` wall time the stages account for.
+
+        NaN when the run was not observed.
+        """
+        total = self.stage_timings.get("run")
+        if not total:
+            return float("nan")
+        return sum(self.run_stage_seconds().values()) / total
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; stable round-trip via :meth:`from_dict`."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "latency_s": {k: list(v) for k, v in self.latency_s.items()},
+            "final_backlog_gb": dict(self.final_backlog_gb),
+            "final_unacked_gb": dict(self.final_unacked_gb),
+            "delivered_bits": self.delivered_bits,
+            "generated_bits": self.generated_bits,
+            "lost_transmission_bits": self.lost_transmission_bits,
+            "retransmitted_chunks": self.retransmitted_chunks,
+            "matched_step_counts": list(self.matched_step_counts),
+            "snapshots": [
+                {
+                    "when": snap.when.isoformat(),
+                    "backlog_gb": dict(snap.backlog_gb),
+                    "storage_gb": dict(snap.storage_gb),
+                }
+                for snap in self.snapshots
+            ],
+            "station_bits": dict(self.station_bits),
+            "satellite_bits": dict(self.satellite_bits),
+            "fault_counters": dict(self.fault_counters),
+            "stage_timings": dict(self.stage_timings),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SimulationReport":
+        schema = raw.get("schema", REPORT_SCHEMA)
+        if schema != REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported report schema {schema!r} "
+                f"(expected {REPORT_SCHEMA!r})"
+            )
+        return cls(
+            latency_s={k: list(v) for k, v in raw["latency_s"].items()},
+            final_backlog_gb=dict(raw["final_backlog_gb"]),
+            final_unacked_gb=dict(raw["final_unacked_gb"]),
+            delivered_bits=raw["delivered_bits"],
+            generated_bits=raw["generated_bits"],
+            lost_transmission_bits=raw["lost_transmission_bits"],
+            retransmitted_chunks=raw["retransmitted_chunks"],
+            matched_step_counts=list(raw["matched_step_counts"]),
+            snapshots=[
+                BacklogSnapshot(
+                    when=datetime.fromisoformat(snap["when"]),
+                    backlog_gb=dict(snap["backlog_gb"]),
+                    storage_gb=dict(snap.get("storage_gb", {})),
+                )
+                for snap in raw["snapshots"]
+            ],
+            station_bits=dict(raw["station_bits"]),
+            satellite_bits=dict(raw["satellite_bits"]),
+            fault_counters=dict(raw.get("fault_counters", {})),
+            stage_timings=dict(raw.get("stage_timings", {})),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationReport":
+        return cls.from_dict(json.loads(text))
 
 
 class MetricsCollector:
@@ -135,7 +229,8 @@ class MetricsCollector:
 
     def finalize(self, final_backlog_gb: dict[str, float],
                  final_unacked_gb: dict[str, float],
-                 fault_counters: dict[str, int] | None = None
+                 fault_counters: dict[str, int] | None = None,
+                 stage_timings: dict[str, float] | None = None,
                  ) -> SimulationReport:
         return SimulationReport(
             latency_s={k: list(v) for k, v in self.latency_s.items()},
@@ -150,4 +245,5 @@ class MetricsCollector:
             station_bits=dict(self.station_bits),
             satellite_bits=dict(self.satellite_bits),
             fault_counters=dict(fault_counters or {}),
+            stage_timings=dict(stage_timings or {}),
         )

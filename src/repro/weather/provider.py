@@ -40,6 +40,9 @@ class QuantizedWeatherCache:
         self.period_s = period_s
         self.max_entries = max_entries
         self._cache: dict[tuple, WeatherSample] = {}
+        #: Lifetime hit/miss totals, read by the observability layer.
+        self.hits = 0
+        self.misses = 0
 
     def sample(self, lat_deg: float, lon_deg: float,
                when: datetime) -> WeatherSample:
@@ -47,7 +50,9 @@ class QuantizedWeatherCache:
         key = (round(lat_deg, 3), round(lon_deg, 3), bucket)
         hit = self._cache.get(key)
         if hit is not None:
+            self.hits += 1
             return hit
+        self.misses += 1
         value = self.inner.sample(lat_deg, lon_deg, when)
         if len(self._cache) >= self.max_entries:
             self._cache.clear()

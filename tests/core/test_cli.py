@@ -51,6 +51,76 @@ class TestSimulate:
                      "--satellites", "6"]) == 0
         assert "baseline" in capsys.readouterr().out
 
+    def test_traced_run_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "manifest.json"
+        report = tmp_path / "report.json"
+        assert main(["simulate", "--hours", "0.5", "--satellites", "5",
+                     "--stations", "8",
+                     "--trace", str(trace),
+                     "--manifest", str(manifest),
+                     "--json-out", str(report)]) == 0
+        assert "stage timings" in capsys.readouterr().out
+        from repro.obs import validate_trace_file
+        from repro.simulation.metrics import SimulationReport
+
+        assert validate_trace_file(str(trace)) > 0
+        assert json.loads(manifest.read_text())["schema"] == "repro-manifest/1"
+        loaded = SimulationReport.from_json(report.read_text())
+        assert loaded.stage_timings
+
+
+class TestValidateTrace:
+    def test_valid_trace_ok(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--hours", "0.25", "--satellites", "4",
+                     "--stations", "6", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["validate-trace", str(trace)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+    def test_invalid_trace_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "mystery"}\n')
+        assert main(["validate-trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro validate-trace: error:")
+        assert err.count("\n") == 1
+
+
+class TestErrorReporting:
+    def test_missing_trace_file(self, capsys):
+        assert main(["validate-trace", "/no/such/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_tle_file(self, capsys):
+        assert main(["passes", "--tle-file", "/no/such/elements.tle"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_dataset_output(self, capsys):
+        assert main(["dataset", "--stations", "3", "--satellites", "3",
+                     "--days", "1",
+                     "--output", "/no/such/dir/out.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPassesTleFile:
+    def test_passes_from_file(self, tmp_path, capsys):
+        from datetime import datetime
+
+        from repro.orbits.catalog import TLECatalog
+        from repro.orbits.constellation import synthetic_leo_constellation
+
+        catalog = TLECatalog()
+        catalog.extend(
+            synthetic_leo_constellation(2, datetime(2020, 6, 1), seed=7)
+        )
+        path = tmp_path / "fleet.tle"
+        path.write_text(catalog.to_3le())
+        assert main(["passes", "--tle-file", str(path),
+                     "--satellites", "2", "--hours", "6"]) == 0
+        assert "passes" in capsys.readouterr().out
+
 
 class TestDataset:
     def test_stdout_json(self, capsys):

@@ -1,0 +1,144 @@
+"""The keyword-only API redesign keeps legacy call shapes working.
+
+Positional ``Simulation(...)`` / ``DGSNetwork(...)`` calls and the
+``make_*_scenario`` builders still function but warn; the new spellings
+(`ScenarioSpec`, keyword arguments) are silent and produce the same
+objects.
+"""
+
+import warnings
+from datetime import datetime
+
+import pytest
+
+from repro.core.api import DGSNetwork
+from repro.core.scenarios import (
+    ScenarioSpec,
+    build_paper_fleet,
+    build_paper_weather,
+    make_baseline_scenario,
+    make_dgs_scenario,
+)
+from repro.groundstations.network import satnogs_like_network
+from repro.scheduling.value_functions import LatencyValue
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulation
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def small_world():
+    fleet = build_paper_fleet(4, seed=7)
+    network = satnogs_like_network(6, seed=11)
+    config = SimulationConfig(start=EPOCH, duration_s=600.0)
+    return fleet, network, config
+
+
+class TestSimulationShim:
+    def test_positional_args_warn_but_work(self):
+        fleet, network, config = small_world()
+        with pytest.warns(DeprecationWarning, match="positional"):
+            sim = Simulation(fleet, network, LatencyValue(), config)
+        assert sim.satellites is fleet
+        assert sim.config is config
+
+    def test_keyword_call_is_silent(self):
+        fleet, network, config = small_world()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Simulation(satellites=fleet, network=network,
+                       value_function=LatencyValue(), config=config)
+
+    def test_duplicate_argument_rejected(self):
+        fleet, network, config = small_world()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                Simulation(fleet, network, LatencyValue(), config,
+                           satellites=fleet)
+
+    def test_too_many_positionals_rejected(self):
+        fleet, network, config = small_world()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="at most"):
+                Simulation(fleet, network, LatencyValue(), config, None, None)
+
+    def test_missing_required_named_in_error(self):
+        with pytest.raises(TypeError, match="satellites="):
+            Simulation()
+
+
+class TestDGSNetworkShim:
+    def test_positional_args_warn_but_work(self):
+        fleet, network, _config = small_world()
+        with pytest.warns(DeprecationWarning, match="positional"):
+            net = DGSNetwork(fleet, network)
+        assert net.satellites is fleet
+
+    def test_keyword_call_is_silent(self):
+        fleet, network, _config = small_world()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            DGSNetwork(satellites=fleet, network=network)
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(TypeError, match="satellites"):
+            DGSNetwork()
+
+
+class TestScenarioBuilderShims:
+    def test_make_dgs_scenario_warns_and_matches_spec(self):
+        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
+            fleet, network, sim = make_dgs_scenario(
+                num_satellites=4, num_stations=6, duration_s=600.0
+            )
+        scenario = ScenarioSpec.dgs(
+            num_satellites=4, num_stations=6, duration_s=600.0
+        ).build()
+        assert len(fleet) == len(scenario.fleet)
+        assert len(network) == len(scenario.network)
+        assert sim.config == scenario.simulation.config
+
+    def test_make_baseline_scenario_warns(self):
+        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
+            _fleet, network, _sim = make_baseline_scenario(
+                num_satellites=4, duration_s=600.0
+            )
+        assert len(network) == 5
+
+    def test_scenario_unpacks_like_the_legacy_tuple(self):
+        scenario = ScenarioSpec.dgs(
+            num_satellites=4, num_stations=6, duration_s=600.0
+        ).build()
+        fleet, network, sim = scenario
+        assert fleet is scenario.fleet
+        assert network is scenario.network
+        assert sim is scenario.simulation
+
+
+class TestScenarioSpec:
+    def test_labels(self):
+        assert ScenarioSpec.dgs().label() == "dgs-L"
+        assert ScenarioSpec.dgs(station_fraction=0.25,
+                                value="throughput").label() == "dgs25-T"
+        assert ScenarioSpec.baseline().label() == "baseline-L"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(kind="orbital-cannon")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="station_fraction"):
+            ScenarioSpec.dgs(station_fraction=0.0)
+
+    def test_seeds_surface_for_manifest(self):
+        spec = ScenarioSpec.dgs(fleet_seed=1, weather_seed=2, network_seed=3)
+        assert spec.seeds() == {"fleet": 1, "weather": 2, "network": 3}
+
+    def test_observability_seeds_autofilled(self):
+        from repro.obs import ObsConfig
+
+        spec = ScenarioSpec.dgs(num_satellites=4, num_stations=6,
+                                duration_s=600.0,
+                                observability=ObsConfig())
+        scenario = spec.build()
+        assert scenario.simulation.obs.config.seeds == spec.seeds()

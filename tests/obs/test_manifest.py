@@ -1,0 +1,57 @@
+"""Tests for run manifests and config digests."""
+
+import json
+
+from repro.obs import build_manifest, config_digest, write_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.simulation.config import SimulationConfig
+
+
+class TestConfigDigest:
+    def test_stable_across_calls(self):
+        config = SimulationConfig()
+        assert config_digest(config) == config_digest(config)
+
+    def test_differs_when_config_differs(self):
+        a = SimulationConfig(duration_s=3600.0)
+        b = SimulationConfig(duration_s=7200.0)
+        assert config_digest(a) != config_digest(b)
+
+    def test_dict_key_order_is_canonical(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+
+class TestBuildManifest:
+    def test_required_fields(self):
+        manifest = build_manifest(config=SimulationConfig(),
+                                  seeds={"fleet": 7})
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["seeds"] == {"fleet": 7}
+        assert manifest["config_sha256"] == config_digest(SimulationConfig())
+        assert "python" in manifest["versions"]
+        assert "created_utc" in manifest
+        assert "platform" in manifest
+        assert "argv" in manifest
+
+    def test_config_is_json_compatible(self):
+        manifest = build_manifest(config=SimulationConfig())
+        json.dumps(manifest)  # must not raise
+        assert isinstance(manifest["config"]["start"], str)  # datetime -> ISO
+
+    def test_extra_merged(self):
+        manifest = build_manifest(extra={"scenario": "dgs25-L"})
+        assert manifest["scenario"] == "dgs25-L"
+
+    def test_no_config_is_fine(self):
+        manifest = build_manifest()
+        assert manifest["config"] == {}
+        assert manifest["config_sha256"] is None
+
+
+class TestWriteManifest:
+    def test_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = build_manifest(config=SimulationConfig(), seeds={"w": 3})
+        write_manifest(str(path), manifest)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(manifest))

@@ -1,0 +1,128 @@
+"""Tests for the recorder pair: live spans/counters vs the shared no-op."""
+
+import time
+
+from repro.obs import NULL_RECORDER, NullRecorder, ObsConfig, Recorder, make_recorder
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+
+    def test_span_is_inert_and_shared(self):
+        a = NULL_RECORDER.span("x")
+        b = NULL_RECORDER.span("y")
+        assert a is b  # one shared object, no per-call allocation
+        with a:
+            pass
+
+    def test_everything_is_a_noop(self):
+        rec = NullRecorder()
+        rec.counter("c", 5)
+        rec.gauge("g", 1.0)
+        rec.add_time("p", 2.0)
+        rec.event("step", step=1)
+        rec.start_run({})
+        rec.finish_run(status="ok")
+        assert rec.stage_timings() == {}
+        assert rec.counters_snapshot() == {}
+        assert rec.gauges_snapshot() == {}
+
+    def test_make_recorder_routes_to_singleton(self):
+        assert make_recorder(None) is NULL_RECORDER
+        assert make_recorder(ObsConfig(enabled=False)) is NULL_RECORDER
+        assert isinstance(make_recorder(ObsConfig()), Recorder)
+
+
+class TestSpans:
+    def test_paths_are_slash_joined_stacks(self):
+        rec = Recorder()
+        with rec.span("run"):
+            with rec.span("schedule"):
+                with rec.span("matching"):
+                    pass
+            with rec.span("schedule"):
+                pass
+        timings = rec.stage_timings()
+        assert set(timings) == {"run", "run/schedule", "run/schedule/matching"}
+        calls = rec.span_calls()
+        assert calls["run/schedule"] == 2
+        assert calls["run/schedule/matching"] == 1
+
+    def test_nested_time_accumulates_into_parent(self):
+        rec = Recorder()
+        with rec.span("run"):
+            with rec.span("work"):
+                time.sleep(0.01)
+        timings = rec.stage_timings()
+        assert timings["run/work"] >= 0.009
+        assert timings["run"] >= timings["run/work"]
+
+    def test_add_time_accounts_under_fixed_path(self):
+        rec = Recorder()
+        rec.add_time("weather_sampling", 0.5)
+        rec.add_time("weather_sampling", 0.25)
+        assert rec.stage_timings()["weather_sampling"] == 0.75
+        assert rec.span_calls()["weather_sampling"] == 2
+
+    def test_exception_still_pops_the_stack(self):
+        rec = Recorder()
+        try:
+            with rec.span("run"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "run" in rec.stage_timings()
+        with rec.span("after"):
+            pass
+        assert "after" in rec.stage_timings()  # not "run/after"
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        rec = Recorder()
+        rec.counter("assignments")
+        rec.counter("assignments", 4)
+        assert rec.counters_snapshot()["assignments"] == 5
+
+    def test_gauge_overwrites(self):
+        rec = Recorder()
+        rec.gauge("backlog", 10.0)
+        rec.gauge("backlog", 3.0)
+        assert rec.gauges_snapshot()["backlog"] == 3.0
+
+
+class TestProfiling:
+    def test_profiled_span_dumps_stats(self, tmp_path):
+        rec = Recorder(ObsConfig(
+            profile_spans=("work",), profile_dir=str(tmp_path)
+        ))
+        for _ in range(3):
+            with rec.span("work"):
+                sum(range(1000))
+        rec.finish_run(status="ok")
+        assert (tmp_path / "work.prof").exists()
+
+    def test_no_nested_profiles(self, tmp_path):
+        rec = Recorder(ObsConfig(
+            profile_spans=("outer", "inner"), profile_dir=str(tmp_path)
+        ))
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        rec.finish_run(status="ok")
+        # Only the outer span profiled; the inner one was skipped while
+        # another profile was active (cProfile cannot nest).
+        assert (tmp_path / "outer.prof").exists()
+        assert not (tmp_path / "inner.prof").exists()
+
+
+class TestFinishRun:
+    def test_finish_is_idempotent(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        rec = Recorder(ObsConfig(trace_path=str(trace)))
+        rec.start_run({"schema": "x"})
+        rec.finish_run(status="ok")
+        rec.finish_run(status="ok")
+        lines = trace.read_text().strip().splitlines()
+        assert sum(1 for ln in lines if '"run_end"' in ln) == 1

@@ -1,0 +1,147 @@
+"""Tests for the JSONL trace writer and its schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA,
+    TraceValidationError,
+    TraceWriter,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+
+def _valid_lines():
+    return [
+        json.dumps({"kind": "run_start", "schema": TRACE_SCHEMA,
+                    "manifest": {}}),
+        json.dumps({"kind": "step", "step": 0,
+                    "when": "2020-06-01T00:00:00", "matched": 3}),
+        json.dumps({"kind": "assignment", "when": "2020-06-01T00:00:00",
+                    "satellite_id": "S1", "station_id": "G1",
+                    "bitrate_bps": 1.5e8, "decoded": True}),
+        json.dumps({"kind": "delivery", "when": "2020-06-01T00:01:00",
+                    "satellite_id": "S1", "station_id": "G1",
+                    "chunk_id": 17, "latency_s": 60.0}),
+        json.dumps({"kind": "fault", "when": "2020-06-01T00:02:00",
+                    "fault": "undecoded"}),
+        json.dumps({"kind": "cache", "name": "ephemeris",
+                    "hits": 3, "misses": 1}),
+        json.dumps({"kind": "run_end", "stage_timings": {}, "counters": {},
+                    "gauges": {}, "fault_counters": {}}),
+    ]
+
+
+class TestValidTraces:
+    def test_full_trace_passes(self):
+        assert validate_trace_lines(_valid_lines()) == []
+
+    def test_blank_lines_ignored(self):
+        lines = _valid_lines()
+        lines.insert(2, "")
+        assert validate_trace_lines(lines) == []
+
+    def test_extra_fields_allowed(self):
+        lines = _valid_lines()
+        record = json.loads(lines[1])
+        record["custom"] = "anything"
+        lines[1] = json.dumps(record)
+        assert validate_trace_lines(lines) == []
+
+
+class TestInvalidTraces:
+    def test_empty_trace(self):
+        assert validate_trace_lines([]) == ["trace is empty"]
+
+    def test_invalid_json(self):
+        errors = validate_trace_lines(["{nope"])
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_must_start_with_run_start(self):
+        lines = _valid_lines()[1:]
+        errors = validate_trace_lines(lines)
+        assert any("first event must be run_start" in e for e in errors)
+
+    def test_wrong_schema_version(self):
+        lines = _valid_lines()
+        lines[0] = json.dumps({"kind": "run_start", "schema": "other/9",
+                               "manifest": {}})
+        errors = validate_trace_lines(lines)
+        assert any("unsupported schema" in e for e in errors)
+
+    def test_missing_required_field(self):
+        lines = _valid_lines()
+        lines[1] = json.dumps({"kind": "step", "step": 0,
+                               "when": "2020-06-01T00:00:00"})
+        errors = validate_trace_lines(lines)
+        assert any("missing field 'matched'" in e for e in errors)
+
+    def test_bool_is_not_int(self):
+        lines = _valid_lines()
+        lines[1] = json.dumps({"kind": "step", "step": True,
+                               "when": "2020-06-01T00:00:00", "matched": 1})
+        errors = validate_trace_lines(lines)
+        assert any("must be int, got bool" in e for e in errors)
+
+    def test_bad_timestamp(self):
+        lines = _valid_lines()
+        lines[1] = json.dumps({"kind": "step", "step": 0,
+                               "when": "yesterday", "matched": 1})
+        errors = validate_trace_lines(lines)
+        assert any("ISO-8601" in e for e in errors)
+
+    def test_unknown_kind(self):
+        lines = _valid_lines()
+        lines.insert(1, json.dumps({"kind": "mystery"}))
+        errors = validate_trace_lines(lines)
+        assert any("unknown event kind" in e for e in errors)
+
+    def test_missing_run_end(self):
+        lines = _valid_lines()[:-1]
+        errors = validate_trace_lines(lines)
+        assert any("exactly one run_end" in e for e in errors)
+
+    def test_run_end_must_be_last(self):
+        lines = _valid_lines()
+        lines.append(lines[1])  # a step after run_end
+        errors = validate_trace_lines(lines)
+        assert any("last event" in e for e in errors)
+
+
+class TestWriter:
+    def test_streams_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(str(path))
+        writer.write_event("run_start", schema=TRACE_SCHEMA, manifest={})
+        writer.write_event("step", step=0, when="2020-06-01T00:00:00",
+                           matched=0)
+        writer.write_event("run_end", stage_timings={}, counters={},
+                           gauges={}, fault_counters={})
+        writer.close()
+        assert writer.lines_written == 3
+        assert validate_trace_file(str(path)) == 3
+        first = path.read_text().splitlines()[0]
+        assert list(json.loads(first)) == sorted(json.loads(first))
+
+    def test_write_after_close_is_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(str(path))
+        writer.write_event("run_start", schema=TRACE_SCHEMA, manifest={})
+        writer.close()
+        writer.write_event("step", step=0, when="x", matched=0)
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestValidateFile:
+    def test_raises_with_all_errors(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceValidationError) as excinfo:
+            validate_trace_file(str(path))
+        assert len(excinfo.value.errors) >= 2  # bad JSON + structure errors
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            validate_trace_file(str(tmp_path / "absent.jsonl"))

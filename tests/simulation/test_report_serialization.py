@@ -1,0 +1,87 @@
+"""SimulationReport JSON serialization: stable round-trip, schema guard."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.simulation.metrics import (
+    REPORT_SCHEMA,
+    BacklogSnapshot,
+    SimulationReport,
+)
+
+
+def sample_report() -> SimulationReport:
+    return SimulationReport(
+        latency_s={"S1": [60.0, 120.0], "S2": []},
+        final_backlog_gb={"S1": 1.5, "S2": 0.0},
+        final_unacked_gb={"S1": 0.25, "S2": 0.0},
+        delivered_bits=8e9,
+        generated_bits=2e10,
+        lost_transmission_bits=1e8,
+        retransmitted_chunks=3,
+        matched_step_counts=[1, 2, 0],
+        snapshots=[BacklogSnapshot(
+            when=datetime(2020, 6, 1, 0, 30),
+            backlog_gb={"S1": 2.0},
+            storage_gb={"S1": 2.5},
+        )],
+        station_bits={"G1": 8e9},
+        satellite_bits={"S1": 8e9},
+        fault_counters={"undecoded_steps": 2},
+        stage_timings={"run": 1.0, "run/schedule": 0.6},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        report = sample_report()
+        clone = SimulationReport.from_dict(report.to_dict())
+        assert clone == report
+
+    def test_json_round_trip_is_exact(self):
+        report = sample_report()
+        clone = SimulationReport.from_json(report.to_json())
+        assert clone == report
+
+    def test_json_is_stable(self):
+        report = sample_report()
+        assert report.to_json() == SimulationReport.from_json(
+            report.to_json()
+        ).to_json()
+
+    def test_schema_stamped(self):
+        assert sample_report().to_dict()["schema"] == REPORT_SCHEMA
+
+    def test_unknown_schema_rejected(self):
+        raw = sample_report().to_dict()
+        raw["schema"] = "repro-report/99"
+        with pytest.raises(ValueError, match="unsupported report schema"):
+            SimulationReport.from_dict(raw)
+
+    def test_old_payload_without_optionals(self):
+        raw = sample_report().to_dict()
+        del raw["fault_counters"]
+        del raw["stage_timings"]
+        raw["snapshots"][0].pop("storage_gb")
+        clone = SimulationReport.from_dict(raw)
+        assert clone.fault_counters == {}
+        assert clone.stage_timings == {}
+
+
+class TestStageHelpers:
+    def test_run_stage_seconds_picks_direct_children(self):
+        report = sample_report()
+        report.stage_timings = {
+            "run": 2.0, "run/schedule": 1.0, "run/schedule/matching": 0.4,
+            "run/execute": 0.8, "ephemeris_build": 0.5,
+        }
+        assert report.run_stage_seconds() == {"schedule": 1.0, "execute": 0.8}
+        assert report.stage_coverage() == pytest.approx(0.9)
+
+    def test_coverage_nan_when_unobserved(self):
+        report = sample_report()
+        report.stage_timings = {}
+        import math
+
+        assert math.isnan(report.stage_coverage())
