@@ -1,0 +1,151 @@
+"""Benchmark regression gate: compare a run against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_components.json \
+        benchmarks/baselines/BENCH_components.baseline.json \
+        [--threshold 0.25] [--summary "$GITHUB_STEP_SUMMARY"]
+
+    # regenerate the baseline after an intentional perf change:
+    python benchmarks/compare_bench.py BENCH_components.json \
+        --write-baseline benchmarks/baselines/BENCH_components.baseline.json
+
+The input is pytest-benchmark's ``--benchmark-json`` output; the baseline
+is the slimmed ``repro-bench-baseline/1`` form (per-benchmark median
+seconds) committed to the repo.
+
+Raw medians are not comparable across machines -- the baseline was
+recorded on one box, CI runs on another -- so the gate normalizes by
+machine speed first: every benchmark's current/baseline ratio is divided
+by the *median* ratio across all tracked benchmarks.  A uniformly 2x
+faster machine then scores ~1.0 everywhere, while a single kernel that
+regressed sticks out as an outlier.  A benchmark fails the gate when its
+normalized ratio exceeds ``1 + threshold`` (default +25%).  The blind
+spot -- a regression hitting *every* benchmark by the same factor -- is
+the price of machine independence; the absolute medians still land in
+the summary table for eyeballing.
+
+Exit codes: 0 ok, 1 regression (or tracked benchmark missing), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+
+def load_medians(path: str) -> dict[str, float]:
+    """``name -> median seconds`` from either supported file form."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if raw.get("schema") == BASELINE_SCHEMA:
+        return dict(raw["medians_s"])
+    try:
+        return {b["name"]: float(b["stats"]["median"])
+                for b in raw["benchmarks"]}
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"{path}: neither a {BASELINE_SCHEMA} file nor "
+            f"pytest-benchmark JSON ({exc})"
+        ) from None
+
+
+def write_baseline(current: dict[str, float], path: str,
+                   source: str) -> None:
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "source": source,
+        "medians_s": dict(sorted(current.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare(current: dict[str, float], baseline: dict[str, float],
+            threshold: float) -> tuple[list[list[str]], list[str]]:
+    """Delta table rows and the list of failing benchmark names."""
+    shared = sorted(set(current) & set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    ratios = {name: current[name] / baseline[name] for name in shared
+              if baseline[name] > 0}
+    scale = statistics.median(ratios.values()) if ratios else 1.0
+    rows: list[list[str]] = []
+    failures = [f"{name} (tracked benchmark missing from this run)"
+                for name in missing]
+    for name in shared:
+        normalized = ratios[name] / scale if scale > 0 else float("inf")
+        verdict = "ok"
+        if normalized > 1.0 + threshold:
+            verdict = f"REGRESSION (+{(normalized - 1) * 100:.0f}%)"
+            failures.append(f"{name} ({verdict})")
+        rows.append([
+            name,
+            f"{baseline[name] * 1e3:.3f}",
+            f"{current[name] * 1e3:.3f}",
+            f"{(normalized - 1) * 100:+.1f}%",
+            verdict,
+        ])
+    for name in sorted(set(current) - set(baseline)):
+        rows.append([name, "-", f"{current[name] * 1e3:.3f}", "-",
+                     "new (not in baseline)"])
+    return rows, failures
+
+
+def render_markdown(rows: list[list[str]], scale_note: str) -> str:
+    header = ["benchmark", "baseline (ms)", "current (ms)",
+              "normalized delta", "verdict"]
+    lines = ["### Benchmark regression gate", "", scale_note, "",
+             "| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON from this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline to gate against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed normalized slowdown (0.25 = +25%%)")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append the markdown delta table to PATH "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write PATH from the current run and exit")
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.current)
+    if args.write_baseline:
+        write_baseline(current, args.write_baseline, source=args.current)
+        print(f"wrote {len(current)} benchmark medians to "
+              f"{args.write_baseline}")
+        return 0
+    if not args.baseline:
+        parser.error("baseline path required unless --write-baseline")
+
+    baseline = load_medians(args.baseline)
+    rows, failures = compare(current, baseline, args.threshold)
+    scale_note = (f"Normalized by the median current/baseline ratio; "
+                  f"gate: > +{args.threshold * 100:.0f}% normalized.")
+    table = render_markdown(rows, scale_note)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(table)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"all {len(rows)} benchmarks within +{args.threshold * 100:.0f}% "
+          "of baseline (normalized)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Sweep-runner benchmark: parallel speedup and byte-identity gates.
+
+The grid is the fig3-seeds grid (the four Fig. 3 variants replicated over
+four constellation draws, 16 cells) at bench scale.  Four draws rather
+than two so LPT can hand each of the 4 workers exactly one heavy dgs-L
+cell -- the balance that makes the speedup gate meaningful.  Three gates:
+
+* **byte-identity, parallel**: the merged ``repro-sweep/1`` report from a
+  4-worker run equals the serial run's bytes;
+* **byte-identity, resume**: a "killed" sweep (half the checkpoints
+  survive) resumed with workers produces the same bytes again;
+* **speedup**: the 4-worker wall clock beats serial by >= 2.5x -- only
+  asserted on machines with >= 4 CPUs (the CI runner), otherwise the
+  identity checks still run and the ratio is reported.
+
+Scale/duration come from the usual knobs (REPRO_BENCH_SCALE /
+REPRO_BENCH_DURATION); the sweep gate additionally accepts
+REPRO_SWEEP_MIN_SPEEDUP to tune the ratio without editing code.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+
+from repro.runners import SweepRunner
+from repro.runners.grids import fig3_seed_grid
+from repro.runners.sweep import CELLS_SUBDIR
+
+WORKERS = 4
+
+
+def _grid(duration_s: float, scale: float):
+    return fig3_seed_grid(duration_s, scale, fleet_seeds=(7, 8, 9, 10))
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_SWEEP_MIN_SPEEDUP", "2.5"))
+
+
+def test_sweep_parallel_equivalence_and_speedup(duration_s, scale, tmp_path):
+    grid = _grid(duration_s, scale)
+    assert len(grid) >= 8
+
+    serial_dir = tmp_path / "serial"
+    started = time.perf_counter()
+    serial = SweepRunner(grid, run_dir=str(serial_dir), workers=0).run()
+    elapsed_serial = time.perf_counter() - started
+
+    parallel_dir = tmp_path / "parallel"
+    started = time.perf_counter()
+    parallel = SweepRunner(
+        grid, run_dir=str(parallel_dir), workers=WORKERS
+    ).run()
+    elapsed_parallel = time.perf_counter() - started
+
+    assert parallel.to_json() == serial.to_json()
+
+    # Kill/resume: keep half the parallel run's checkpoints, resume.
+    resumed_dir = tmp_path / "resumed"
+    os.makedirs(resumed_dir / CELLS_SUBDIR)
+    survivors = sorted(os.listdir(parallel_dir / CELLS_SUBDIR))[::2]
+    for name in survivors:
+        shutil.copy(parallel_dir / CELLS_SUBDIR / name,
+                    resumed_dir / CELLS_SUBDIR / name)
+    resumed = SweepRunner(
+        grid, run_dir=str(resumed_dir), workers=WORKERS
+    ).run(resume=True)
+    assert resumed.skipped == len(survivors)
+    assert resumed.to_json() == serial.to_json()
+
+    speedup = elapsed_serial / elapsed_parallel if elapsed_parallel else 0.0
+    cpus = os.cpu_count() or 1
+    print(
+        f"\nsweep {len(grid)} cells: serial {elapsed_serial:.1f}s, "
+        f"{WORKERS} workers {elapsed_parallel:.1f}s, speedup {speedup:.2f}x "
+        f"({cpus} CPUs)"
+    )
+    if cpus >= WORKERS:
+        assert speedup >= _min_speedup()

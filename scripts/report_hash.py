@@ -1,0 +1,40 @@
+"""Deterministic digest of a simulation report, for CI determinism checks.
+
+Usage::
+
+    python scripts/report_hash.py report.json [more.json ...]
+
+Prints ``<sha256>  <path>`` per file.  Wall-clock facts (``stage_timings``)
+are stripped before hashing and the JSON is canonicalized (sorted keys,
+fixed separators), so two runs of the same seeded scenario hash equal iff
+they computed the same physics -- across processes, machines, and Python
+versions.  The cross-version CI job runs the same traced scenario under
+two interpreters and fails when these digests differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+
+def report_digest(text: str) -> str:
+    raw = json.loads(text)
+    raw.pop("stage_timings", None)
+    canonical = json.dumps(raw, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv:
+        with open(path, "r", encoding="utf-8") as handle:
+            print(f"{report_digest(handle.read())}  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,9 @@ Commands:
                         report (optionally tracing it and saving JSON).
 * ``experiment``     -- run one paper experiment (fig3a, fig3b, fig3c,
                         summary, setup, ablations, robustness).
+* ``sweep``          -- run a grid of frozen scenario specs across worker
+                        processes, with checkpoint/resume and a merged
+                        schema-versioned report.
 * ``dataset``        -- generate a SatNOGS-like dataset as JSON.
 * ``validate-trace`` -- schema-check a JSONL trace emitted by a run.
 
@@ -156,6 +159,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro import experiments
 
     modules = {
@@ -169,7 +174,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "storage": experiments.storage_requirement,
     }
     module = modules[args.name]
-    result = module.run(duration_s=args.hours * 3600.0, scale=args.scale)
+    kwargs = {}
+    if "workers" in inspect.signature(module.run).parameters:
+        kwargs["workers"] = args.workers
+    elif args.workers:
+        print(f"repro experiment: note: {args.name} runs in-process; "
+              "--workers ignored", file=sys.stderr)
+    result = module.run(duration_s=args.hours * 3600.0, scale=args.scale,
+                        **kwargs)
     print(result.render())
     if args.plot and result.series:
         from repro.analysis.plots import render_cdfs
@@ -178,6 +190,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if plottable:
             print()
             print(render_cdfs(plottable, title=result.description))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runners import SweepRunner
+    from repro.runners.grids import build_grid, load_grid_file
+
+    if bool(args.grid) == bool(args.grid_file):
+        raise ValueError("pass exactly one of --grid or --grid-file")
+    if args.workers < 0:
+        raise ValueError(f"--workers must be >= 0, got {args.workers}")
+    if args.resume and args.out and args.resume != args.out:
+        raise ValueError("--resume DIR already names the run directory; "
+                         "drop --out or make them match")
+    if args.grid_file:
+        cells = load_grid_file(args.grid_file)
+    else:
+        cells = build_grid(args.grid, args.hours * 3600.0, args.scale)
+    run_dir = args.resume or args.out
+    if args.trace and run_dir is None:
+        raise ValueError("--trace requires --out DIR (or --resume DIR)")
+    runner = SweepRunner(
+        cells, run_dir=run_dir, workers=args.workers,
+        sweep_seed=args.sweep_seed, trace=args.trace,
+    )
+    result = runner.run(resume=args.resume is not None)
+    mode = f"{args.workers} workers" if args.workers else "in-process"
+    print(f"sweep: {result.merged['cell_count']} cells "
+          f"({result.completed} run, {result.skipped} resumed; {mode})")
+    for payload in result.merged["cells"]:
+        report = payload["report"]
+        delivered_tb = report["delivered_bits"] / 8e12
+        print(f"  {payload['label']:<28s} {delivered_tb:7.2f} TB delivered  "
+              f"[{payload['config_sha256'][:12]}]")
+    if result.report_path:
+        print(f"wrote {result.report_path}", file=sys.stderr)
+        print(f"wrote {result.manifest_path}", file=sys.stderr)
     return 0
 
 
@@ -267,7 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--hours", type=float, default=12.0)
     p.add_argument("--plot", action="store_true")
+    p.add_argument("--workers", type=int, default=0,
+                   help="shard the experiment's scenario grid across this "
+                        "many worker processes (0 = in this process)")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("sweep",
+                       help="run a scenario grid across worker processes")
+    p.add_argument("--grid", default=None,
+                   help="named grid: fig3, fig3-seeds, ablations, fault-sweep")
+    p.add_argument("--grid-file", default=None, metavar="PATH",
+                   help="explicit grid: JSON list of {label, spec} objects")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = serial, in this process)")
+    p.add_argument("--hours", type=float, default=6.0)
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="run directory: per-cell checkpoints plus the "
+                        "merged report and runtime manifest")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="resume a killed sweep from its run directory "
+                        "(finished cells are skipped)")
+    p.add_argument("--sweep-seed", type=int, default=None,
+                   help="re-derive every cell's RNG seeds from this seed")
+    p.add_argument("--trace", action="store_true",
+                   help="write a per-cell JSONL trace under DIR/traces/")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("dataset", help="generate a SatNOGS-like dataset")
     p.add_argument("--stations", type=int, default=200)

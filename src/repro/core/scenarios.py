@@ -17,8 +17,9 @@ deprecation shims over the spec.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from datetime import datetime
 
 from repro.baseline.system import CentralizedBaseline
@@ -142,6 +143,28 @@ class ScenarioSpec:
     use_forecast: bool = False
     enforce_plan_distribution: bool = False
     tx_capable_fraction: float = 0.1
+    #: Rain intensity multiplier on the synthetic weather month
+    #: (0 = clear sky, 1 = the paper's month, >1 = stormier).
+    weather_intensity: float = 1.0
+    #: Scheduler family: ``downlink`` (the paper's per-instant matcher),
+    #: ``horizon`` (receding-horizon lookahead), or ``beamforming``
+    #: (power-split multi-beam stations).
+    scheduler: str = "downlink"
+    #: Horizon-scheduler lookahead window, in steps (ignored otherwise).
+    horizon_steps: int = 1
+    #: Beamforming-scheduler beams per station (ignored otherwise).
+    beams: int = 1
+    #: Override the fleet's downlink carrier (None = the radio's default
+    #: X-band); Ku/Ka sweeps set 14.0 / 26.5.
+    frequency_ghz: float | None = None
+    #: ``live`` per-instant matching or ``planned`` plan-following
+    #: execution (Sec. 3's operational model).
+    execution_mode: str = "live"
+    #: Seeded fault-injection intensity for :meth:`FaultSchedule.generate`
+    #: (0 = healthy run, no fault layer attached).
+    fault_intensity: float = 0.0
+    fault_seed: int = 7
+    faults_announced: bool = True
     observability: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self):
@@ -150,6 +173,18 @@ class ScenarioSpec:
         if not 0.0 < self.station_fraction <= 1.0:
             raise ValueError(
                 f"station_fraction must be in (0, 1], got {self.station_fraction}"
+            )
+        if self.scheduler not in ("downlink", "horizon", "beamforming"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.scheduler == "horizon" and self.horizon_steps < 1:
+            raise ValueError("horizon_steps must be >= 1")
+        if self.scheduler == "beamforming" and self.beams < 1:
+            raise ValueError("beams must be >= 1")
+        if self.weather_intensity < 0.0:
+            raise ValueError("weather_intensity must be >= 0")
+        if not 0.0 <= self.fault_intensity <= 1.0:
+            raise ValueError(
+                f"fault_intensity must be in [0, 1], got {self.fault_intensity}"
             )
 
     # -- constructors -------------------------------------------------------
@@ -177,17 +212,91 @@ class ScenarioSpec:
 
     def seeds(self) -> dict[str, int]:
         """All RNG seeds the scenario consumes (for the run manifest)."""
-        return {
+        seeds = {
             "fleet": self.fleet_seed,
             "weather": self.weather_seed,
             "network": self.network_seed,
         }
+        if self.fault_intensity > 0.0:
+            seeds["faults"] = self.fault_seed
+        return seeds
+
+    # -- serialization ------------------------------------------------------
+
+    @classmethod
+    def _serialized_fields(cls) -> tuple[str, ...]:
+        """Fields that cross process/checkpoint boundaries.
+
+        ``observability`` stays out: it is per-run plumbing (trace paths
+        differ per worker), not part of the scenario's identity, and is
+        excluded from equality for the same reason.
+        """
+        return tuple(
+            f.name for f in fields(cls) if f.name != "observability"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of every identity field (no observability)."""
+        return {name: getattr(self, name)
+                for name in self._serialized_fields()}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output; strict on keys."""
+        unknown = set(raw) - set(cls._serialized_fields())
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec fields: {sorted(unknown)}"
+            )
+        return cls(**raw)
+
+    def config_sha256(self) -> str:
+        """Content hash of the spec: the sweep runner's checkpoint key."""
+        from repro.obs.manifest import config_digest
+
+        return config_digest(self.to_dict())
+
+    def derive_seeds(self, sweep_seed: int) -> "ScenarioSpec":
+        """Replace every RNG seed with one derived from ``sweep_seed``.
+
+        The derivation hashes (sweep seed, the spec's seed-free identity,
+        seed name), so a grid re-run under a different sweep seed draws
+        fresh-but-reproducible randomness per cell while cells that differ
+        only in their seeds collapse onto the same derived values.
+        """
+        identity = {
+            name: value for name, value in self.to_dict().items()
+            if not name.endswith("_seed")
+        }
+        from repro.obs.manifest import config_digest
+
+        base = config_digest(identity)
+
+        def derived(name: str) -> int:
+            digest = hashlib.sha256(
+                f"{sweep_seed}:{base}:{name}".encode("utf-8")
+            ).digest()
+            return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+        return replace(
+            self,
+            fleet_seed=derived("fleet"),
+            weather_seed=derived("weather"),
+            network_seed=derived("network"),
+            fault_seed=derived("faults"),
+        )
 
     # -- assembly -----------------------------------------------------------
 
     def build(self) -> Scenario:
         """Assemble the fleet, ground network, and simulation."""
         fleet = build_paper_fleet(self.num_satellites, seed=self.fleet_seed)
+        if self.frequency_ghz is not None:
+            from repro.linkbudget.budget import RadioConfig
+
+            radio = RadioConfig(frequency_ghz=self.frequency_ghz)
+            for sat in fleet:
+                sat.radio = radio
         if self.kind == "baseline":
             network = CentralizedBaseline(
                 station_count=self.station_count
@@ -202,7 +311,8 @@ class ScenarioSpec:
                 network = network.subset_fraction(
                     self.station_fraction, seed=self.network_seed
                 )
-        weather = build_paper_weather(self.weather_seed)
+        weather = build_paper_weather(self.weather_seed,
+                                      intensity_scale=self.weather_intensity)
         config = SimulationConfig(
             start=PAPER_EPOCH,
             duration_s=self.duration_s,
@@ -210,20 +320,63 @@ class ScenarioSpec:
             matcher=self.matcher,
             use_forecast=self.use_forecast,
             enforce_plan_distribution=self.enforce_plan_distribution,
+            execution_mode=self.execution_mode,
         )
         observability = self.observability
         if observability is not None and not observability.seeds:
             # Stamp the scenario's seeds into the manifest automatically.
             observability = replace(observability, seeds=self.seeds())
+        faults = None
+        if self.fault_intensity > 0.0:
+            from repro.faults import FaultSchedule
+
+            faults = FaultSchedule.generate(
+                station_ids=[st.station_id for st in network],
+                satellite_ids=[s.satellite_id for s in fleet],
+                start=config.start,
+                horizon_s=self.duration_s,
+                intensity=self.fault_intensity,
+                seed=self.fault_seed,
+            )
         sim = Simulation(
             satellites=fleet,
             network=network,
             value_function=value_function_by_name(self.value),
             config=config,
             truth_weather=weather,
+            faults=faults,
+            faults_announced=self.faults_announced,
             observability=observability,
         )
+        self._attach_scheduler(sim)
         return Scenario(spec=self, fleet=fleet, network=network, simulation=sim)
+
+    def _attach_scheduler(self, sim: Simulation) -> None:
+        """Swap in the horizon/beamforming scheduler families when asked.
+
+        Mirrors how the ablations historically wrapped the base scheduler:
+        the replacement is built from the downlink scheduler's own wiring,
+        so a ``downlink`` spec is untouched (bit-identical to the paper
+        path) and H=1 / beams=1 degenerate to it as well.
+        """
+        base = sim.scheduler
+        if self.scheduler == "horizon" and self.horizon_steps > 1:
+            from repro.scheduling.horizon import HorizonScheduler
+
+            sim.scheduler = HorizonScheduler(
+                base.satellites, base.network, base.value_function,
+                matcher=base.matcher_name, weather=base.weather,
+                step_s=base.step_s, horizon_steps=self.horizon_steps,
+                replan_steps=max(1, self.horizon_steps // 2),
+            )
+        elif self.scheduler == "beamforming" and self.beams > 1:
+            from repro.scheduling.beamforming import BeamformingScheduler
+
+            sim.scheduler = BeamformingScheduler(
+                base.satellites, base.network, base.value_function,
+                matcher=base.matcher_name, weather=base.weather,
+                step_s=base.step_s, beams=self.beams,
+            )
 
     def run(self, label: str | None = None) -> ScenarioResult:
         """Assemble and execute in one call."""

@@ -13,6 +13,12 @@ these ablations quantify each on the same simulation substrate:
   doubled-intensity month: how much does geographic diversity buy?
 * **forecast error** -- scheduling on forecasts instead of truth: losses
   from rate over-prediction in the ack-free design.
+
+Every variant is a frozen :class:`ScenarioSpec`; sections build
+``(label, spec)`` grids and submit them to the sweep runner
+(:func:`repro.runners.run_specs`) instead of looping over hand-mutated
+simulations, so the same grids run serially in-process, across a worker
+pool, or from the ``repro sweep`` CLI.
 """
 
 from __future__ import annotations
@@ -20,13 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.scenarios import ScenarioSpec, build_paper_weather
+from repro.core.scenarios import ScenarioSpec
 from repro.experiments.common import ExperimentResult, scaled_counts
+from repro.simulation.metrics import SimulationReport
 
-
-def _dgs_sim(**kwargs):
-    """Assemble one DGS simulation through the unified spec."""
-    return ScenarioSpec.dgs(**kwargs).build().simulation
+#: ``(label, spec)`` grid of one ablation section.
+SectionSpecs = list[tuple[str, ScenarioSpec]]
 
 
 @dataclass
@@ -53,7 +58,8 @@ _HEADERS = ["variant", "lat p50 (min)", "lat p90 (min)",
             "backlog p50 (GB)", "delivered (TB)", "notes"]
 
 
-def _row(label: str, report, extra: str = "") -> AblationRow:
+def _row(label: str, report: SimulationReport,
+         extra: str = "") -> AblationRow:
     lat = report.latency_percentiles_min((50, 90))
     backlog = report.backlog_percentiles_gb((50,))
     return AblationRow(
@@ -66,7 +72,156 @@ def _row(label: str, report, extra: str = "") -> AblationRow:
     )
 
 
-def run_matching(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
+def _run_section(pairs: SectionSpecs,
+                 workers: int = 0) -> list[tuple[str, SimulationReport]]:
+    """Submit one section's grid to the sweep runner; keep input order."""
+    from repro.runners import SweepCell, report_from_payload, run_specs
+
+    payloads = run_specs(
+        [SweepCell(label, spec) for label, spec in pairs], workers=workers
+    )
+    return [(label, report_from_payload(payloads[label]))
+            for label, _spec in pairs]
+
+
+# -- section grids ------------------------------------------------------------
+
+
+def matching_specs(duration_s: float = 21600.0,
+                   scale: float = 0.3) -> SectionSpecs:
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (matcher, ScenarioSpec.dgs(
+            matcher=matcher, num_satellites=num_sats,
+            num_stations=num_stations, duration_s=duration_s,
+        ))
+        for matcher in ("stable", "optimal", "greedy")
+    ]
+
+
+def tx_fraction_specs(duration_s: float = 21600.0, scale: float = 0.3,
+                      fractions=(0.02, 0.05, 0.1, 0.3)) -> SectionSpecs:
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (f"tx={fraction:.0%}", ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, enforce_plan_distribution=True,
+            tx_capable_fraction=fraction,
+        ))
+        for fraction in fractions
+    ]
+
+
+def weather_specs(duration_s: float = 21600.0,
+                  scale: float = 0.3) -> SectionSpecs:
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (label, ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, weather_intensity=intensity,
+        ))
+        for label, intensity in (("clear", 0.0), ("nominal", 1.0),
+                                 ("stormy", 2.5))
+    ]
+
+
+def horizon_specs(duration_s: float = 21600.0, scale: float = 0.3,
+                  horizons=(1, 5, 15)) -> SectionSpecs:
+    """Per-instant (the paper, H=1) vs receding-horizon scheduling."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (f"H={horizon}", ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, scheduler="horizon",
+            horizon_steps=horizon,
+        ))
+        for horizon in horizons
+    ]
+
+
+def beamforming_specs(duration_s: float = 21600.0, scale: float = 0.3,
+                      beam_counts=(1, 2, 4)) -> SectionSpecs:
+    """Station beamforming (Sec. 3.3 future work): beams vs throughput."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (f"beams={beams}", ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, scheduler="beamforming", beams=beams,
+        ))
+        for beams in beam_counts
+    ]
+
+
+def forecast_error_specs(duration_s: float = 21600.0,
+                         scale: float = 0.3) -> SectionSpecs:
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (label, ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, use_forecast=use_forecast,
+        ))
+        for label, use_forecast in (("oracle weather", False),
+                                    ("forecast", True))
+    ]
+
+
+def band_sweep_specs(duration_s: float = 21600.0,
+                     scale: float = 0.3) -> SectionSpecs:
+    """Downlink band sweep: X (the paper's default) vs Ku vs Ka.
+
+    Sec. 2: "Some designs are also exploring higher frequencies (Ku band
+    ... and Ka band ...) for downlink."  Dish gain and FSPL both scale as
+    f^2 and cancel; what changes is rain sensitivity, which grows steeply
+    with frequency -- exactly why the geographic diversity argument
+    strengthens at Ku/Ka.  Runs under a stormier month (2x intensity) so
+    the band differences are visible.
+    """
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (label, ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, frequency_ghz=freq,
+            weather_intensity=2.0,
+        ))
+        for label, freq in (("X 8.2 GHz", 8.2), ("Ku 14 GHz", 14.0),
+                            ("Ka 26.5 GHz", 26.5))
+    ]
+
+
+def execution_mode_specs(duration_s: float = 21600.0,
+                         scale: float = 0.3) -> SectionSpecs:
+    """Live matching (the paper's simulation) vs planned execution."""
+    num_sats, num_stations, _ = scaled_counts(scale)
+    return [
+        (label, ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, execution_mode=mode,
+        ))
+        for label, mode in (("live", "live"),
+                            ("planned 1h refresh", "planned"))
+    ]
+
+
+def section_specs(duration_s: float = 21600.0, scale: float = 0.3,
+                  ) -> list[tuple[str, SectionSpecs]]:
+    """Every section's grid, keyed by its table title."""
+    return [
+        ("matching algorithm", matching_specs(duration_s, scale)),
+        ("tx-capable fraction", tx_fraction_specs(duration_s, scale)),
+        ("weather intensity", weather_specs(duration_s, scale)),
+        ("forecast error", forecast_error_specs(duration_s, scale)),
+        ("scheduling horizon", horizon_specs(duration_s, scale)),
+        ("station beamforming", beamforming_specs(duration_s, scale)),
+        ("downlink band", band_sweep_specs(duration_s, scale)),
+        ("execution mode", execution_mode_specs(duration_s, scale)),
+    ]
+
+
+# -- section runners -----------------------------------------------------------
+
+
+def run_matching(duration_s: float = 21600.0, scale: float = 0.3,
+                 workers: int = 0) -> list[AblationRow]:
     """Stable vs optimal vs greedy matching on identical scenarios.
 
     Reports fairness alongside totals: the paper picks stable matching
@@ -75,171 +230,94 @@ def run_matching(duration_s: float = 21600.0, scale: float = 0.3) -> list[Ablati
     """
     from repro.analysis.fairness import matching_fairness
 
-    num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
-    for matcher in ("stable", "optimal", "greedy"):
-        sim = _dgs_sim(
-            matcher=matcher,
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        report = sim.run()
+    for label, report in _run_section(matching_specs(duration_s, scale),
+                                      workers):
         fairness = matching_fairness(report)
         rows.append(_row(
-            matcher, report,
-            extra=f"Jain={fairness.jain:.3f} slews={sim.link_changes}",
+            label, report,
+            extra=f"Jain={fairness.jain:.3f} slews={report.link_changes}",
         ))
     return rows
 
 
 def run_tx_fraction(duration_s: float = 21600.0, scale: float = 0.3,
-                    fractions=(0.02, 0.05, 0.1, 0.3)) -> list[AblationRow]:
+                    fractions=(0.02, 0.05, 0.1, 0.3),
+                    workers: int = 0) -> list[AblationRow]:
     """Sweep the hybrid knob with plan distribution enforced."""
-    num_sats, num_stations, _ = scaled_counts(scale)
-    rows = []
-    for fraction in fractions:
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-            enforce_plan_distribution=True,
-            tx_capable_fraction=fraction,
-        )
-        report = sim.run()
-        rows.append(_row(f"tx={fraction:.0%}", report,
-                         extra=f"requeued={report.retransmitted_chunks}"))
-    return rows
+    pairs = tx_fraction_specs(duration_s, scale, fractions)
+    return [
+        _row(label, report,
+             extra=f"requeued={report.retransmitted_chunks}")
+        for label, report in _run_section(pairs, workers)
+    ]
 
 
-def run_weather(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
+def run_weather(duration_s: float = 21600.0, scale: float = 0.3,
+                workers: int = 0) -> list[AblationRow]:
     """Clear sky vs nominal vs doubled rain intensity."""
-    num_sats, num_stations, _ = scaled_counts(scale)
-    rows = []
-    for label, intensity in (("clear", 0.0), ("nominal", 1.0), ("stormy", 2.5)):
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        sim.truth_weather = build_paper_weather(seed=3, intensity_scale=intensity)
-        sim.scheduler.weather = sim.truth_weather
-        rows.append(_row(label, sim.run()))
-    return rows
+    return [
+        _row(label, report)
+        for label, report in _run_section(weather_specs(duration_s, scale),
+                                          workers)
+    ]
 
 
 def run_horizon(duration_s: float = 21600.0, scale: float = 0.3,
-                horizons=(1, 5, 15)) -> list[AblationRow]:
+                horizons=(1, 5, 15), workers: int = 0) -> list[AblationRow]:
     """Per-instant (the paper) vs receding-horizon scheduling (future work).
 
     H=1 is the paper's scheduler; larger windows trade instantaneous value
     for lookahead.  The paper conjectured cross-time optimization "can
     further benefit DGS"; this ablation measures it.
     """
-    from repro.scheduling.horizon import HorizonScheduler
-
-    num_sats, num_stations, _ = scaled_counts(scale)
-    rows = []
-    for horizon in horizons:
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        if horizon > 1:
-            base = sim.scheduler
-            sim.scheduler = HorizonScheduler(
-                base.satellites, base.network, base.value_function,
-                matcher=base.matcher_name, weather=base.weather,
-                step_s=base.step_s, horizon_steps=horizon,
-                replan_steps=max(1, horizon // 2),
-            )
-        rows.append(_row(f"H={horizon}", sim.run()))
-    return rows
+    pairs = horizon_specs(duration_s, scale, horizons)
+    return [
+        _row(label, report)
+        for label, report in _run_section(pairs, workers)
+    ]
 
 
 def run_beamforming(duration_s: float = 21600.0, scale: float = 0.3,
-                    beam_counts=(1, 2, 4)) -> list[AblationRow]:
+                    beam_counts=(1, 2, 4),
+                    workers: int = 0) -> list[AblationRow]:
     """Station beamforming (Sec. 3.3 future work): beams vs throughput.
 
     Power-split beams serve more satellites at lower per-link rate; the
     interesting question is where the trade nets out for a contended
     network.
     """
-    from repro.scheduling.beamforming import BeamformingScheduler
-
-    num_sats, num_stations, _ = scaled_counts(scale)
-    rows = []
-    for beams in beam_counts:
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        if beams > 1:
-            base = sim.scheduler
-            sim.scheduler = BeamformingScheduler(
-                base.satellites, base.network, base.value_function,
-                matcher=base.matcher_name, weather=base.weather,
-                step_s=base.step_s, beams=beams,
-            )
-        rows.append(_row(f"beams={beams}", sim.run()))
-    return rows
+    pairs = beamforming_specs(duration_s, scale, beam_counts)
+    return [
+        _row(label, report)
+        for label, report in _run_section(pairs, workers)
+    ]
 
 
-def run_forecast_error(duration_s: float = 21600.0,
-                       scale: float = 0.3) -> list[AblationRow]:
+def run_forecast_error(duration_s: float = 21600.0, scale: float = 0.3,
+                       workers: int = 0) -> list[AblationRow]:
     """Truth scheduling vs forecast-based scheduling (rate mispredictions)."""
-    num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
-    for label, use_forecast in (("oracle weather", False), ("forecast", True)):
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-            use_forecast=use_forecast,
-        )
-        report = sim.run()
+    for label, report in _run_section(
+        forecast_error_specs(duration_s, scale), workers
+    ):
         lost_gb = report.lost_transmission_bits / 8e9
         rows.append(_row(label, report, extra=f"lost={lost_gb:.1f} GB"))
     return rows
 
 
-def run_band_sweep(duration_s: float = 21600.0, scale: float = 0.3) -> list[AblationRow]:
-    """Downlink band sweep: X (the paper's default) vs Ku vs Ka.
-
-    Sec. 2: "Some designs are also exploring higher frequencies (Ku band
-    ... and Ka band ...) for downlink."  Dish gain and FSPL both scale as
-    f^2 and cancel; what changes is rain sensitivity, which grows steeply
-    with frequency -- exactly why the geographic diversity argument
-    strengthens at Ku/Ka.
-    """
-    from dataclasses import replace
-
-    from repro.linkbudget.budget import RadioConfig
-
-    num_sats, num_stations, _ = scaled_counts(scale)
-    rows = []
-    for label, freq in (("X 8.2 GHz", 8.2), ("Ku 14 GHz", 14.0),
-                        ("Ka 26.5 GHz", 26.5)):
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        radio = RadioConfig(frequency_ghz=freq)
-        for sat in sim.satellites:
-            sat.radio = radio
-        # Use stormier weather so the band differences are visible.
-        sim.truth_weather = build_paper_weather(seed=3, intensity_scale=2.0)
-        sim.scheduler.weather = sim.truth_weather
-        sim.scheduler._budgets.clear()
-        rows.append(_row(label, sim.run()))
-    return rows
+def run_band_sweep(duration_s: float = 21600.0, scale: float = 0.3,
+                   workers: int = 0) -> list[AblationRow]:
+    """Downlink band sweep: X (the paper's default) vs Ku vs Ka."""
+    return [
+        _row(label, report)
+        for label, report in _run_section(band_sweep_specs(duration_s, scale),
+                                          workers)
+    ]
 
 
-def run_execution_mode(duration_s: float = 21600.0,
-                       scale: float = 0.3) -> list[AblationRow]:
+def run_execution_mode(duration_s: float = 21600.0, scale: float = 0.3,
+                       workers: int = 0) -> list[AblationRow]:
     """Live matching (the paper's simulation) vs planned execution.
 
     Planned mode is Sec. 3's actual operational model: stations follow the
@@ -247,32 +325,24 @@ def run_execution_mode(duration_s: float = 21600.0,
     they last received at a transmit-capable contact.  The delta between
     the rows is the cost of plan distribution latency and staleness.
     """
-    num_sats, num_stations, _ = scaled_counts(scale)
     rows = []
-    for label, mode in (("live", "live"), ("planned 1h refresh", "planned")):
-        sim = _dgs_sim(
-            num_satellites=num_sats,
-            num_stations=num_stations,
-            duration_s=duration_s,
-        )
-        if mode == "planned":
-            sim.config.execution_mode = "planned"
-        report = sim.run()
+    for label, report in _run_section(
+        execution_mode_specs(duration_s, scale), workers
+    ):
         extra = ""
-        if mode == "planned":
-            extra = f"mismatch steps={sim.plan_mismatch_steps}"
+        if label != "live":
+            extra = f"mismatch steps={report.plan_mismatch_steps}"
         rows.append(_row(label, report, extra=extra))
     return rows
 
 
-def run(duration_s: float = 21600.0, scale: float = 0.3) -> ExperimentResult:
+def run(duration_s: float = 21600.0, scale: float = 0.3,
+        workers: int = 0) -> ExperimentResult:
     """Run every ablation; render one table per design dimension."""
     result = ExperimentResult(
         experiment_id="ablations",
         description="design-choice ablations (Sec. 3 discussion)",
     )
-    from repro.analysis.tables import ComparisonTable
-
     sections = (
         ("matching algorithm", run_matching),
         ("tx-capable fraction", run_tx_fraction),
@@ -284,7 +354,7 @@ def run(duration_s: float = 21600.0, scale: float = 0.3) -> ExperimentResult:
         ("execution mode", run_execution_mode),
     )
     for title, fn in sections:
-        rows = fn(duration_s, scale)
+        rows = fn(duration_s, scale, workers=workers)
         rendered = format_table(_HEADERS, [r.cells() for r in rows],
                                 title=f"-- {title} --")
         result.notes.append(rendered)

@@ -22,8 +22,16 @@ PAPER_LATENCY_MIN = {
 _VARIANTS = {"baseline": "baseline-L", "dgs": "dgs-L", "dgs25": "dgs25-L"}
 
 
-def run(duration_s: float = 86400.0, scale: float = 1.0) -> ExperimentResult:
-    """Reproduce Fig. 3b: latency CDFs for Baseline, DGS, and DGS(25%)."""
+def run(duration_s: float = 86400.0, scale: float = 1.0,
+        workers: int = 0) -> ExperimentResult:
+    """Reproduce Fig. 3b: latency CDFs for Baseline, DGS, and DGS(25%).
+
+    Variants are submitted to the sweep runner as one grid (``workers``
+    processes; 0 = in this process) instead of looped over.
+    """
+    from repro.experiments.paper_runs import ensure_runs
+
+    ensure_runs(_VARIANTS.values(), duration_s, scale, workers=workers)
     result = ExperimentResult(
         experiment_id="fig3b",
         description="capture-to-reception latency CDF (minutes)",

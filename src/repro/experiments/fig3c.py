@@ -23,8 +23,16 @@ PAPER_LATENCY_MIN = {
 }
 
 
-def run(duration_s: float = 86400.0, scale: float = 1.0) -> ExperimentResult:
-    """Reproduce Fig. 3c: latency under latency- vs throughput-optimized Phi."""
+def run(duration_s: float = 86400.0, scale: float = 1.0,
+        workers: int = 0) -> ExperimentResult:
+    """Reproduce Fig. 3c: latency under latency- vs throughput-optimized Phi.
+
+    Variants are submitted to the sweep runner as one grid (``workers``
+    processes; 0 = in this process) instead of looped over.
+    """
+    from repro.experiments.paper_runs import ensure_runs
+
+    ensure_runs(PAPER_LATENCY_MIN.keys(), duration_s, scale, workers=workers)
     result = ExperimentResult(
         experiment_id="fig3c",
         description="latency CDF under different value functions (minutes)",

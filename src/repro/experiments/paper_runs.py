@@ -43,6 +43,47 @@ def spec_for_variant(variant: str, duration_s: float = 86400.0,
     )
 
 
+def _cache_key(variant: str, duration_s: float, scale: float) -> tuple:
+    return (variant, round(duration_s), round(scale, 4))
+
+
+def ensure_runs(variants, duration_s: float = 86400.0, scale: float = 1.0,
+                workers: int = 0, run_dir: str | None = None) -> None:
+    """Run every uncached variant through the sweep runner, then cache.
+
+    ``workers=0`` executes in this process (bit-identical to the historic
+    per-variant loop); ``workers>=1`` shards the missing variants across
+    a process pool.  Either way each result round-trips through the
+    cell-payload serialization, so figure modules see the same numbers
+    regardless of execution mode.
+    """
+    from repro.runners import SweepCell, report_from_payload, run_specs
+
+    missing = []
+    seen = set()
+    for variant in variants:
+        key = _cache_key(variant, duration_s, scale)
+        if key in _CACHE or variant in seen:
+            continue
+        seen.add(variant)
+        missing.append(variant)
+    if not missing:
+        return
+    cells = [
+        SweepCell(variant, spec_for_variant(variant, duration_s, scale))
+        for variant in missing
+    ]
+    payloads = run_specs(cells, workers=workers, run_dir=run_dir)
+    for variant in missing:
+        payload = payloads[variant]
+        _CACHE[_cache_key(variant, duration_s, scale)] = ScenarioResult(
+            label=variant,
+            num_satellites=payload["num_satellites"],
+            num_stations=payload["num_stations"],
+            report=report_from_payload(payload),
+        )
+
+
 def get_run(variant: str, duration_s: float = 86400.0,
             scale: float = 1.0) -> ScenarioResult:
     """Run (or fetch) one named scenario.
@@ -50,14 +91,8 @@ def get_run(variant: str, duration_s: float = 86400.0,
     Variants: ``baseline-L``, ``dgs-L``, ``dgs25-L``, ``dgs25-T``,
     ``dgs-T`` -- suffix L/T is the latency/throughput value function.
     """
-    key = (variant, round(duration_s), round(scale, 4))
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    spec = spec_for_variant(variant, duration_s, scale)
-    result = spec.run(label=variant)
-    _CACHE[key] = result
-    return result
+    ensure_runs([variant], duration_s, scale)
+    return _CACHE[_cache_key(variant, duration_s, scale)]
 
 
 def clear_cache() -> None:

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.core.scenarios import PAPER_EPOCH, ScenarioSpec
 from repro.experiments.common import ExperimentResult, scaled_counts
-from repro.faults import FaultSchedule
 from repro.simulation.faults import OutageSchedule
 
 
@@ -149,58 +148,54 @@ _SWEEP_HEADERS = ["intensity", "delivered (TB)", "lat p50 (min)",
                   "delivery vs healthy", "requeues", "fault events"]
 
 
-def _run_with_faults(num_sats: int, num_stations: int, duration_s: float,
-                     faults: FaultSchedule | None, announced: bool = True):
-    """A DGS run with the seeded fault layer attached (None = healthy)."""
-    network, sim = _build("dgs", num_sats, num_stations, duration_s)
-    if faults is not None:
-        from repro.simulation.engine import Simulation
+def fault_sweep_specs(duration_s: float = 21600.0, scale: float = 0.2,
+                      intensities=(0.0, 0.1, 0.25, 0.5), seed: int = 7,
+                      announced: bool = True,
+                      ) -> list[tuple[str, ScenarioSpec]]:
+    """``(label, spec)`` grid for the fault-intensity sweep.
 
-        sim = Simulation(
-            satellites=sim.satellites,
-            network=network,
-            value_function=sim.scheduler.value_function,
-            config=sim.config,
-            truth_weather=sim.truth_weather,
-            faults=faults,
-            faults_announced=announced,
-        )
-    return network, sim.run()
+    Intensity 0.0 is the healthy reference cell; each positive intensity
+    draws one :meth:`FaultSchedule.generate` schedule inside
+    :meth:`ScenarioSpec.build` (same seed, so runs are reproducible).
+    """
+    num_sats, num_stations, _base_n = scaled_counts(scale)
+    return [
+        (f"intensity:{intensity:.2f}", ScenarioSpec.dgs(
+            num_satellites=num_sats, num_stations=num_stations,
+            duration_s=duration_s, fault_intensity=intensity,
+            fault_seed=seed, faults_announced=announced,
+        ))
+        for intensity in intensities
+    ]
 
 
 def fault_sweep(duration_s: float = 21600.0, scale: float = 0.2,
                 intensities=(0.0, 0.1, 0.25, 0.5),
-                seed: int = 7, announced: bool = True) -> ExperimentResult:
+                seed: int = 7, announced: bool = True,
+                workers: int = 0) -> ExperimentResult:
     """Sweep seeded fault intensity over the DGS scenario.
 
-    The analogue of the station-count sweep, along the fault axis: each
-    intensity draws one :meth:`FaultSchedule.generate` schedule (same
-    seed, so runs are reproducible) mixing station outages, backhaul
+    The analogue of the station-count sweep, along the fault axis: the
+    grid from :func:`fault_sweep_specs` mixes station outages, backhaul
     partitions/latency spikes, undecoded passes, and stale-TLE windows,
     then measures delivered volume, latency, and the per-fault counters.
+    Cells are submitted to the sweep runner (``workers`` processes; 0 =
+    in this process) instead of looped over.
     """
-    num_sats, num_stations, _base_n = scaled_counts(scale)
+    from repro.runners import SweepCell, report_from_payload, run_specs
+
     result = ExperimentResult(
         experiment_id="fault-sweep",
         description="DGS degradation vs injected fault intensity",
     )
+    pairs = fault_sweep_specs(duration_s, scale, intensities, seed, announced)
+    payloads = run_specs(
+        [SweepCell(label, spec) for label, spec in pairs], workers=workers
+    )
     rows: list[list[str]] = []
     healthy_tb = None
-    for intensity in intensities:
-        faults = None
-        if intensity > 0.0:
-            network, sim = _build("dgs", num_sats, num_stations, duration_s)
-            faults = FaultSchedule.generate(
-                station_ids=[st.station_id for st in network],
-                satellite_ids=[s.satellite_id for s in sim.satellites],
-                start=PAPER_EPOCH,
-                horizon_s=duration_s,
-                intensity=intensity,
-                seed=seed,
-            )
-        _network, report = _run_with_faults(
-            num_sats, num_stations, duration_s, faults, announced
-        )
+    for intensity, (label, _spec) in zip(intensities, pairs):
+        report = report_from_payload(payloads[label])
         if healthy_tb is None:
             healthy_tb = report.delivered_tb
         degradation = (
@@ -216,10 +211,9 @@ def fault_sweep(duration_s: float = 21600.0, scale: float = 0.2,
             str(report.retransmitted_chunks),
             str(sum(counters.values())),
         ])
-        key = f"intensity:{intensity:.2f}"
-        result.series[key] = [report.delivered_tb]
+        result.series[label] = [report.delivered_tb]
         for name, count in sorted(counters.items()):
-            result.series[f"{key}:{name}"] = [float(count)]
+            result.series[f"{label}:{name}"] = [float(count)]
     result.notes.append(format_table(_SWEEP_HEADERS, rows,
                                      title="-- fault-intensity sweep --"))
     return result

@@ -1,0 +1,41 @@
+"""Parallel, resumable sweep execution over frozen scenario specs.
+
+The runner layer turns a grid of :class:`~repro.core.scenarios.ScenarioSpec`
+cells into one merged, schema-versioned ``repro-sweep/1`` report:
+
+* :class:`SweepRunner` -- shard across N processes (deterministic LPT
+  assignment), checkpoint per cell under its config hash, resume a killed
+  sweep, merge byte-identically regardless of execution mode;
+* :func:`run_specs` -- the experiments' one-call view (label -> payload);
+* :mod:`repro.runners.grids` -- the paper's named grids (``fig3``,
+  ``fig3-seeds``, ``ablations``, ``fault-sweep``) plus JSON grid files.
+"""
+
+from repro.runners.sweep import (
+    CELL_SCHEMA,
+    SWEEP_MANIFEST_SCHEMA,
+    SWEEP_SCHEMA,
+    SweepCell,
+    SweepResult,
+    SweepRunner,
+    merge_cells,
+    run_specs,
+    shard_cells,
+    sweep_report_json,
+)
+from repro.runners.worker import report_from_payload, run_cell
+
+__all__ = [
+    "CELL_SCHEMA",
+    "SWEEP_MANIFEST_SCHEMA",
+    "SWEEP_SCHEMA",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "merge_cells",
+    "report_from_payload",
+    "run_cell",
+    "run_specs",
+    "shard_cells",
+    "sweep_report_json",
+]

@@ -1,0 +1,131 @@
+"""Named sweep grids: the paper's evaluation as lists of frozen cells.
+
+Each builder returns ``list[SweepCell]`` for the sweep runner; the CLI
+(``repro sweep --grid NAME``) and benches select them by name.  Explicit
+grids come from a JSON file: ``[{"label": ..., "spec": {...}}, ...]``
+with spec dicts in :meth:`ScenarioSpec.to_dict` form.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.scenarios import ScenarioSpec
+from repro.runners.sweep import SweepCell
+
+
+def fig3_grid(duration_s: float = 86400.0,
+              scale: float = 1.0) -> list[SweepCell]:
+    """The four headline scenario runs behind Figs. 3a/3b/3c."""
+    from repro.experiments.paper_runs import spec_for_variant
+
+    return [
+        SweepCell(variant, spec_for_variant(variant, duration_s, scale))
+        for variant in ("baseline-L", "dgs-L", "dgs25-L", "dgs25-T")
+    ]
+
+
+def fig3_seed_grid(duration_s: float = 86400.0, scale: float = 1.0,
+                   fleet_seeds: tuple[int, ...] = (7, 8)) -> list[SweepCell]:
+    """Fig. 3 variants replicated over constellation draws (8+ cells).
+
+    Varying ``fleet_seed`` makes each replicate a genuinely different
+    constellation -- the robustness-of-figures grid, and the bench grid
+    for the parallel runner (no cross-cell ephemeris sharing to flatter
+    the serial baseline).
+    """
+    from dataclasses import replace
+
+    from repro.experiments.paper_runs import spec_for_variant
+
+    cells = []
+    for seed in fleet_seeds:
+        for variant in ("baseline-L", "dgs-L", "dgs25-L", "dgs25-T"):
+            spec = replace(
+                spec_for_variant(variant, duration_s, scale),
+                fleet_seed=seed,
+            )
+            cells.append(SweepCell(f"{variant}@fleet{seed}", spec))
+    return cells
+
+
+def ablation_grid(duration_s: float = 21600.0,
+                  scale: float = 0.3) -> list[SweepCell]:
+    """Every spec-expressible ablation section, one flat grid.
+
+    Sections share reference cells (e.g. ``matching algorithm:stable``
+    and ``weather intensity:nominal`` are the same simulation); identical
+    specs are deduplicated to their first label, since the cell identity
+    is the spec, not the section naming it.
+    """
+    from repro.experiments import ablations
+
+    cells = []
+    seen: set[str] = set()
+    for section, pairs in ablations.section_specs(duration_s, scale):
+        for label, spec in pairs:
+            cell = SweepCell(f"{section}:{label}", spec)
+            if cell.config_sha256() in seen:
+                continue
+            seen.add(cell.config_sha256())
+            cells.append(cell)
+    return cells
+
+
+def fault_sweep_grid(duration_s: float = 21600.0, scale: float = 0.2,
+                     intensities: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5),
+                     seed: int = 7,
+                     announced: bool = True) -> list[SweepCell]:
+    """The DGS fault-intensity sweep as sweep cells."""
+    from repro.experiments.robustness import fault_sweep_specs
+
+    return [
+        SweepCell(label, spec)
+        for label, spec in fault_sweep_specs(
+            duration_s, scale, intensities=intensities, seed=seed,
+            announced=announced,
+        )
+    ]
+
+
+#: Grid names the CLI accepts.
+GRID_BUILDERS = {
+    "fig3": fig3_grid,
+    "fig3-seeds": fig3_seed_grid,
+    "ablations": ablation_grid,
+    "fault-sweep": fault_sweep_grid,
+}
+
+
+def build_grid(name: str, duration_s: float, scale: float) -> list[SweepCell]:
+    """A named grid, or a ValueError naming the valid choices."""
+    try:
+        builder = GRID_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown grid {name!r} (choose from "
+            f"{', '.join(sorted(GRID_BUILDERS))})"
+        ) from None
+    return builder(duration_s, scale)
+
+
+def cells_from_json(text: str) -> list[SweepCell]:
+    """Parse an explicit grid: a JSON list of {label, spec} objects."""
+    raw = json.loads(text)
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("grid file must be a non-empty JSON list")
+    cells = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict) or "spec" not in item:
+            raise ValueError(
+                f"grid entry {index} must be an object with a 'spec' key"
+            )
+        spec = ScenarioSpec.from_dict(item["spec"])
+        label = str(item.get("label", f"cell-{index}"))
+        cells.append(SweepCell(label, spec))
+    return cells
+
+
+def load_grid_file(path: str) -> list[SweepCell]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return cells_from_json(handle.read())

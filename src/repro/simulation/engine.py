@@ -325,6 +325,8 @@ class Simulation:
                 if self.faults is not None else None
             ),
             stage_timings=rec.stage_timings(),
+            link_changes=self.link_changes,
+            plan_mismatch_steps=self.plan_mismatch_steps,
         )
 
     def _record_component_stats(self) -> None:

@@ -56,6 +56,12 @@ class SimulationReport:
     #: (``run/schedule/matching``); empty unless the run was observed
     #: (``observability=ObsConfig(...)``).
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: Satellite->station link changes over the run (antenna slews); the
+    #: churn cost of the matching policy.
+    link_changes: int = 0
+    #: Planned-execution steps where a satellite transmitted at a station
+    #: no longer pointing at it (always 0 in live mode).
+    plan_mismatch_steps: int = 0
 
     # -- latency --------------------------------------------------------------
 
@@ -142,6 +148,8 @@ class SimulationReport:
             "satellite_bits": dict(self.satellite_bits),
             "fault_counters": dict(self.fault_counters),
             "stage_timings": dict(self.stage_timings),
+            "link_changes": self.link_changes,
+            "plan_mismatch_steps": self.plan_mismatch_steps,
         }
 
     @classmethod
@@ -173,6 +181,8 @@ class SimulationReport:
             satellite_bits=dict(raw["satellite_bits"]),
             fault_counters=dict(raw.get("fault_counters", {})),
             stage_timings=dict(raw.get("stage_timings", {})),
+            link_changes=int(raw.get("link_changes", 0)),
+            plan_mismatch_steps=int(raw.get("plan_mismatch_steps", 0)),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -231,6 +241,8 @@ class MetricsCollector:
                  final_unacked_gb: dict[str, float],
                  fault_counters: dict[str, int] | None = None,
                  stage_timings: dict[str, float] | None = None,
+                 link_changes: int = 0,
+                 plan_mismatch_steps: int = 0,
                  ) -> SimulationReport:
         return SimulationReport(
             latency_s={k: list(v) for k, v in self.latency_s.items()},
@@ -246,4 +258,6 @@ class MetricsCollector:
             satellite_bits=dict(self.satellite_bits),
             fault_counters=dict(fault_counters or {}),
             stage_timings=dict(stage_timings or {}),
+            link_changes=link_changes,
+            plan_mismatch_steps=plan_mismatch_steps,
         )

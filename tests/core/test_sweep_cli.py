@@ -1,0 +1,138 @@
+"""Tests for ``repro sweep``: arg validation, resume, and equivalence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenarios import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def grid_file(tmp_path_factory) -> str:
+    """A tiny 4-cell explicit grid (2 sats, 5 stations, 15 sim-minutes)."""
+    cells = [
+        {
+            "label": f"cell{i}",
+            "spec": ScenarioSpec.dgs(
+                num_satellites=2, num_stations=5, duration_s=900.0,
+                fleet_seed=7 + i,
+            ).to_dict(),
+        }
+        for i in range(4)
+    ]
+    path = tmp_path_factory.mktemp("grid") / "grid.json"
+    path.write_text(json.dumps(cells), encoding="utf-8")
+    return str(path)
+
+
+class TestBadArgs:
+    def test_no_grid_exits_2(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_both_grid_kinds_exit_2(self, grid_file, capsys):
+        assert main(["sweep", "--grid", "fig3",
+                     "--grid-file", grid_file]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_unknown_grid_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "fig9"]) == 2
+        assert "unknown grid" in capsys.readouterr().err
+
+    def test_negative_workers_exit_2(self, capsys):
+        assert main(["sweep", "--grid", "fig3", "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_missing_grid_file_exits_2(self, capsys):
+        assert main(["sweep", "--grid-file", "/nope/grid.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_grid_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"label": "x"}]', encoding="utf-8")
+        assert main(["sweep", "--grid-file", str(path)]) == 2
+        assert "spec" in capsys.readouterr().err
+
+    def test_trace_without_dir_exits_2(self, grid_file, capsys):
+        assert main(["sweep", "--grid-file", grid_file, "--trace"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_conflicting_resume_and_out_exit_2(self, grid_file, capsys):
+        assert main(["sweep", "--grid-file", grid_file,
+                     "--resume", "/a", "--out", "/b"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+
+class TestSweepRuns:
+    @pytest.fixture(scope="class")
+    def serial_dir(self, grid_file, tmp_path_factory) -> str:
+        out = str(tmp_path_factory.mktemp("serial"))
+        assert main(["sweep", "--grid-file", grid_file, "--out", out]) == 0
+        return out
+
+    def test_report_written(self, serial_dir, capsys):
+        with open(os.path.join(serial_dir, "sweep_report.json"),
+                  encoding="utf-8") as handle:
+            merged = json.load(handle)
+        assert merged["schema"] == "repro-sweep/1"
+        assert merged["cell_count"] == 4
+
+    def test_parallel_report_is_byte_identical(self, grid_file, serial_dir,
+                                               tmp_path, capsys):
+        out = str(tmp_path / "parallel")
+        assert main(["sweep", "--grid-file", grid_file, "--out", out,
+                     "--workers", "2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "2 workers" in stdout
+        with open(os.path.join(serial_dir, "sweep_report.json"), "rb") as a:
+            with open(os.path.join(out, "sweep_report.json"), "rb") as b:
+                assert a.read() == b.read()
+
+    def test_resume_skips_completed_cells(self, grid_file, serial_dir,
+                                          capsys):
+        assert main(["sweep", "--grid-file", grid_file,
+                     "--resume", serial_dir]) == 0
+        stdout = capsys.readouterr().out
+        assert "0 run, 4 resumed" in stdout
+
+    def test_partial_resume_finishes_the_grid(self, grid_file, serial_dir,
+                                              tmp_path, capsys):
+        # A "killed" sweep: copy two of four checkpoints, then resume.
+        partial = tmp_path / "partial"
+        cells_dir = partial / "cells"
+        cells_dir.mkdir(parents=True)
+        survivors = sorted(
+            os.listdir(os.path.join(serial_dir, "cells"))
+        )[:2]
+        for name in survivors:
+            with open(os.path.join(serial_dir, "cells", name), "rb") as src:
+                (cells_dir / name).write_bytes(src.read())
+        assert main(["sweep", "--grid-file", grid_file,
+                     "--resume", str(partial), "--workers", "2"]) == 0
+        assert "2 run, 2 resumed" in capsys.readouterr().out
+        with open(os.path.join(serial_dir, "sweep_report.json"), "rb") as a:
+            with open(partial / "sweep_report.json", "rb") as b:
+                assert a.read() == b.read()
+
+    def test_labels_listed_in_output(self, grid_file, serial_dir, capsys):
+        assert main(["sweep", "--grid-file", grid_file,
+                     "--resume", serial_dir]) == 0
+        stdout = capsys.readouterr().out
+        for i in range(4):
+            assert f"cell{i}" in stdout
+
+
+class TestExperimentWorkersFlag:
+    def test_workers_flag_accepted(self, capsys):
+        assert main(["experiment", "fig3a", "--scale", "0.05",
+                     "--hours", "0.5", "--workers", "2"]) == 0
+        assert "Fig 3a" in capsys.readouterr().out
+
+    def test_workers_noted_for_inprocess_experiments(self, capsys):
+        assert main(["experiment", "storage", "--scale", "0.05",
+                     "--hours", "0.5", "--workers", "2"]) == 0
+        assert "--workers ignored" in capsys.readouterr().err
