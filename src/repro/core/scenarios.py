@@ -18,6 +18,7 @@ deprecation shims over the spec.
 from __future__ import annotations
 
 import hashlib
+import math
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from datetime import datetime
@@ -25,7 +26,7 @@ from datetime import datetime
 from repro.baseline.system import CentralizedBaseline
 from repro.groundstations.network import GroundStationNetwork, satnogs_like_network
 from repro.obs import ObsConfig
-from repro.orbits.constellation import synthetic_leo_constellation
+from repro.orbits.constellation import synthetic_leo_constellation, walker_delta
 from repro.satellites.satellite import Satellite
 from repro.scheduling.scheduler import MatcherName
 from repro.scheduling.value_functions import (
@@ -43,6 +44,15 @@ from repro.weather.provider import QuantizedWeatherCache, WeatherProvider
 PAPER_SATELLITES = 259
 PAPER_STATIONS = 173
 PAPER_EPOCH = datetime(2020, 6, 1)
+
+
+def _auto_walker_planes(total_satellites: int) -> int:
+    """Largest divisor of the shell size not exceeding its square root --
+    the near-square plane/slot split a Walker shell defaults to."""
+    for planes in range(int(math.isqrt(total_satellites)), 1, -1):
+        if total_satellites % planes == 0:
+            return planes
+    return 1
 
 
 def build_paper_fleet(
@@ -165,6 +175,22 @@ class ScenarioSpec:
     fault_intensity: float = 0.0
     fault_seed: int = 7
     faults_announced: bool = True
+    #: Fleet synthesis: ``paper`` (the SatNOGS-like EO mix) or ``walker``
+    #: (a deterministic Walker-delta shell -- the mega-constellation
+    #: scaling fleets).
+    constellation: str = "paper"
+    #: Walker-shell geometry (ignored for ``paper``).  ``walker_planes=0``
+    #: picks the near-square plane count automatically.
+    walker_planes: int = 0
+    walker_phasing: int = 1
+    walker_inclination_deg: float = 53.0
+    walker_altitude_km: float = 550.0
+    #: Scaling knobs, forwarded to :class:`SimulationConfig`: coarse-grid
+    #: candidate prefiltering (bit-identical either way), ephemeris
+    #: storage dtype, and windowed ephemeris streaming (0 = monolithic).
+    spatial_culling: bool = True
+    ephemeris_dtype: str = "float64"
+    ephemeris_window_steps: int = 0
     observability: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self):
@@ -186,6 +212,17 @@ class ScenarioSpec:
             raise ValueError(
                 f"fault_intensity must be in [0, 1], got {self.fault_intensity}"
             )
+        if self.constellation not in ("paper", "walker"):
+            raise ValueError(f"unknown constellation {self.constellation!r}")
+        if self.walker_planes < 0:
+            raise ValueError("walker_planes must be >= 0 (0 = auto)")
+        if self.ephemeris_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"ephemeris_dtype must be 'float64' or 'float32', "
+                f"got {self.ephemeris_dtype!r}"
+            )
+        if self.ephemeris_window_steps < 0:
+            raise ValueError("ephemeris_window_steps must be >= 0")
 
     # -- constructors -------------------------------------------------------
 
@@ -288,9 +325,41 @@ class ScenarioSpec:
 
     # -- assembly -----------------------------------------------------------
 
+    def fleet_identity(self) -> tuple:
+        """The fields that determine the fleet's TLE set.
+
+        Two specs with equal identities build orbit-identical fleets (and
+        therefore share one ephemeris table); the sweep runner's
+        shared-memory export groups cells by this.
+        """
+        return (
+            self.constellation, self.num_satellites, self.fleet_seed,
+            self.walker_planes, self.walker_phasing,
+            self.walker_inclination_deg, self.walker_altitude_km,
+        )
+
+    def build_fleet(self) -> list[Satellite]:
+        """Synthesize the satellite fleet alone (no network/simulation)."""
+        if self.constellation == "walker":
+            planes = self.walker_planes or _auto_walker_planes(
+                self.num_satellites
+            )
+            tles = walker_delta(
+                self.num_satellites, planes, self.walker_phasing % planes,
+                self.walker_inclination_deg, self.walker_altitude_km,
+                PAPER_EPOCH,
+            )
+            return [
+                Satellite(
+                    tle=tle, generation_gb_per_day=100.0, chunk_size_gb=1.0
+                )
+                for tle in tles
+            ]
+        return build_paper_fleet(self.num_satellites, seed=self.fleet_seed)
+
     def build(self) -> Scenario:
         """Assemble the fleet, ground network, and simulation."""
-        fleet = build_paper_fleet(self.num_satellites, seed=self.fleet_seed)
+        fleet = self.build_fleet()
         if self.frequency_ghz is not None:
             from repro.linkbudget.budget import RadioConfig
 
@@ -321,6 +390,9 @@ class ScenarioSpec:
             use_forecast=self.use_forecast,
             enforce_plan_distribution=self.enforce_plan_distribution,
             execution_mode=self.execution_mode,
+            spatial_culling=self.spatial_culling,
+            ephemeris_dtype=self.ephemeris_dtype,
+            ephemeris_window_steps=self.ephemeris_window_steps,
         )
         observability = self.observability
         if observability is not None and not observability.seeds:

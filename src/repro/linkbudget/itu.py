@@ -241,6 +241,20 @@ def rain_attenuation_db_batch(
         np.asarray(station_latitude_deg, dtype=float),
         np.asarray(station_altitude_km, dtype=float),
     )
+    # Dry pairs attenuate exactly 0 dB, so the model only ever runs on
+    # the wet subset -- elementwise ops on a gathered subset produce the
+    # same per-element bits as on the full arrays, and rain is commonly
+    # sparse (isolated rain cells) or absent (clear-sky scenarios).
+    wet = np.flatnonzero(rain > 0.0)
+    out = np.zeros(rain.shape)
+    if wet.size == 0:
+        return out
+    if wet.size < rain.size:
+        out.ravel()[wet] = rain_attenuation_db_batch(
+            rain.ravel()[wet], frequency_ghz, elevation.ravel()[wet],
+            lat.ravel()[wet], alt.ravel()[wet], polarization,
+        )
+        return out
     k, alpha = rain_coefficients(frequency_ghz, polarization)
     with np.errstate(divide="ignore"):
         gamma = np.where(rain > 0.0, k * rain**alpha, 0.0)
@@ -403,9 +417,18 @@ def cloud_attenuation_db_batch(
     clw = np.asarray(columnar_liquid_water_kg_m2, dtype=float)
     if (clw < 0.0).any():
         raise ValueError("columnar liquid water cannot be negative")
-    el = np.maximum(np.asarray(elevation_deg, dtype=float), 5.0)
+    elevation = np.asarray(elevation_deg, dtype=float)
+    clw, elevation = np.broadcast_arrays(clw, elevation)
+    # As with rain: dry pairs are exactly 0 dB, so evaluate the wet
+    # subset only (bit-identical per element).
+    wet = np.flatnonzero(clw > 0.0)
+    out = np.zeros(clw.shape)
+    if wet.size == 0:
+        return out
+    el = np.maximum(elevation.ravel()[wet], 5.0)
     kl = cloud_specific_coefficient(frequency_ghz, temperature_k)
-    return np.where(clw > 0.0, clw * kl / np.sin(np.radians(el)), 0.0)
+    out.ravel()[wet] = clw.ravel()[wet] * kl / np.sin(np.radians(el))
+    return out
 
 
 # --------------------------------------------------------------------------

@@ -123,11 +123,14 @@ def walker_delta(
     altitude_km: float,
     epoch: datetime,
     first_satnum: int = 70000,
+    name_prefix: str = "WALKER",
 ) -> list[TLE]:
     """Generate a Walker Delta constellation i:t/p/f as TLEs.
 
     ``total_satellites`` must divide evenly into ``planes``; ``phasing``
-    is the Walker f parameter (inter-plane phase offset units).
+    is the Walker f parameter (inter-plane phase offset units).  The
+    output is fully deterministic -- same arguments, same TLE lines --
+    which is what makes Walker fleets usable as benchmark identities.
     """
     if total_satellites % planes != 0:
         raise ValueError("total_satellites must be divisible by planes")
@@ -154,7 +157,34 @@ def walker_delta(
                     argp_deg=0.0,
                     mean_anomaly_deg=mean_anomaly % 360.0,
                     mean_motion_rev_day=mean_motion,
-                    name=f"WALKER-{plane}-{slot}",
+                    name=f"{name_prefix}-{plane}-{slot}",
                 )
             )
+    return tles
+
+
+def walker_shells(
+    shells: list[tuple[int, int, int, float, float]],
+    epoch: datetime,
+    first_satnum: int = 70000,
+) -> list[TLE]:
+    """Concatenate Walker Delta shells into one deterministic TLE set.
+
+    ``shells`` is a list of ``(total, planes, phasing, inclination_deg,
+    altitude_km)`` tuples -- the multi-shell layout of real
+    mega-constellations (e.g. Starlink's 53/53.2/70/97.6 deg shells).
+    Satellite numbers are allocated contiguously across shells and names
+    carry the shell index, so the combined set stays collision-free.
+    """
+    tles: list[TLE] = []
+    satnum = first_satnum
+    for shell_index, (total, planes, phasing, incl, alt) in enumerate(shells):
+        tles.extend(
+            walker_delta(
+                total, planes, phasing, incl, alt, epoch,
+                first_satnum=satnum,
+                name_prefix=f"WALKER{shell_index}",
+            )
+        )
+        satnum += total
     return tles

@@ -88,12 +88,42 @@ def fault_sweep_grid(duration_s: float = 21600.0, scale: float = 0.2,
     ]
 
 
+def constellation_scaling_grid(duration_s: float = 3600.0,
+                               scale: float = 1.0) -> list[SweepCell]:
+    """Mega-constellation scaling cells: Walker shells at 2.5k and 10k.
+
+    Short-horizon (default one hour) runs of deterministic Walker-delta
+    shells against the full paper network, with float32 ephemeris storage
+    -- the scaling regime the spatial-culling and sparse-graph machinery
+    targets.  ``scale`` multiplies the shell sizes (CI smoke uses
+    ``scale=1`` with the 2.5k cell only; see the bench baselines).  The
+    10k cell streams its ephemeris in windows to bound peak memory.
+    """
+    shells = [
+        ("walker2500", 2500, 0),
+        ("walker10000", 10000, 360),
+    ]
+    cells = []
+    for label, sats, window in shells:
+        count = max(4, int(round(sats * scale)))
+        spec = ScenarioSpec.dgs(
+            constellation="walker",
+            num_satellites=count,
+            duration_s=duration_s,
+            ephemeris_dtype="float32",
+            ephemeris_window_steps=window,
+        )
+        cells.append(SweepCell(label, spec))
+    return cells
+
+
 #: Grid names the CLI accepts.
 GRID_BUILDERS = {
     "fig3": fig3_grid,
     "fig3-seeds": fig3_seed_grid,
     "ablations": ablation_grid,
     "fault-sweep": fault_sweep_grid,
+    "constellation-scaling": constellation_scaling_grid,
 }
 
 

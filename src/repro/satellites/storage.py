@@ -57,6 +57,11 @@ class OnboardStorage:
         self._acked: list[DataChunk] = []
         self.dropped_bits = 0.0
         self._dirty = False
+        #: Send-queue mutation counter.  Bumped by every operation that can
+        #: change what :meth:`prefix_age_value` would return (capture,
+        #: transmit, requeue); fleet-level pricing caches compare it to
+        #: decide whether their snapshot of this queue is still valid.
+        self.version = 0
 
     # -- capture -----------------------------------------------------------
 
@@ -66,6 +71,7 @@ class OnboardStorage:
             raise ValueError("can only capture ONBOARD chunks")
         self._onboard.append(chunk)
         self._dirty = True
+        self.version += 1
         if self.capacity_bits is not None:
             while self.stored_bits > self.capacity_bits and self._onboard:
                 self._sort()
@@ -96,6 +102,7 @@ class OnboardStorage:
         if bits_budget < 0:
             raise ValueError("bits budget cannot be negative")
         self._sort()
+        self.version += 1
         sent_total = 0.0
         completed: list[DataChunk] = []
         while bits_budget > 1e-9 and self._onboard:
@@ -134,6 +141,7 @@ class OnboardStorage:
                 chunk.requeue()
                 self._onboard.append(chunk)
                 self._dirty = True
+                self.version += 1
                 requeued.append(chunk)
             else:
                 remaining.append(chunk)
@@ -164,8 +172,12 @@ class OnboardStorage:
         """Bits still to transmit (remaining portions of queued chunks).
 
         This is the send-budget view used by the value functions; for the
-        delivery metric see :attr:`true_backlog_bits`.
+        delivery metric see :attr:`true_backlog_bits`.  Summation runs in
+        send order (sorting first, a no-op when the queue is clean) so the
+        float result is reproducible regardless of when the last capture
+        or requeue happened relative to the read.
         """
+        self._sort()
         return sum(c.remaining_bits for c in self._onboard)
 
     @property
@@ -221,6 +233,22 @@ class OnboardStorage:
         """Capture time of the oldest unsent chunk (drives latency Phi)."""
         head = self.peek_sendable()
         return head.capture_time if head is not None else None
+
+    def queue_snapshot(self) -> tuple[list[float], list[float], list[datetime], float, float]:
+        """Sorted send-queue state for vectorized pricing.
+
+        Returns ``(remaining_bits, size_bits, capture_times, backlog_bits,
+        head_size_bits)`` in send order -- exactly the fields (and the
+        iteration order) :meth:`prefix_age_value` consumes, so a batch
+        evaluation over this snapshot reproduces its results bit for bit.
+        Pair with :attr:`version` to know when the snapshot goes stale.
+        """
+        self._sort()
+        remaining = [c.remaining_bits for c in self._onboard]
+        sizes = [c.size_bits for c in self._onboard]
+        captures = [c.capture_time for c in self._onboard]
+        head_size = sizes[0] if sizes else 0.0
+        return remaining, sizes, captures, sum(remaining), head_size
 
     def prefix_age_value(self, bits_budget: float, now: datetime) -> float:
         """Summed age (seconds, chunk-weighted) of the data a link could move.

@@ -62,6 +62,29 @@ def _station_capacities(graph: ContactGraph,
     return capacities
 
 
+def _assignments_at(graph: ContactGraph, positions: list[int],
+                    sat_l: list[int], gs_l: list[int],
+                    w_l: list[float]) -> list[Assignment]:
+    """Assignments for the chosen edge positions of the graph's columns."""
+    cols = graph.columns()
+    bitrate_l = cols.bitrate_bps.tolist()
+    elev_l = cols.elevation_deg.tolist()
+    range_l = cols.range_km.tolist()
+    esn0_l = cols.required_esn0_db.tolist()
+    return [
+        Assignment(
+            satellite_index=sat_l[p],
+            station_index=gs_l[p],
+            weight=w_l[p],
+            bitrate_bps=bitrate_l[p],
+            elevation_deg=elev_l[p],
+            range_km=range_l[p],
+            required_esn0_db=esn0_l[p],
+        )
+        for p in positions
+    ]
+
+
 def gale_shapley(graph: ContactGraph,
                  capacities: list[int] | None = None) -> list[Assignment]:
     """Satellite-proposing deferred acceptance (Gale-Shapley).
@@ -71,22 +94,46 @@ def gale_shapley(graph: ContactGraph,
     O(E log E) for preference sorting plus O(E) proposal rounds -- the
     K^2 bound the paper quotes with K = max(M, N).
 
+    Operates on the graph's column arrays (edge positions, never edge
+    objects): preference order comes from one fleet-wide lexsort and the
+    proposal loop shuffles integer positions, so matching cost tracks the
+    edge count without materializing per-edge objects.  Order semantics
+    are identical to the historical edge-object implementation --
+    satellites prefer (higher weight, lower station index), stations
+    prefer (higher weight, lower satellite index) -- and pair uniqueness
+    makes every comparison key distinct, so results are deterministic.
+
     The result is stable: no satellite-station pair both strictly prefer
     each other to their assignments (verified by :func:`is_stable` in
     tests).
     """
     caps = _station_capacities(graph, capacities)
-    # Preference lists: per satellite, edges sorted by descending weight.
-    prefs: dict[int, list[ContactEdge]] = {}
-    for edge in graph.edges:
-        prefs.setdefault(edge.satellite_index, []).append(edge)
-    for edge_list in prefs.values():
-        edge_list.sort(key=lambda e: (-e.weight, e.station_index))
+    cols = graph.columns()
+    sat_arr, gs_arr, w_arr = (
+        cols.satellite_index, cols.station_index, cols.weight
+    )
+    sat_l = sat_arr.tolist()
+    gs_l = gs_arr.tolist()
+    w_l = w_arr.tolist()
+    # Preference lists: per satellite, edge positions by descending weight
+    # (ties: ascending station), via one lexsort over all edges.  Edge
+    # order is satellite-major, so ascending-satellite grouping preserves
+    # the historical first-appearance key order.
+    order = np.lexsort((gs_arr, -w_arr, sat_arr))
+    sat_sorted = sat_arr[order]
+    uniq_sats, starts = np.unique(sat_sorted, return_index=True)
+    order_l = order.tolist()
+    bounds = starts.tolist() + [len(order_l)]
+    prefs: dict[int, list[int]] = {
+        int(s): order_l[bounds[k]:bounds[k + 1]]
+        for k, s in enumerate(uniq_sats.tolist())
+    }
     next_proposal = {sat: 0 for sat in prefs}
-    # Station state: currently held edges, kept sorted ascending by weight
-    # so the weakest is at index 0.
-    held: dict[int, list[ContactEdge]] = {}
+    # Station state: currently held edge positions, kept sorted ascending
+    # by (weight, -satellite) so the weakest is at index 0.
+    held: dict[int, list[int]] = {}
     free = list(prefs.keys())
+    station_key = lambda p: (w_l[p], -sat_l[p])  # noqa: E731
     while free:
         sat = free.pop()
         options = prefs[sat]
@@ -94,27 +141,23 @@ def gale_shapley(graph: ContactGraph,
         if idx >= len(options):
             continue  # exhausted all stations; stays unmatched
         next_proposal[sat] = idx + 1
-        edge = options[idx]
-        station_held = held.setdefault(edge.station_index, [])
-        capacity = caps[edge.station_index]
+        pos = options[idx]
+        station = gs_l[pos]
+        station_held = held.setdefault(station, [])
+        capacity = caps[station]
         if len(station_held) < capacity:
-            station_held.append(edge)
-            station_held.sort(key=lambda e: (e.weight, -e.satellite_index))
+            station_held.append(pos)
+            station_held.sort(key=station_key)
         else:
             weakest = station_held[0]
-            if (edge.weight, -edge.satellite_index) > (
-                weakest.weight, -weakest.satellite_index
-            ):
-                station_held[0] = edge
-                station_held.sort(key=lambda e: (e.weight, -e.satellite_index))
-                free.append(weakest.satellite_index)
+            if station_key(pos) > station_key(weakest):
+                station_held[0] = pos
+                station_held.sort(key=station_key)
+                free.append(sat_l[weakest])
             else:
                 free.append(sat)
-    return [
-        Assignment.from_edge(edge)
-        for edges in held.values()
-        for edge in edges
-    ]
+    chosen = [pos for positions in held.values() for pos in positions]
+    return _assignments_at(graph, chosen, sat_l, gs_l, w_l)
 
 
 def greedy_matching(graph: ContactGraph,
@@ -122,24 +165,31 @@ def greedy_matching(graph: ContactGraph,
     """Globally greedy: repeatedly take the heaviest remaining feasible edge.
 
     A 1/2-approximation to the optimum; cheaper and simpler than either
-    alternative, included as the ablation straw man.
+    alternative, included as the ablation straw man.  Like
+    :func:`gale_shapley`, consumes the graph's column arrays: the
+    (-weight, satellite, station) scan order is one lexsort.
     """
     caps = _station_capacities(graph, capacities)
+    cols = graph.columns()
+    sat_l = cols.satellite_index.tolist()
+    gs_l = cols.station_index.tolist()
+    w_l = cols.weight.tolist()
+    order = np.lexsort(
+        (cols.station_index, cols.satellite_index, -cols.weight)
+    )
     remaining_cap = list(caps)
     taken_sats: set[int] = set()
-    result = []
-    for edge in sorted(
-        graph.edges,
-        key=lambda e: (-e.weight, e.satellite_index, e.station_index),
-    ):
-        if edge.satellite_index in taken_sats:
+    chosen: list[int] = []
+    for pos in order.tolist():
+        sat = sat_l[pos]
+        if sat in taken_sats:
             continue
-        if remaining_cap[edge.station_index] <= 0:
+        if remaining_cap[gs_l[pos]] <= 0:
             continue
-        taken_sats.add(edge.satellite_index)
-        remaining_cap[edge.station_index] -= 1
-        result.append(Assignment.from_edge(edge))
-    return result
+        taken_sats.add(sat)
+        remaining_cap[gs_l[pos]] -= 1
+        chosen.append(pos)
+    return _assignments_at(graph, chosen, sat_l, gs_l, w_l)
 
 
 def hungarian(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

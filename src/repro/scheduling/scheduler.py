@@ -24,6 +24,7 @@ from repro.groundstations.network import GroundStationNetwork
 from repro.linkbudget.budget import LinkBudget
 from repro.orbits.ephemeris import EphemerisTable
 from repro.satellites.satellite import Satellite
+from repro.scheduling.culling import StationGrid
 from repro.scheduling.graph import (
     ContactGraph,
     GeometryEngine,
@@ -36,7 +37,11 @@ from repro.scheduling.matching import (
     greedy_matching,
     max_weight_matching,
 )
-from repro.scheduling.value_functions import LatencyValue, ValueFunction
+from repro.scheduling.value_functions import (
+    FleetQueueProfile,
+    LatencyValue,
+    ValueFunction,
+)
 from repro.weather.provider import ClearSkyProvider, WeatherProvider
 
 MatcherName = Literal["stable", "optimal", "greedy"]
@@ -178,6 +183,7 @@ class DownlinkScheduler:
         station_weight=None,
         ephemeris: EphemerisTable | None = None,
         batched: bool = True,
+        spatial_culling: bool = True,
         recorder=None,
     ):
         if matcher not in _MATCHERS:
@@ -207,6 +213,17 @@ class DownlinkScheduler:
         #: ``False`` selects the scalar per-pair reference path (used by
         #: the batch-vs-scalar equivalence harness).
         self.batched = batched
+        #: Coarse-grid candidate prefilter (batched path only): per-step
+        #: cost tracks candidate pairs instead of M x N, with bit-identical
+        #: graphs (the prefilter is a conservative superset).  Lazily
+        #: built so non-batched/scalar schedulers pay nothing.
+        self._culling_grid: StationGrid | None = None
+        if spatial_culling and batched:
+            self._culling_grid = StationGrid(network)
+        #: Fleet-wide send-queue snapshot for vectorized edge pricing
+        #: (batched path only); rows invalidate via the storage version
+        #: counter, so steady-state refreshes touch only mutated queues.
+        self._queue_profile = FleetQueueProfile(satellites) if batched else None
         #: Observability sink for graph-build/matching spans and counters;
         #: the shared no-op recorder unless the engine passed a live one.
         from repro.obs.recorder import NULL_RECORDER
@@ -265,6 +282,10 @@ class DownlinkScheduler:
                     )
                     self.recorder.counter("weather_samples")
 
+        # A provider that is identically clear lets the pricing kernel
+        # skip the per-station weather oracle loop outright.
+        forecast_fn.always_clear = getattr(self.weather, "always_clear", False)
+
         return build_contact_graph(
             satellites=self.satellites,
             network=self.network,
@@ -281,6 +302,8 @@ class DownlinkScheduler:
             ephemeris=self.ephemeris,
             batched=self.batched,
             pair_groups=self._pair_groups,
+            culling=self._culling_grid,
+            queue_profile=self._queue_profile,
             recorder=self.recorder,
         )
 
@@ -306,10 +329,10 @@ class DownlinkScheduler:
         with rec.span("matching"):
             assignments = matcher(graph, self.capacities)
         if rec.enabled:
-            rec.counter("contact_edges", len(graph.edges))
+            rec.counter("contact_edges", graph.num_edges)
             rec.counter("assignments", len(assignments))
         return ScheduleStep(
-            when=when, assignments=assignments, num_edges=len(graph.edges)
+            when=when, assignments=assignments, num_edges=graph.num_edges
         )
 
     # -- horizon plans ------------------------------------------------------------

@@ -17,7 +17,136 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.satellites.satellite import Satellite
+
+#: Reference instant for integer-microsecond timestamps.  Chunk ages are
+#: ``(now_us - capture_us) / 1e6``: the microsecond difference is an exact
+#: int64, and dividing it by 1e6 performs the single correctly-rounded
+#: float division that ``timedelta.total_seconds()`` performs -- which is
+#: what makes the vectorized ages bit-identical to the scalar path.
+_US_REF = datetime(2000, 1, 1)
+
+
+def _microseconds_since_ref(when: datetime) -> int:
+    delta = when - _US_REF
+    return (delta.days * 86400 + delta.seconds) * 1_000_000 + delta.microseconds
+
+
+class FleetQueueProfile:
+    """Padded per-satellite send-queue arrays for vectorized edge pricing.
+
+    ``prefix_age_value`` reads three per-chunk fields (remaining bits,
+    size, capture time) plus the queue backlog and head size; this cache
+    holds them as ``(num_satellites, max_chunks)`` arrays so a value
+    function can price every edge of an instant in a handful of numpy
+    passes instead of a Python call per pair.  Rows refresh lazily against
+    :attr:`OnboardStorage.version`, so between scheduling steps only the
+    satellites that actually transmitted, captured, or requeued data are
+    re-read.
+    """
+
+    def __init__(self, satellites: list[Satellite]):
+        self._satellites = satellites
+        self._storages = [sat.storage for sat in satellites]
+        n = len(satellites)
+        self._versions = np.full(n, -1, dtype=np.int64)
+        self._cols = 4
+        self._alloc(n, self._cols)
+
+    def _alloc(self, n: int, cols: int) -> None:
+        remaining = np.zeros((n, cols))
+        sizes = np.ones((n, cols))
+        capture_us = np.zeros((n, cols), dtype=np.int64)
+        old = getattr(self, "_remaining", None)
+        if old is None:
+            self._counts = np.zeros(n, dtype=np.intp)
+            self._backlog = np.zeros(n)
+            self._head_size = np.zeros(n)
+        else:
+            # Growing the chunk axis: copy the existing rows.  The new
+            # columns hold the padding values (remaining 0, size 1,
+            # capture 0), which contribute an exact +0.0 to any prefix
+            # evaluation -- so grown rows stay valid and versions are
+            # untouched.
+            prev = old.shape[1]
+            remaining[:, :prev] = old
+            sizes[:, :prev] = self._sizes
+            capture_us[:, :prev] = self._capture_us
+        self._remaining = remaining
+        self._sizes = sizes
+        self._capture_us = capture_us
+        self._cols = cols
+
+    def refresh(self, sat_indices) -> None:
+        """Re-read queues whose mutation counter moved since last seen."""
+        storages = self._storages
+        idx = np.asarray(sat_indices)
+        idx_l = idx.tolist()
+        current = np.fromiter(
+            (storages[i].version for i in idx_l), np.int64, count=idx.size
+        )
+        moved = idx[current != self._versions[idx]]
+        for i in moved.tolist():
+            storage = storages[i]
+            remaining, sizes, captures, backlog, head_size = (
+                storage.queue_snapshot()
+            )
+            count = len(remaining)
+            if count > self._cols:
+                self._alloc(len(self._satellites), max(count, 2 * self._cols))
+            row_r = self._remaining[i]
+            row_s = self._sizes[i]
+            row_c = self._capture_us[i]
+            row_r[:count] = remaining
+            row_r[count:] = 0.0
+            row_s[:count] = sizes
+            row_s[count:] = 1.0
+            for c in range(count):
+                row_c[c] = _microseconds_since_ref(captures[c])
+            row_c[count:] = 0
+            self._counts[i] = count
+            self._backlog[i] = backlog
+            self._head_size[i] = head_size
+            self._versions[i] = storage.version
+
+    def prefix_age_values(self, sat_idx: np.ndarray, bits_budgets: np.ndarray,
+                          now: datetime) -> np.ndarray:
+        """Vectorized :meth:`OnboardStorage.prefix_age_value` per edge.
+
+        ``sat_idx[p]`` is the satellite of edge ``p`` and ``bits_budgets[p]``
+        its step budget.  The chunk loop runs sequentially over the (few)
+        queue positions and vectorized over edges, performing the same
+        elementwise operations in the same order as the scalar loop --
+        padded positions contribute an exact ``+0.0``.
+        """
+        now_us = _microseconds_since_ref(now)
+        left = np.maximum(0.0, bits_budgets)
+        value = np.zeros(len(left))
+        cmax = int(self._counts[sat_idx].max()) if sat_idx.size else 0
+        for c in range(cmax):
+            remaining = self._remaining[sat_idx, c]
+            sendable = np.minimum(remaining, left)
+            ages = np.maximum(
+                0.0, (now_us - self._capture_us[sat_idx, c]) / 1e6
+            )
+            value = value + ages * (sendable / self._sizes[sat_idx, c])
+            left = left - sendable
+            if not left.any():
+                # Every edge's budget is exactly exhausted; all further
+                # chunks would contribute an exact +0.0.
+                break
+        return value
+
+    def backlog_of(self, sat_idx: np.ndarray) -> np.ndarray:
+        return self._backlog[sat_idx]
+
+    def head_size_of(self, sat_idx: np.ndarray) -> np.ndarray:
+        return self._head_size[sat_idx]
+
+    def counts_of(self, sat_idx: np.ndarray) -> np.ndarray:
+        return self._counts[sat_idx]
 
 
 @runtime_checkable
@@ -65,6 +194,28 @@ class LatencyValue:
             value = self.min_age_factor * step_s * deliverable / max(size, 1.0)
         return value
 
+    def edge_values(self, profile: FleetQueueProfile, sat_idx: np.ndarray,
+                    bitrate_bps: np.ndarray, now: datetime,
+                    step_s: float) -> np.ndarray:
+        """Vectorized :meth:`edge_value` over one instant's edges.
+
+        Bit-identical to the scalar method: the prefix-age kernel mirrors
+        its loop operation for operation, and the all-new-data fallback is
+        the same expression evaluated elementwise.
+        """
+        budgets = bitrate_bps * step_s
+        value = profile.prefix_age_values(sat_idx, budgets, now)
+        backlog = profile.backlog_of(sat_idx)
+        deliverable = np.minimum(budgets, backlog)
+        head_size = np.where(
+            profile.counts_of(sat_idx) > 0,
+            profile.head_size_of(sat_idx), deliverable,
+        )
+        fallback = (self.min_age_factor * step_s * deliverable
+                    / np.maximum(head_size, 1.0))
+        value = np.where((value <= 0.0) & (backlog > 0.0), fallback, value)
+        return np.where(bitrate_bps > 0.0, value, 0.0)
+
 
 @dataclass(frozen=True)
 class ThroughputValue:
@@ -78,6 +229,14 @@ class ThroughputValue:
         if sendable <= 0.0:
             return 0.0
         return min(bitrate_bps * step_s, sendable)
+
+    def edge_values(self, profile: FleetQueueProfile, sat_idx: np.ndarray,
+                    bitrate_bps: np.ndarray, now: datetime,
+                    step_s: float) -> np.ndarray:
+        """Vectorized :meth:`edge_value`: deliverable bits per edge."""
+        backlog = profile.backlog_of(sat_idx)
+        value = np.minimum(bitrate_bps * step_s, backlog)
+        return np.where((bitrate_bps > 0.0) & (backlog > 0.0), value, 0.0)
 
 
 @dataclass(frozen=True)

@@ -63,6 +63,20 @@ class SimulationConfig:
     #: selects the scalar per-pair reference path; the equivalence tests
     #: run both and compare schedules.
     batched_kernels: bool = True
+    #: Coarse-grid candidate prefilter: per-step graph cost tracks
+    #: candidate pairs instead of the full M x N product.  Bit-identical
+    #: results either way (the prefilter is a conservative superset);
+    #: ``False`` pins the dense reference path.  Batched kernels only.
+    spatial_culling: bool = True
+    #: Ephemeris storage dtype: ``"float64"`` (exact) or ``"float32"``
+    #: (half the memory; sub-meter position rounding at LEO radii, below
+    #: the link model's sensitivity but not bit-identical to float64).
+    ephemeris_dtype: str = "float64"
+    #: Stream the ephemeris in windows of this many steps instead of
+    #: materializing the whole horizon (0 = materialize everything).
+    #: Bounds peak memory at mega-constellation scale; rows are
+    #: bit-identical to the monolithic table.
+    ephemeris_window_steps: int = 0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -88,6 +102,13 @@ class SimulationConfig:
             raise ValueError(
                 "plan horizon must cover at least one refresh interval"
             )
+        if self.ephemeris_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"ephemeris_dtype must be 'float64' or 'float32', "
+                f"got {self.ephemeris_dtype!r}"
+            )
+        if self.ephemeris_window_steps < 0:
+            raise ValueError("ephemeris window must be non-negative")
 
     @property
     def num_steps(self) -> int:

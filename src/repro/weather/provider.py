@@ -63,6 +63,10 @@ class QuantizedWeatherCache:
 class ClearSkyProvider:
     """No rain, no clouds, ever.  Isolates geometry from weather effects."""
 
+    #: Every sample is identically zero, so batch consumers (the edge
+    #: pricing kernel) may skip per-station sampling entirely.
+    always_clear = True
+
     def sample(self, lat_deg: float, lon_deg: float,
                when: datetime) -> WeatherSample:
         return WeatherSample(rain_rate_mm_h=0.0, cloud_water_kg_m2=0.0)

@@ -1,0 +1,200 @@
+"""Scaling-path ephemeris features: float32, streaming windows, shared memory.
+
+Everything here defends one invariant: however the position grid is
+stored (narrow dtype, windowed, or mapped from a parent's shared-memory
+block), lookups return exactly the rows the monolithic float64-adjacent
+build would have produced for that dtype.
+"""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.obs.recorder import Recorder
+from repro.orbits.constellation import synthetic_leo_constellation
+from repro.orbits.ephemeris import (
+    _SHM_REGISTRY,
+    EphemerisTable,
+    StreamingEphemerisTable,
+    attach_shared_tables,
+    clear_ephemeris_cache,
+    export_shared_table,
+    shared_ephemeris_table,
+)
+from repro.satellites.satellite import Satellite
+
+EPOCH = datetime(2020, 6, 1)
+
+
+def _unlink(shm):
+    """Close + unlink a test-owned block without tracker complaints.
+
+    In-process attach (parent and "worker" are the same process here)
+    unregisters the name from the resource tracker, so re-register
+    before unlink or the tracker logs a KeyError at exit.
+    """
+    from multiprocessing import resource_tracker
+
+    shm.close()
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.unlink()
+
+
+@pytest.fixture(scope="module")
+def tles():
+    return synthetic_leo_constellation(12, EPOCH, seed=3)
+
+
+@pytest.fixture(scope="module")
+def satellites(tles):
+    return [Satellite(tle=t) for t in tles]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_ephemeris_cache()
+    yield
+    clear_ephemeris_cache()
+
+
+class TestFloat32Tables:
+    def test_dtype_preserved_and_close_to_float64(self, satellites):
+        t64 = EphemerisTable.build(satellites, EPOCH, 90, 60.0)
+        t32 = EphemerisTable.build(satellites, EPOCH, 90, 60.0,
+                                   dtype="float32")
+        assert t64.positions.dtype == np.float64
+        assert t32.positions.dtype == np.float32
+        # float32 at LEO radii (~7000 km) resolves ~0.4 m; stay well
+        # under 10 m of the float64 grid.
+        err_km = np.max(np.abs(t32.positions - t64.positions))
+        assert err_km < 0.01
+        assert t32.positions.nbytes == t64.positions.nbytes // 2
+
+    def test_save_load_keeps_dtype(self, satellites, tmp_path):
+        t32 = EphemerisTable.build(satellites, EPOCH, 30, 60.0,
+                                   dtype="float32")
+        path = str(tmp_path / "eph32.npz")
+        t32.save(path)
+        loaded = EphemerisTable.load(path)
+        assert loaded.positions.dtype == np.float32
+        np.testing.assert_array_equal(loaded.positions, t32.positions)
+
+    def test_chunked_build_matches_single_pass(self, satellites):
+        whole = EphemerisTable.build(satellites, EPOCH, 61, 60.0)
+        chunked = EphemerisTable.build(satellites, EPOCH, 61, 60.0,
+                                       chunk_steps=7)
+        np.testing.assert_array_equal(whole.positions, chunked.positions)
+
+    def test_shared_cache_keys_by_dtype(self, satellites):
+        t32 = shared_ephemeris_table(satellites, EPOCH, 30, 60.0,
+                                     dtype="float32")
+        t64 = shared_ephemeris_table(satellites, EPOCH, 30, 60.0)
+        assert t32 is not t64
+        assert t32.positions.dtype == np.float32
+        assert t64.positions.dtype == np.float64
+
+
+class TestStreamingTable:
+    def test_rows_bit_identical_to_monolithic(self, satellites):
+        for dtype in ("float64", "float32"):
+            monolithic = EphemerisTable.build(satellites, EPOCH, 120, 60.0,
+                                              dtype=dtype)
+            streaming = StreamingEphemerisTable(satellites, EPOCH, 120,
+                                                60.0, window_steps=16,
+                                                dtype=dtype)
+            for k in range(120):
+                when = EPOCH + timedelta(seconds=60.0 * k)
+                np.testing.assert_array_equal(
+                    streaming.positions_ecef(when),
+                    monolithic.positions_ecef(when),
+                )
+
+    def test_bounded_residency_and_build_count(self, satellites):
+        streaming = StreamingEphemerisTable(satellites, EPOCH, 128, 60.0,
+                                            window_steps=16, max_resident=2)
+        for k in range(128):
+            streaming.positions_ecef(EPOCH + timedelta(seconds=60.0 * k))
+            assert len(streaming._windows) <= 2
+        # A forward-only walk builds each of the 8 windows exactly once.
+        assert streaming.window_builds == 8
+
+    def test_recorder_counts_window_builds(self, satellites):
+        rec = Recorder()
+        streaming = StreamingEphemerisTable(satellites, EPOCH, 64, 60.0,
+                                            window_steps=32, recorder=rec)
+        for k in range(64):
+            streaming.positions_ecef(EPOCH + timedelta(seconds=60.0 * k))
+        assert rec.counters_snapshot()["ephemeris_stream/window_builds"] == 2
+
+    def test_lookup_api_matches_table(self, satellites):
+        streaming = StreamingEphemerisTable(satellites, EPOCH, 30, 60.0,
+                                            window_steps=8)
+        assert streaming.index_of(EPOCH) == 0
+        assert streaming.index_of(EPOCH + timedelta(seconds=90)) is None
+        assert streaming.positions_ecef(EPOCH - timedelta(hours=1)) is None
+        assert streaming.covers(EPOCH, 30, 60.0)
+        assert not streaming.covers(EPOCH, 31, 60.0)
+        assert not streaming.covers(EPOCH, 10, 30.0)
+
+
+class TestSharedMemoryTables:
+    def test_export_attach_roundtrip(self, satellites):
+        digest, handle, shm = export_shared_table(satellites, EPOCH, 40,
+                                                  60.0)
+        try:
+            reference = EphemerisTable.build(satellites, EPOCH, 40, 60.0)
+            attach_shared_tables({digest: handle})
+            rec = Recorder()
+            table = shared_ephemeris_table(satellites, EPOCH, 40, 60.0,
+                                           recorder=rec)
+            assert rec.counters_snapshot()["ephemeris_cache/shm_hit"] == 1
+            np.testing.assert_array_equal(table.positions,
+                                          reference.positions)
+            # The mapped table is now memory-cached; no second attach.
+            rec2 = Recorder()
+            shared_ephemeris_table(satellites, EPOCH, 20, 60.0,
+                                   recorder=rec2)
+            assert rec2.counters_snapshot()[
+                "ephemeris_cache/memory_hit"] == 1
+            table._shm.close()
+        finally:
+            _SHM_REGISTRY.pop(digest, None)
+            clear_ephemeris_cache()
+            _unlink(shm)
+
+    def test_stale_handle_falls_back_to_build(self, satellites):
+        digest, handle, shm = export_shared_table(satellites, EPOCH, 20,
+                                                  60.0)
+        shm.close()
+        shm.unlink()  # parent died / unlinked early: handle is stale
+        attach_shared_tables({digest: handle})
+        try:
+            rec = Recorder()
+            table = shared_ephemeris_table(satellites, EPOCH, 20, 60.0,
+                                           recorder=rec)
+            assert rec.counters_snapshot()["ephemeris_cache/build"] == 1
+            assert table.positions.shape == (20, len(satellites), 3)
+        finally:
+            _SHM_REGISTRY.pop(digest, None)
+
+    def test_float32_shared_block(self, satellites):
+        digest, handle, shm = export_shared_table(satellites, EPOCH, 20,
+                                                  60.0, dtype="float32")
+        try:
+            attach_shared_tables({digest: handle})
+            table = shared_ephemeris_table(satellites, EPOCH, 20, 60.0,
+                                           dtype="float32")
+            assert table.positions.dtype == np.float32
+            reference = EphemerisTable.build(satellites, EPOCH, 20, 60.0,
+                                             dtype="float32")
+            np.testing.assert_array_equal(table.positions,
+                                          reference.positions)
+            table._shm.close()
+        finally:
+            _SHM_REGISTRY.pop(digest, None)
+            clear_ephemeris_cache()
+            _unlink(shm)

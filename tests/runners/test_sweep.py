@@ -65,6 +65,22 @@ class TestSweepCell:
         steps = int(DURATION_S // cell.spec.step_s)
         assert cell.cost_estimate() == pytest.approx(2 * 5 * steps)
 
+    def test_lookahead_schedulers_cost_more_than_live(self):
+        """Horizon/planned/beam cells rebuild graphs beyond raw steps."""
+        live = SweepCell("l", tiny_spec()).cost_estimate()
+        horizon = SweepCell("h", tiny_spec(
+            scheduler="horizon", horizon_steps=10,
+        )).cost_estimate()
+        planned = SweepCell("p", tiny_spec(
+            execution_mode="planned",
+        )).cost_estimate()
+        beams = SweepCell("bf", tiny_spec(
+            scheduler="beamforming", beams=3,
+        )).cost_estimate()
+        assert horizon > 2 * live
+        assert planned > 2 * live
+        assert beams == pytest.approx(3 * live)
+
 
 class TestSharding:
     def test_deterministic(self):
@@ -221,6 +237,11 @@ class TestEquivalence:
         parallel = SweepRunner(tiny_grid(), workers=2).run()
         assert parallel.to_json() == serial_result.to_json()
 
+    def test_shared_ephemeris_matches_serial_bytes(self, serial_result):
+        shared = SweepRunner(tiny_grid(), workers=2,
+                             share_ephemeris=True).run()
+        assert shared.to_json() == serial_result.to_json()
+
     def test_resume_matches_serial_bytes(self, serial_result, tmp_path):
         # Simulate a killed sweep: two of four checkpoints survive.
         grid = tiny_grid()
@@ -246,6 +267,47 @@ class TestEquivalence:
         again = SweepRunner(grid, run_dir=run_dir).run(resume=False)
         assert again.skipped == 0
         assert again.to_json() == first.to_json()
+
+
+class TestSharedEphemerisExport:
+    def test_fleet_identical_cells_share_one_block(self):
+        from repro.runners.sweep import _export_shared_ephemeris
+
+        cells = [
+            SweepCell("full", tiny_spec(station_fraction=1.0)),
+            SweepCell("half", tiny_spec(station_fraction=0.5)),
+            SweepCell("stream", tiny_spec(ephemeris_window_steps=8)),
+        ]
+        handles, blocks = _export_shared_ephemeris(cells)
+        try:
+            # Two cells share one fleet; the streaming cell opts out.
+            assert len(handles) == 1
+            assert len(blocks) == 1
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()
+
+    def test_longest_horizon_wins(self):
+        from repro.runners.sweep import _export_shared_ephemeris
+
+        cells = [
+            SweepCell("short", tiny_spec()),
+            SweepCell("long", ScenarioSpec.dgs(
+                num_satellites=2, num_stations=5,
+                duration_s=4 * DURATION_S, fleet_seed=7,
+            )),
+        ]
+        handles, blocks = _export_shared_ephemeris(cells)
+        try:
+            assert len(handles) == 1
+            (handle,) = handles.values()
+            shape = handle[1]
+            assert shape[0] == int(4 * DURATION_S // 60.0)
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()
 
 
 class TestArtifacts:

@@ -1,0 +1,215 @@
+"""Spatial culling vs the dense path: superset candidates, identical graphs.
+
+The coarse-grid prefilter must be *conservative*: its candidate pairs are
+a superset of the geometrically visible pairs, so the culled sparse path
+prices exactly the pairs the dense path prices -- and because the per-pair
+arithmetic is the same elementwise operations, edges (and therefore
+schedules and reports) are bit-identical with culling on or off.  These
+tests pin that contract at candidate, graph, and full-simulation level,
+including at the paper's population scale and under fault injection.
+"""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import ScenarioSpec
+from repro.groundstations.network import satnogs_like_network
+from repro.obs.recorder import Recorder
+from repro.orbits.constellation import synthetic_leo_constellation, walker_delta
+from repro.orbits.ephemeris import clear_ephemeris_cache, shared_ephemeris_table
+from repro.satellites.satellite import Satellite
+from repro.scheduling.culling import StationGrid, max_central_angle_rad
+from repro.scheduling.graph import GeometryEngine
+from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.value_functions import LatencyValue
+from repro.weather.cells import RainCellField
+from repro.weather.provider import QuantizedWeatherCache
+
+EPOCH = datetime(2020, 6, 1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_ephemeris_cache()
+    yield
+    clear_ephemeris_cache()
+
+
+def _fleet(n=40, seed=21, walker=False):
+    if walker:
+        tles = walker_delta(n, max(1, n // 10), 1, 53.0, 550.0, EPOCH)
+    else:
+        tles = synthetic_leo_constellation(n, EPOCH, seed=seed)
+    sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
+    for sat in sats:
+        sat.generate_data(EPOCH - timedelta(hours=2), 7200.0)
+    return sats
+
+
+def _scheduler(satellites, network, culling, **kwargs):
+    return DownlinkScheduler(
+        satellites,
+        network,
+        LatencyValue(),
+        weather=QuantizedWeatherCache(RainCellField(seed=3)),
+        spatial_culling=culling,
+        **kwargs,
+    )
+
+
+def _assert_graphs_identical(graph_a, graph_b):
+    """Bitwise edge-for-edge equality (order included)."""
+    assert len(graph_a.edges) == len(graph_b.edges)
+    for ea, eb in zip(graph_a.edges, graph_b.edges):
+        assert ea == eb
+
+
+class TestCandidateSuperset:
+    def test_candidates_cover_all_visible_pairs(self):
+        """Every dense-visible pair appears among the grid's candidates."""
+        satellites = _fleet(60)
+        network = satnogs_like_network(50, seed=13)
+        geometry = GeometryEngine(network)
+        grid = StationGrid(network)
+        covered_total = 0
+        for k in range(0, 240, 10):
+            when = EPOCH + timedelta(minutes=k)
+            sat_ecef = geometry.satellite_ecef(satellites, when)
+            _, _, visible = geometry.visibility(
+                satellites, when, sat_ecef=sat_ecef
+            )
+            cand_sat, cand_gs = grid.candidate_pairs(sat_ecef)
+            candidates = set(zip(cand_sat.tolist(), cand_gs.tolist()))
+            vis_sat, vis_gs = np.nonzero(visible)
+            for pair in zip(vis_sat.tolist(), vis_gs.tolist()):
+                assert pair in candidates
+            covered_total += vis_sat.size
+        assert covered_total > 0  # the superset check actually bit
+
+    def test_candidates_lexsorted_and_unique(self):
+        """Candidate order must match np.nonzero's row-major order."""
+        satellites = _fleet(30)
+        network = satnogs_like_network(40, seed=13)
+        geometry = GeometryEngine(network)
+        grid = StationGrid(network)
+        sat_ecef = geometry.satellite_ecef(satellites, EPOCH)
+        cand_sat, cand_gs = grid.candidate_pairs(sat_ecef)
+        flat = cand_sat * len(network) + cand_gs
+        assert np.all(np.diff(flat) > 0)  # strictly increasing => sorted, unique
+
+    def test_culling_actually_culls(self):
+        """The prefilter must reject a large share of the M x N product."""
+        satellites = _fleet(100, walker=True)
+        network = satnogs_like_network(80, seed=13)
+        geometry = GeometryEngine(network)
+        grid = StationGrid(network)
+        sat_ecef = geometry.satellite_ecef(satellites, EPOCH)
+        cand_sat, _ = grid.candidate_pairs(sat_ecef)
+        dense_pairs = len(satellites) * len(network)
+        assert cand_sat.size < 0.5 * dense_pairs
+
+    def test_max_central_angle_monotone_in_elevation(self):
+        r = np.array([6378.0 + 550.0])
+        low = max_central_angle_rad(r, 0.0)[0]
+        high = max_central_angle_rad(r, 25.0)[0]
+        assert 0.0 < high < low < np.pi / 2
+
+    def test_empty_network_and_fleet(self):
+        network = satnogs_like_network(10, seed=13)
+        grid = StationGrid(network)
+        empty_sat, empty_gs = grid.candidate_pairs(np.empty((0, 3)))
+        assert empty_sat.size == 0 and empty_gs.size == 0
+
+
+class TestGraphEquivalence:
+    def test_identical_edges_across_a_horizon(self):
+        satellites = _fleet(40)
+        network = satnogs_like_network(40, seed=13)
+        dense = _scheduler(satellites, network, culling=False)
+        culled = _scheduler(satellites, network, culling=True)
+        total = 0
+        for k in range(0, 180, 5):
+            when = EPOCH + timedelta(minutes=k)
+            graph_d = dense.contact_graph(when)
+            graph_c = culled.contact_graph(when)
+            _assert_graphs_identical(graph_d, graph_c)
+            total += len(graph_d.edges)
+        assert total > 0
+
+    def test_identical_edges_with_ephemeris_and_constraints(self):
+        satellites = _fleet(30)
+        network = satnogs_like_network(30, seed=13)
+        # Give some stations restrictive constraint bitmaps and
+        # availability holes, so every sparse mask stage is exercised.
+        for j, station in enumerate(network):
+            if j % 5 == 0:
+                station.constraints.bitmap = (1 << len(satellites)) - 2
+
+        def available(index, when):
+            return index % 7 != 0
+
+        table = shared_ephemeris_table(satellites, EPOCH, 120, 60.0)
+        dense = _scheduler(
+            satellites, network, culling=False,
+            ephemeris=table, station_available=available,
+            require_current_plan=True, plan_max_age_s=3600.0,
+        )
+        culled = _scheduler(
+            satellites, network, culling=True,
+            ephemeris=table, station_available=available,
+            require_current_plan=True, plan_max_age_s=3600.0,
+        )
+        for s in (dense, culled):
+            s.satellites[0].receive_plan(EPOCH)
+            s.satellites[2].receive_plan(EPOCH)
+        for k in range(0, 120, 10):
+            when = EPOCH + timedelta(minutes=k)
+            _assert_graphs_identical(
+                dense.contact_graph(when), culled.contact_graph(when)
+            )
+
+    def test_visible_pair_counters_agree(self):
+        """Culled and dense paths must report the same visible_pairs."""
+        satellites = _fleet(30)
+        network = satnogs_like_network(30, seed=13)
+        counts = {}
+        for culling in (False, True):
+            rec = Recorder()
+            sched = _scheduler(satellites, network, culling=culling,
+                               recorder=rec)
+            sched.contact_graph(EPOCH)
+            counts[culling] = rec.counters_snapshot()
+        assert counts[False]["visible_pairs"] == counts[True]["visible_pairs"]
+        assert counts[True]["candidate_pairs"] >= counts[True]["visible_pairs"]
+        assert "culled_pairs" in counts[True]
+
+
+class TestPaperScaleEquivalence:
+    def test_fig3a_reports_bit_identical(self):
+        """fig3a at full paper scale: identical reports culling on/off."""
+        reports = {}
+        for culling in (False, True):
+            spec = ScenarioSpec.dgs(
+                duration_s=1800.0, spatial_culling=culling
+            )
+            reports[culling] = spec.build().run("dgs-L").report
+        on, off = reports[True].to_dict(), reports[False].to_dict()
+        on.pop("stage_timings", None)
+        off.pop("stage_timings", None)
+        assert on == off
+
+    def test_fig3a_reports_bit_identical_under_faults(self):
+        """The graded station_weight fault path must also match."""
+        reports = {}
+        for culling in (False, True):
+            spec = ScenarioSpec.dgs(
+                duration_s=1800.0, spatial_culling=culling,
+                fault_intensity=0.25, fault_seed=11,
+            )
+            reports[culling] = spec.build().run("dgs-L").report
+        on, off = reports[True].to_dict(), reports[False].to_dict()
+        on.pop("stage_timings", None)
+        off.pop("stage_timings", None)
+        assert on == off
