@@ -151,6 +151,59 @@ def test_contact_graph_speedup_paper_scale():
     assert speedup >= 3.0
 
 
+def test_deadline_pricing_overhead_paper_scale():
+    """Acceptance gate: tenant-priced Phi within 1.5x of LatencyValue.
+
+    Times graph construction on the fig3a workload (259 x 173, batched
+    kernels, shared ephemeris) under both value functions, back to back
+    over the same instants on the same tenant-stamped fleet, and asserts
+    the deadline pricing's extra work (demand columns, per-slot weights,
+    urgency term) stays within 1.5x of the paper's age-only pricing.
+    """
+    from repro.demand import DemandAssigner, RequestGenerator, tenant_mix
+    from repro.scheduling.value_functions import DeadlineSlaValue
+
+    num_steps = 30
+    mix = tenant_mix("balanced")
+
+    clear_ephemeris_cache()
+    fleet = build_paper_fleet(259, seed=7)
+    assigner = DemandAssigner(RequestGenerator(mix, seed=13),
+                              requests_per_day=24)
+    for sat in fleet:
+        sat.demand = assigner
+        sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
+    network = satnogs_like_network(173, seed=11)
+    table = shared_ephemeris_table(fleet, EPOCH, num_steps, 60.0)
+
+    def build(value_function):
+        return DownlinkScheduler(
+            fleet, network, value_function, weather=build_paper_weather(),
+            ephemeris=table, batched=True,
+        )
+
+    def run(scheduler):
+        start = time.perf_counter()
+        for k in range(num_steps):
+            scheduler.contact_graph(EPOCH + timedelta(minutes=k))
+        return time.perf_counter() - start
+
+    latency = build(LatencyValue())
+    deadline = build(DeadlineSlaValue(tenants=mix))
+    # Warm caches (weather, pair groups, demand columns) on both sides.
+    latency.contact_graph(EPOCH)
+    deadline.contact_graph(EPOCH)
+    elapsed_deadline = run(deadline)
+    elapsed_latency = run(latency)
+
+    ratio = elapsed_deadline / elapsed_latency
+    print(
+        f"\npricing 259x173: latency {elapsed_latency:.2f}s, "
+        f"deadline {elapsed_deadline:.2f}s, ratio {ratio:.2f}x"
+    )
+    assert ratio <= 1.5
+
+
 def test_bench_full_schedule_step(benchmark, world):
     _fleet, _network, scheduler = world
     benchmark(scheduler.schedule_step, EPOCH)

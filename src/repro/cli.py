@@ -113,10 +113,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             profile_dir=args.profile_dir,
             profile_spans=("run",) if args.profile_dir else (),
         )
+    tenants = None
+    if args.tenants:
+        from repro.demand import tenant_mix
+
+        tenants = tenant_mix(args.tenants)
     if args.system == "baseline":
         spec = ScenarioSpec.baseline(
             value=args.value, num_satellites=args.satellites,
             duration_s=args.hours * 3600.0, observability=observability,
+            tenants=tenants,
         )
     else:
         spec = ScenarioSpec.dgs(
@@ -127,6 +133,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             spatial_culling=not args.no_culling,
             ephemeris_dtype=args.ephemeris_dtype,
             ephemeris_window_steps=args.ephemeris_window,
+            tenants=tenants,
         )
     sim = spec.build().simulation
     report = sim.run()
@@ -144,6 +151,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{lat[99]:.1f} min  (mean {report.mean_latency_min():.1f})")
     print(f"backlog  p50/p90/p99: {backlog[50]:.2f} / {backlog[90]:.2f} / "
           f"{backlog[99]:.2f} GB")
+    if report.tenant_reports:
+        print(f"tenants (fairness {report.tenant_fairness:.3f}, "
+              f"{report.total_sla_violations()} SLA violations):")
+        for tenant_id, block in sorted(report.tenant_reports.items()):
+            print(f"  {tenant_id:<12s} tier {block['tier']}  "
+                  f"{block['delivered_gb']:8.1f} GB delivered  "
+                  f"deadline hit {block['deadline_hit_rate']:.1%}  "
+                  f"violations {block['sla_violations']}")
     if report.stage_timings:
         total = report.stage_timings.get("run", 0.0)
         print(f"stage timings ({total:.2f} s run loop, "
@@ -302,8 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--satellites", type=int, default=50)
     p.add_argument("--stations", type=int, default=60)
     p.add_argument("--fraction", type=float, default=1.0)
-    p.add_argument("--value", choices=("latency", "throughput"),
+    p.add_argument("--value", choices=("latency", "throughput", "deadline"),
                    default="latency")
+    p.add_argument("--tenants", default=None,
+                   choices=("balanced", "premium-heavy", "quota-tight"),
+                   help="attach a preset multi-tenant demand mix "
+                        "(required for --value deadline)")
     p.add_argument("--hours", type=float, default=6.0)
     p.add_argument("--plot", action="store_true")
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -343,7 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep",
                        help="run a scenario grid across worker processes")
     p.add_argument("--grid", default=None,
-                   help="named grid: fig3, fig3-seeds, ablations, fault-sweep")
+                   help="named grid: fig3, fig3-seeds, ablations, "
+                        "fault-sweep, constellation-scaling, demand-sweep")
     p.add_argument("--grid-file", default=None, metavar="PATH",
                    help="explicit grid: JSON list of {label, spec} objects")
     p.add_argument("--workers", type=int, default=0,

@@ -83,11 +83,20 @@ def build_paper_weather(seed: int = 3,
 
 
 def value_function_by_name(name: str) -> ValueFunction:
-    """'latency' (paper's Phi = t) or 'throughput' (Phi = |x|)."""
+    """'latency' (Phi = t), 'throughput' (Phi = |x|), or 'deadline'.
+
+    The bare ``deadline`` instance prices SLA urgency only; tenant
+    weights and quota discounting need the demand layer, which
+    ``ScenarioSpec.build`` wires in when the spec has tenants.
+    """
     if name == "latency":
         return LatencyValue()
     if name == "throughput":
         return ThroughputValue()
+    if name == "deadline":
+        from repro.scheduling.value_functions import DeadlineSlaValue
+
+        return DeadlineSlaValue()
     raise ValueError(f"unknown value function {name!r}")
 
 
@@ -191,6 +200,16 @@ class ScenarioSpec:
     spatial_culling: bool = True
     ephemeris_dtype: str = "float64"
     ephemeris_window_steps: int = 0
+    #: Multi-tenant demand: a tuple of :class:`repro.demand.Tenant` (or
+    #: their dicts, normalized on construction).  None = the legacy
+    #: uniform single-tenant stream, bit-identical to builds without the
+    #: demand layer.
+    tenants: "tuple | None" = None
+    #: Request granularity: how many tasking windows per satellite-day
+    #: the capture stream is cut into (tenancy switches at window
+    #: boundaries).  Ignored without tenants.
+    requests_per_day: int = 24
+    demand_seed: int = 13
     observability: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self):
@@ -223,6 +242,23 @@ class ScenarioSpec:
             )
         if self.ephemeris_window_steps < 0:
             raise ValueError("ephemeris_window_steps must be >= 0")
+        if self.requests_per_day < 1:
+            raise ValueError("requests_per_day must be >= 1")
+        if self.tenants is not None:
+            from repro.demand import Tenant
+
+            normalized = tuple(
+                t if isinstance(t, Tenant) else Tenant.from_dict(t)
+                for t in self.tenants
+            )
+            if not normalized:
+                raise ValueError("tenants must be non-empty or None")
+            object.__setattr__(self, "tenants", normalized)
+        if self.value == "deadline" and self.tenants is None:
+            raise ValueError(
+                "value='deadline' needs tenants= (the SLA pricing has "
+                "nothing to price on the uniform single-tenant stream)"
+            )
 
     # -- constructors -------------------------------------------------------
 
@@ -240,11 +276,11 @@ class ScenarioSpec:
     # -- identity -----------------------------------------------------------
 
     def label(self) -> str:
-        """A short human label: 'dgs25-L', 'baseline-T', 'dgs-L', ..."""
+        """A short human label: 'dgs25-L', 'baseline-T', 'dgs-D', ..."""
         prefix = self.kind
         if self.kind == "dgs" and self.station_fraction < 1.0:
             prefix = f"dgs{round(self.station_fraction * 100):d}"
-        suffix = "L" if self.value == "latency" else "T"
+        suffix = {"latency": "L", "deadline": "D"}.get(self.value, "T")
         return f"{prefix}-{suffix}"
 
     def seeds(self) -> dict[str, int]:
@@ -256,6 +292,8 @@ class ScenarioSpec:
         }
         if self.fault_intensity > 0.0:
             seeds["faults"] = self.fault_seed
+        if self.tenants is not None:
+            seeds["demand"] = self.demand_seed
         return seeds
 
     # -- serialization ------------------------------------------------------
@@ -274,8 +312,11 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """JSON-compatible dict of every identity field (no observability)."""
-        return {name: getattr(self, name)
-                for name in self._serialized_fields()}
+        raw = {name: getattr(self, name)
+               for name in self._serialized_fields()}
+        if raw["tenants"] is not None:
+            raw["tenants"] = [t.to_dict() for t in raw["tenants"]]
+        return raw
 
     @classmethod
     def from_dict(cls, raw: dict) -> "ScenarioSpec":
@@ -321,6 +362,7 @@ class ScenarioSpec:
             weather_seed=derived("weather"),
             network_seed=derived("network"),
             fault_seed=derived("faults"),
+            demand_seed=derived("demand"),
         )
 
     # -- assembly -----------------------------------------------------------
@@ -410,14 +452,33 @@ class ScenarioSpec:
                 intensity=self.fault_intensity,
                 seed=self.fault_seed,
             )
+        demand = None
+        if self.tenants is not None:
+            from repro.demand import DemandLayer
+
+            demand = DemandLayer.build(
+                tenants=self.tenants,
+                requests_per_day=self.requests_per_day,
+                seed=self.demand_seed,
+                start=config.start,
+            )
+        if self.value == "deadline":
+            from repro.scheduling.value_functions import DeadlineSlaValue
+
+            value_function: ValueFunction = DeadlineSlaValue(
+                tenants=self.tenants, accountant=demand.accountant
+            )
+        else:
+            value_function = value_function_by_name(self.value)
         sim = Simulation(
             satellites=fleet,
             network=network,
-            value_function=value_function_by_name(self.value),
+            value_function=value_function,
             config=config,
             truth_weather=weather,
             faults=faults,
             faults_announced=self.faults_announced,
+            demand=demand,
             observability=observability,
         )
         self._attach_scheduler(sim)

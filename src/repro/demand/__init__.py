@@ -1,0 +1,60 @@
+"""Multi-tenant demand: who the downlinked data belongs to and what it
+is worth.
+
+The paper models a single uniform tenant (every satellite emits
+100 GB/day of equal-value data); Sec. 3.1's SLA weighting and "bidding
+for priority access" presuppose the ground segment is shared between
+customers with different urgency and willingness to pay.  This package
+supplies that demand side: :class:`Tenant` definitions, seeded
+:class:`DownlinkRequest` generation mapping each satellite's capture
+stream onto tenants, and the :class:`TenantAccountant` that tracks
+per-tenant quotas, deadlines, and fairness through a run.
+
+:class:`DemandLayer` bundles the three for the engine; scenarios build
+one from ``ScenarioSpec(tenants=..., requests_per_day=..., demand_seed=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.demand.accounting import TenantAccountant
+from repro.demand.requests import (
+    DemandAssigner,
+    DownlinkRequest,
+    RequestGenerator,
+)
+from repro.demand.tenant import TENANT_MIXES, Tenant, tenant_mix
+
+__all__ = [
+    "DemandAssigner",
+    "DemandLayer",
+    "DownlinkRequest",
+    "RequestGenerator",
+    "TENANT_MIXES",
+    "Tenant",
+    "TenantAccountant",
+    "tenant_mix",
+]
+
+
+@dataclass
+class DemandLayer:
+    """The assembled demand side of one simulation run."""
+
+    tenants: tuple[Tenant, ...]
+    assigner: DemandAssigner
+    accountant: TenantAccountant
+
+    @classmethod
+    def build(cls, tenants: tuple[Tenant, ...], requests_per_day: int,
+              seed: int, start: datetime) -> "DemandLayer":
+        """Assemble generator, assigner, and accountant for one run."""
+        generator = RequestGenerator(tuple(tenants), seed=seed)
+        return cls(
+            tenants=tuple(tenants),
+            assigner=DemandAssigner(generator,
+                                    requests_per_day=requests_per_day),
+            accountant=TenantAccountant(tuple(tenants), start=start),
+        )

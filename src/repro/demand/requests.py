@@ -1,0 +1,132 @@
+"""Seeded downlink-request generation and chunk stamping.
+
+The demand layer maps each satellite's continuous capture stream onto
+:class:`DownlinkRequest` windows: a request owns a run of consecutive
+chunks, and every chunk in the run is stamped with the request's tenant,
+priority, region, and SLA deadline at capture time.  Generation is a pure
+function of ``(seed, satellite_id)`` -- per-satellite SHA-256-derived RNG
+streams, never the interleaving of the fleet -- so the same scenario spec
+produces bit-identical demand no matter how the simulation is sliced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from datetime import timedelta
+from typing import TYPE_CHECKING, Iterator
+
+from repro.demand.tenant import Tenant
+
+if TYPE_CHECKING:
+    from repro.satellites.data import DataChunk
+    from repro.satellites.satellite import Satellite
+
+
+@dataclass(frozen=True)
+class DownlinkRequest:
+    """One tenant's request for a window of a satellite's capture stream.
+
+    ``request_id`` numbers the satellite's own request sequence (ids are
+    per-satellite, which keeps the stream independent of fleet
+    interleaving); the remaining fields are what gets stamped onto the
+    chunks the request covers.
+    """
+
+    request_id: int
+    tenant_id: str
+    priority: float
+    region: str
+    sla_deadline_s: float
+
+
+def _stream_seed(seed: int, satellite_id: str) -> int:
+    """A per-satellite RNG seed; SHA-256, never the salted builtin hash."""
+    digest = hashlib.sha256(f"{seed}:{satellite_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RequestGenerator:
+    """Per-satellite infinite streams of seeded downlink requests."""
+
+    def __init__(self, tenants: tuple[Tenant, ...], seed: int = 13):
+        if not tenants:
+            raise ValueError("RequestGenerator needs at least one tenant")
+        self._tenants = tuple(tenants)
+        self._seed = seed
+        total = sum(t.demand_share for t in self._tenants)
+        cumulative = []
+        running = 0.0
+        for tenant in self._tenants:
+            running += tenant.demand_share / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0  # guard the float tail
+        self._cumulative = cumulative
+
+    def stream_for(self, satellite_id: str) -> Iterator[DownlinkRequest]:
+        """The satellite's request stream; deterministic in (seed, id)."""
+        rng = random.Random(_stream_seed(self._seed, satellite_id))
+        request_id = 0
+        while True:
+            draw = rng.random()
+            tenant = self._tenants[-1]
+            for k, edge in enumerate(self._cumulative):
+                if draw < edge:
+                    tenant = self._tenants[k]
+                    break
+            region = ""
+            if tenant.regions:
+                region = tenant.regions[rng.randrange(len(tenant.regions))]
+            yield DownlinkRequest(
+                request_id=request_id,
+                tenant_id=tenant.tenant_id,
+                priority=float(tenant.tier),
+                region=region,
+                sla_deadline_s=tenant.sla_deadline_s,
+            )
+            request_id += 1
+
+
+class DemandAssigner:
+    """Stamps captured chunks with their owning request's identity.
+
+    ``requests_per_day`` sets the granularity: a satellite producing
+    ``daily_chunks`` chunks per day cuts its stream into runs of
+    ``max(1, round(daily_chunks / requests_per_day))`` consecutive chunks
+    per request, so tenancy switches at request boundaries rather than
+    per chunk (real tasking windows cover contiguous imagery).
+    """
+
+    def __init__(self, generator: RequestGenerator,
+                 requests_per_day: int = 24):
+        if requests_per_day < 1:
+            raise ValueError("requests_per_day must be >= 1")
+        self._generator = generator
+        self._requests_per_day = requests_per_day
+        #: satellite_id -> [stream, current request, chunks left in it].
+        self._state: dict[str, list] = {}
+
+    def _chunks_per_request(self, satellite: "Satellite") -> int:
+        daily_chunks = (
+            satellite.generation_gb_per_day / satellite.chunk_size_gb
+        )
+        return max(1, round(daily_chunks / self._requests_per_day))
+
+    def stamp(self, chunk: "DataChunk", satellite: "Satellite") -> None:
+        """Assign the chunk to the satellite's current request window."""
+        state = self._state.get(chunk.satellite_id)
+        if state is None:
+            state = [self._generator.stream_for(chunk.satellite_id), None, 0]
+            self._state[chunk.satellite_id] = state
+        if state[2] <= 0:
+            state[1] = next(state[0])
+            state[2] = self._chunks_per_request(satellite)
+        request: DownlinkRequest = state[1]
+        state[2] -= 1
+        chunk.tenant_id = request.tenant_id
+        chunk.priority = request.priority
+        chunk.region = request.region
+        chunk.deadline = chunk.capture_time + timedelta(
+            seconds=request.sla_deadline_s
+        )

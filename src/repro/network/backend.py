@@ -83,6 +83,20 @@ class BackendCollator:
         self._in_flight = still_flying
         return landed
 
+    def flush_horizon(self, now: datetime) -> datetime:
+        """Earliest instant by which every in-flight receipt has arrived.
+
+        The end-of-run drain advances to this instant -- never a fixed
+        offset -- so receipts delayed by arbitrarily large backhaul
+        latency spikes still land and the totals stay conserved.  Floored
+        at ``now`` so a drain never moves the clock backwards.
+        """
+        horizon = now
+        for pending in self._in_flight:
+            if pending.arrives_at > horizon:
+                horizon = pending.arrives_at
+        return horizon
+
     def pending_acks(self, satellite_id: str) -> set[int]:
         """Chunk ids awaiting upload to a satellite (read-only view)."""
         return set(self._unacked.get(satellite_id, set()))

@@ -117,6 +117,39 @@ def constellation_scaling_grid(duration_s: float = 3600.0,
     return cells
 
 
+def demand_sweep_grid(duration_s: float = 21600.0,
+                      scale: float = 0.3) -> list[SweepCell]:
+    """The tenant-mix sweep: multi-tenant demand under deadline pricing.
+
+    One legacy single-tenant reference cell, the three preset tenant
+    mixes under :class:`DeadlineSlaValue`, and the balanced mix under
+    plain latency pricing (same demand, paper's Phi = t) -- so the sweep
+    isolates both what tenancy does to the traffic and what the
+    SLA-aware pricing buys over the paper's value function.
+    """
+    from repro.core.scenarios import PAPER_SATELLITES, PAPER_STATIONS
+    from repro.demand import tenant_mix
+
+    sats = max(4, int(round(PAPER_SATELLITES * scale)))
+    stations = max(6, int(round(PAPER_STATIONS * scale)))
+
+    def spec(**kwargs) -> ScenarioSpec:
+        return ScenarioSpec.dgs(
+            num_satellites=sats, num_stations=stations,
+            duration_s=duration_s, **kwargs,
+        )
+
+    cells = [SweepCell("singletenant-L", spec())]
+    for mix in ("balanced", "premium-heavy", "quota-tight"):
+        cells.append(SweepCell(
+            f"{mix}-D", spec(tenants=tenant_mix(mix), value="deadline"),
+        ))
+    cells.append(SweepCell(
+        "balanced-L", spec(tenants=tenant_mix("balanced"), value="latency"),
+    ))
+    return cells
+
+
 #: Grid names the CLI accepts.
 GRID_BUILDERS = {
     "fig3": fig3_grid,
@@ -124,6 +157,7 @@ GRID_BUILDERS = {
     "ablations": ablation_grid,
     "fault-sweep": fault_sweep_grid,
     "constellation-scaling": constellation_scaling_grid,
+    "demand-sweep": demand_sweep_grid,
 }
 
 

@@ -32,6 +32,28 @@ class ChunkState(enum.Enum):
 _chunk_counter = itertools.count()
 
 
+class ChunkIdAllocator:
+    """Fleet-wide chunk-id source owned by one simulation.
+
+    The module-global counter only hands out process-unique ids, so two
+    back-to-back in-process runs of the same scenario number their chunks
+    differently (and their reports diverge).  The engine creates one
+    allocator per run -- starting above any id already present in the
+    fleet's storages, so data generated before the simulation existed
+    cannot collide -- and every satellite draws from it, which keeps ids
+    fleet-unique (the engine's delivered-chunk dedup set requires that)
+    and makes chunk numbering a pure function of the scenario.
+    """
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("chunk id start cannot be negative")
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+
 @dataclass
 class DataChunk:
     """One unit of captured imagery."""
@@ -42,6 +64,10 @@ class DataChunk:
     priority: float = 0.0  # operator-assigned boost (SLA tiers, disasters)
     region: str = ""  # geographic tag for geography-aware value functions
     chunk_id: int = field(default_factory=lambda: next(_chunk_counter))
+    #: Owning tenant ("" = the legacy single-tenant stream) and the SLA
+    #: delivery deadline stamped at capture by the demand layer.
+    tenant_id: str = ""
+    deadline: datetime | None = None
     state: ChunkState = ChunkState.ONBOARD
     remaining_bits: float = field(default=-1.0)
     delivery_time: datetime | None = None

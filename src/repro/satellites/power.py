@@ -75,5 +75,7 @@ class PowerModel:
             raise ValueError("sunlit fraction must be in [0, 1]")
         surplus = self.panel_watts * sunlit_fraction - self.idle_load_watts
         if self.transmit_load_watts == 0:
-            return 1.0
+            # A free transmitter still cannot run when the idle load alone
+            # exceeds generation: the battery is draining either way.
+            return 1.0 if surplus >= 0.0 else 0.0
         return min(max(surplus / self.transmit_load_watts, 0.0), 1.0)

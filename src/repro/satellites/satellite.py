@@ -11,15 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.linkbudget.budget import RadioConfig
 from repro.orbits.sgp4 import SGP4
 from repro.orbits.tle import TLE
-from repro.satellites.data import DataChunk
+from repro.satellites.data import ChunkIdAllocator, DataChunk
 from repro.satellites.power import PowerModel
 from repro.satellites.storage import OnboardStorage
+
+if TYPE_CHECKING:
+    from repro.demand.requests import DemandAssigner
 
 GB_TO_BITS = 8e9
 
@@ -53,6 +57,12 @@ class Satellite:
     #: Optional energy-balance model; when set, the simulation gates
     #: transmission on battery state of charge and charges in sunlight.
     power: "PowerModel | None" = None
+    #: Per-simulation chunk-id source (set by the engine); None falls back
+    #: to the module-global counter for standalone use.
+    chunk_ids: ChunkIdAllocator | None = None
+    #: Multi-tenant demand assigner (set by the engine when the scenario
+    #: has tenants); stamps tenant/priority/deadline on capture.
+    demand: "DemandAssigner | None" = None
 
     def __post_init__(self) -> None:
         if self.generation_gb_per_day < 0:
@@ -95,11 +105,17 @@ class Satellite:
             # Time at which this chunk's last bit was captured.
             bits_into_interval = emitted + chunk_bits - self._accumulated_bits
             offset_s = bits_into_interval / rate_bits_s
+            extra = {}
+            if self.chunk_ids is not None:
+                extra["chunk_id"] = self.chunk_ids.next_id()
             chunk = DataChunk(
                 satellite_id=self.satellite_id,
                 size_bits=chunk_bits,
                 capture_time=start + timedelta(seconds=offset_s),
+                **extra,
             )
+            if self.demand is not None:
+                self.demand.stamp(chunk, self)
             self.storage.capture(chunk)
             produced.append(chunk)
             emitted += chunk_bits

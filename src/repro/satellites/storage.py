@@ -250,6 +250,19 @@ class OnboardStorage:
         head_size = sizes[0] if sizes else 0.0
         return remaining, sizes, captures, sum(remaining), head_size
 
+    def queue_demand_snapshot(self) -> tuple[list[str], list[datetime | None]]:
+        """Tenant ids and SLA deadlines of the send queue, in send order.
+
+        The demand companion to :meth:`queue_snapshot`: same sort, same
+        positions, read together under the same :attr:`version`, so a
+        fleet profile can extend its per-chunk arrays with tenant slots
+        and deadlines without disturbing the legacy 5-tuple contract.
+        """
+        self._sort()
+        tenant_ids = [c.tenant_id for c in self._onboard]
+        deadlines = [c.deadline for c in self._onboard]
+        return tenant_ids, deadlines
+
     def prefix_age_value(self, bits_budget: float, now: datetime) -> float:
         """Summed age (seconds, chunk-weighted) of the data a link could move.
 

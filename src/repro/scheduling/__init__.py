@@ -19,6 +19,7 @@ auction-based, exactly the knob Fig. 3c turns.
 from repro.scheduling.value_functions import (
     AuctionValue,
     CompositeValue,
+    DeadlineSlaValue,
     LatencyValue,
     PriorityValue,
     ThroughputValue,
@@ -40,6 +41,7 @@ from repro.scheduling.pointing import PointingTrack, pointing_tracks
 
 __all__ = [
     "ValueFunction",
+    "DeadlineSlaValue",
     "LatencyValue",
     "ThroughputValue",
     "PriorityValue",

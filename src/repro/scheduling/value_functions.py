@@ -34,6 +34,12 @@ def _microseconds_since_ref(when: datetime) -> int:
     return (delta.days * 86400 + delta.seconds) * 1_000_000 + delta.microseconds
 
 
+#: Deadline sentinel for untenanted chunks: far enough in the future that
+#: the urgency-pressure clip lands on an exact 0.0, matching the scalar
+#: path's ``deadline is None`` branch bit for bit.
+_NO_DEADLINE_US = 2**62
+
+
 class FleetQueueProfile:
     """Padded per-satellite send-queue arrays for vectorized edge pricing.
 
@@ -53,6 +59,12 @@ class FleetQueueProfile:
         n = len(satellites)
         self._versions = np.full(n, -1, dtype=np.int64)
         self._cols = 4
+        # Demand columns (tenant slot + deadline); allocated lazily by
+        # ensure_demand so tenant-free runs pay nothing.
+        self._demand_order: tuple[str, ...] | None = None
+        self._tenant_lookup: dict[str, int] = {}
+        self._tenant_slot: np.ndarray | None = None
+        self._deadline_us: np.ndarray | None = None
         self._alloc(n, self._cols)
 
     def _alloc(self, n: int, cols: int) -> None:
@@ -77,7 +89,36 @@ class FleetQueueProfile:
         self._remaining = remaining
         self._sizes = sizes
         self._capture_us = capture_us
+        if self._demand_order is not None:
+            tenant_slot = np.zeros((n, cols), dtype=np.intp)
+            deadline_us = np.full((n, cols), _NO_DEADLINE_US, dtype=np.int64)
+            if self._tenant_slot is not None and old is not None:
+                prev = self._tenant_slot.shape[1]
+                tenant_slot[:, :prev] = self._tenant_slot
+                deadline_us[:, :prev] = self._deadline_us
+            self._tenant_slot = tenant_slot
+            self._deadline_us = deadline_us
         self._cols = cols
+
+    def ensure_demand(self, tenant_order: tuple[str, ...]) -> None:
+        """Enable the demand columns (idempotent per tenant ordering).
+
+        Tenant slot 0 is reserved for untenanted chunks; tenant ``k`` of
+        ``tenant_order`` occupies slot ``k + 1``.  Enabling (or changing
+        the ordering) invalidates every row so the next refresh fills the
+        new columns.
+        """
+        order = tuple(tenant_order)
+        if self._demand_order == order:
+            return
+        self._demand_order = order
+        self._tenant_lookup = {tid: k + 1 for k, tid in enumerate(order)}
+        n = len(self._satellites)
+        self._tenant_slot = np.zeros((n, self._cols), dtype=np.intp)
+        self._deadline_us = np.full(
+            (n, self._cols), _NO_DEADLINE_US, dtype=np.int64
+        )
+        self._versions[:] = -1
 
     def refresh(self, sat_indices) -> None:
         """Re-read queues whose mutation counter moved since last seen."""
@@ -106,6 +147,20 @@ class FleetQueueProfile:
             for c in range(count):
                 row_c[c] = _microseconds_since_ref(captures[c])
             row_c[count:] = 0
+            if self._tenant_slot is not None:
+                tenant_ids, deadlines = storage.queue_demand_snapshot()
+                row_t = self._tenant_slot[i]
+                row_d = self._deadline_us[i]
+                lookup = self._tenant_lookup
+                for c in range(count):
+                    row_t[c] = lookup.get(tenant_ids[c], 0)
+                    deadline = deadlines[c]
+                    row_d[c] = (
+                        _NO_DEADLINE_US if deadline is None
+                        else _microseconds_since_ref(deadline)
+                    )
+                row_t[count:] = 0
+                row_d[count:] = _NO_DEADLINE_US
             self._counts[i] = count
             self._backlog[i] = backlog
             self._head_size[i] = head_size
@@ -136,6 +191,45 @@ class FleetQueueProfile:
             if not left.any():
                 # Every edge's budget is exactly exhausted; all further
                 # chunks would contribute an exact +0.0.
+                break
+        return value
+
+    def prefix_deadline_values(self, sat_idx: np.ndarray,
+                               bits_budgets: np.ndarray, now: datetime,
+                               slot_weights: np.ndarray,
+                               urgency_weight_s: float,
+                               urgency_horizon_s: float) -> np.ndarray:
+        """The :class:`DeadlineSlaValue` prefix kernel, vectorized per edge.
+
+        Same loop structure as :meth:`prefix_age_values`, with each
+        chunk's age term scaled by its tenant's (weight x quota factor)
+        from ``slot_weights`` and boosted by deadline pressure.  Padded
+        positions contribute an exact ``+0.0`` (sendable is 0), and the
+        no-deadline sentinel clips pressure to an exact 0.0, so the
+        result is bit-identical to the scalar loop.
+        """
+        if self._tenant_slot is None:
+            raise RuntimeError("demand columns not enabled; call ensure_demand")
+        now_us = _microseconds_since_ref(now)
+        left = np.maximum(0.0, bits_budgets)
+        value = np.zeros(len(left))
+        cmax = int(self._counts[sat_idx].max()) if sat_idx.size else 0
+        for c in range(cmax):
+            remaining = self._remaining[sat_idx, c]
+            sendable = np.minimum(remaining, left)
+            ages = np.maximum(
+                0.0, (now_us - self._capture_us[sat_idx, c]) / 1e6
+            )
+            slack_s = (self._deadline_us[sat_idx, c] - now_us) / 1e6
+            pressure = np.minimum(np.maximum(
+                (urgency_horizon_s - slack_s) / urgency_horizon_s, 0.0
+            ), 2.0)
+            weights = slot_weights[self._tenant_slot[sat_idx, c]]
+            value = value + weights * (
+                ages + urgency_weight_s * pressure
+            ) * (sendable / self._sizes[sat_idx, c])
+            left = left - sendable
+            if not left.any():
                 break
         return value
 
@@ -205,6 +299,140 @@ class LatencyValue:
         """
         budgets = bitrate_bps * step_s
         value = profile.prefix_age_values(sat_idx, budgets, now)
+        backlog = profile.backlog_of(sat_idx)
+        deliverable = np.minimum(budgets, backlog)
+        head_size = np.where(
+            profile.counts_of(sat_idx) > 0,
+            profile.head_size_of(sat_idx), deliverable,
+        )
+        fallback = (self.min_age_factor * step_s * deliverable
+                    / np.maximum(head_size, 1.0))
+        value = np.where((value <= 0.0) & (backlog > 0.0), fallback, value)
+        return np.where(bitrate_bps > 0.0, value, 0.0)
+
+
+@dataclass(frozen=True)
+class DeadlineSlaValue:
+    """Tenant-priced Phi(x, t): age x tier weight x quota fairness + urgency.
+
+    Sec. 3.1's SLA weighting made concrete.  Each chunk in the sendable
+    prefix contributes::
+
+        weight(tenant) * quota_factor(tenant)
+            * (age_s + urgency_weight_s * pressure)
+            * (sendable / size)
+
+    where ``pressure`` ramps from 0 (more than ``urgency_horizon_s`` of
+    SLA slack left) to 2 (a full horizon past the deadline), clipped --
+    so a chunk approaching its deadline attracts downlink capacity as if
+    it were ``urgency_weight_s`` seconds older, and an over-quota
+    tenant's data is discounted by ``over_quota_factor`` until the next
+    UTC day restores its quota.  Untenanted chunks price at weight 1
+    with no deadline pressure, which makes the function degrade to
+    :class:`LatencyValue`-like behavior on legacy data.
+
+    ``edge_values`` is the vectorized fast path; it enables the fleet
+    profile's demand columns on first use and is bit-identical to the
+    scalar method.
+    """
+
+    tenants: tuple = ()
+    #: The shared per-run quota ledger (None = no quota discounting).
+    #: Excluded from equality: it is mutable run state, not identity.
+    accountant: "object | None" = field(default=None, compare=False,
+                                        repr=False)
+    #: Seconds of effective age one unit of deadline pressure is worth.
+    urgency_weight_s: float = 1800.0
+    #: Slack window over which pressure ramps toward the deadline.
+    urgency_horizon_s: float = 3600.0
+    #: Price multiplier on a tenant that exhausted today's quota.
+    over_quota_factor: float = 0.25
+    #: Floor for the all-new-data fallback (mirrors LatencyValue).
+    min_age_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.urgency_horizon_s <= 0.0:
+            raise ValueError("urgency_horizon_s must be positive")
+        if not 0.0 < self.over_quota_factor <= 1.0:
+            raise ValueError("over_quota_factor must be in (0, 1]")
+        order = tuple(t.tenant_id for t in self.tenants)
+        object.__setattr__(self, "_order", order)
+        object.__setattr__(
+            self, "_slot", {tid: k + 1 for k, tid in enumerate(order)}
+        )
+        # Slot 0 = untenanted: weight 1, never quota-limited.
+        object.__setattr__(
+            self, "_weights",
+            np.array([1.0] + [t.weight for t in self.tenants]),
+        )
+
+    def _slot_weights(self, now: datetime) -> np.ndarray:
+        """Per-slot (tenant weight x today's quota factor)."""
+        factors = np.ones(len(self._order) + 1)
+        if self.accountant is not None:
+            for k, tenant_id in enumerate(self._order):
+                if not self.accountant.under_quota(tenant_id, now):
+                    factors[k + 1] = self.over_quota_factor
+        return self._weights * factors
+
+    def edge_value(self, satellite: Satellite, station_id: str,
+                   bitrate_bps: float, now: datetime, step_s: float) -> float:
+        if bitrate_bps <= 0.0:
+            return 0.0
+        storage = satellite.storage
+        weights = self._slot_weights(now)
+        now_us = _microseconds_since_ref(now)
+        left = bitrate_bps * step_s
+        value = 0.0
+        for chunk in storage.onboard_chunks:
+            if left <= 0.0:
+                break
+            sendable = min(chunk.remaining_bits, left)
+            ages = max(
+                0.0,
+                (now_us - _microseconds_since_ref(chunk.capture_time)) / 1e6,
+            )
+            if chunk.deadline is None:
+                pressure = 0.0
+            else:
+                slack_s = (
+                    _microseconds_since_ref(chunk.deadline) - now_us
+                ) / 1e6
+                pressure = min(max(
+                    (self.urgency_horizon_s - slack_s)
+                    / self.urgency_horizon_s, 0.0
+                ), 2.0)
+            value = value + weights[self._slot.get(chunk.tenant_id, 0)] * (
+                ages + self.urgency_weight_s * pressure
+            ) * (sendable / chunk.size_bits)
+            left = left - sendable
+        if value <= 0.0 and storage.backlog_bits > 0.0:
+            # All-new data: value by deliverable volume at a one-step age.
+            deliverable = min(bitrate_bps * step_s, storage.backlog_bits)
+            chunk = storage.peek_sendable()
+            size = chunk.size_bits if chunk is not None else deliverable
+            value = self.min_age_factor * step_s * deliverable / max(size, 1.0)
+        return value
+
+    def edge_values(self, profile: FleetQueueProfile, sat_idx: np.ndarray,
+                    bitrate_bps: np.ndarray, now: datetime,
+                    step_s: float) -> np.ndarray:
+        """Vectorized :meth:`edge_value` over one instant's edges.
+
+        First use enables the profile's demand columns (invalidating its
+        rows), so the extra refresh here re-reads exactly the rows this
+        call prices; on later steps it is a version-match no-op.
+        """
+        profile.ensure_demand(self._order)
+        if sat_idx.size:
+            profile.refresh(
+                sat_idx[np.flatnonzero(np.diff(sat_idx, prepend=-1))]
+            )
+        budgets = bitrate_bps * step_s
+        value = profile.prefix_deadline_values(
+            sat_idx, budgets, now, self._slot_weights(now),
+            self.urgency_weight_s, self.urgency_horizon_s,
+        )
         backlog = profile.backlog_of(sat_idx)
         deliverable = np.minimum(budgets, backlog)
         head_size = np.where(

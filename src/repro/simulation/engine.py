@@ -30,6 +30,7 @@ from repro.network.messages import ChunkReceiptMessage
 from repro.obs import ObsConfig, build_manifest, make_recorder
 from repro.orbits.ephemeris import EphemerisTable, shared_ephemeris_table
 from repro.orbits.sgp4 import SGP4Error
+from repro.satellites.data import ChunkIdAllocator
 from repro.satellites.satellite import Satellite
 from repro.scheduling.matching import Assignment
 from repro.scheduling.scheduler import DownlinkScheduler
@@ -69,6 +70,7 @@ class Simulation:
         faults: FaultSchedule | None = None,
         faults_announced: bool = True,
         fault_availability_prior: float | None = None,
+        demand: "DemandLayer | None" = None,
         observability: ObsConfig | None = None,
     ):
         if args:
@@ -134,6 +136,27 @@ class Simulation:
         #: redelivery (receipt lost in a partition -> requeue ->
         #: retransmit) must not double-count delivered bits or latency.
         self._delivered_chunk_ids: set[int] = set()
+        #: The multi-tenant demand layer (None = the legacy uniform
+        #: single-tenant stream; the engine then behaves bit-identically
+        #: to a build without it).
+        self.demand = demand
+        # Per-simulation chunk numbering: ids restart per run instead of
+        # continuing a process-global counter, so two in-process runs of
+        # the same scenario produce identical reports.  Starting above
+        # any pre-existing id keeps ids fleet-unique (the delivered-chunk
+        # dedup set above requires that) even when data was generated
+        # before this Simulation existed.
+        existing_ids = [
+            chunk.chunk_id
+            for sat in satellites for chunk in sat.storage.all_chunks()
+        ]
+        self._chunk_ids = ChunkIdAllocator(
+            max(existing_ids) + 1 if existing_ids else 0
+        )
+        for sat in satellites:
+            sat.chunk_ids = self._chunk_ids
+            if demand is not None:
+                sat.demand = demand.assigner
         self.truth_weather = truth_weather or ClearSkyProvider()
         if config.use_forecast and forecast is None:
             forecast = ForecastProvider(self.truth_weather)
@@ -317,11 +340,20 @@ class Simulation:
                 if rec.enabled:
                     rec.event("step", step=k, when=now.isoformat(),
                               matched=len(executed))
-            # Land any receipts still in flight so totals are conserved.
+            # Land any receipts still in flight so totals are conserved:
+            # flush to the latest outstanding arrival, not a fixed
+            # horizon, so fault-injected latency spikes cannot strand
+            # receipts past the drain.
             with rec.span("drain"):
-                self.backend.advance(now + timedelta(seconds=3600.0))
+                self.backend.advance(self.backend.flush_horizon(now))
         if rec.enabled:
             self._record_component_stats()
+        tenant_reports: dict[str, dict] = {}
+        tenant_fairness = None
+        if self.demand is not None:
+            self.demand.accountant.record_run_end(self.satellites, now)
+            tenant_reports = self.demand.accountant.summary()
+            tenant_fairness = self.demand.accountant.fairness_index()
         return self.metrics.finalize(
             final_backlog_gb={
                 s.satellite_id: s.storage.true_backlog_bits / GB_TO_BITS
@@ -338,6 +370,8 @@ class Simulation:
             stage_timings=rec.stage_timings(),
             link_changes=self.link_changes,
             plan_mismatch_steps=self.plan_mismatch_steps,
+            tenant_reports=tenant_reports,
+            tenant_fairness=tenant_fairness,
         )
 
     def _record_component_stats(self) -> None:
@@ -376,6 +410,8 @@ class Simulation:
             chunks = sat.generate_data(interval_start, self.config.step_s)
             for chunk in chunks:
                 self.metrics.record_generation(chunk.size_bits)
+                if self.demand is not None:
+                    self.demand.accountant.record_generation(chunk)
 
     def _execute_assignment(self, assignment, now: datetime) -> None:
         sat = self.satellites[assignment.satellite_index]
@@ -498,6 +534,8 @@ class Simulation:
                         sat.satellite_id, latency, chunk.size_bits,
                         station.station_id,
                     )
+                    if self.demand is not None:
+                        self.demand.accountant.record_delivery(chunk, now)
                     if self.events is not None:
                         self.events.record(
                             now, "delivery", sat.satellite_id,

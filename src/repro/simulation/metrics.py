@@ -62,6 +62,13 @@ class SimulationReport:
     #: Planned-execution steps where a satellite transmitted at a station
     #: no longer pointing at it (always 0 in live mode).
     plan_mismatch_steps: int = 0
+    #: Per-tenant demand accounting (delivered bits, deadline-hit rate,
+    #: SLA violations, ...), keyed by tenant id; empty when the run had
+    #: no demand layer (the legacy single-tenant path).
+    tenant_reports: dict[str, dict] = field(default_factory=dict)
+    #: Jain's index over demand-share-normalized per-tenant delivered
+    #: bits; None without a demand layer.
+    tenant_fairness: float | None = None
 
     # -- latency --------------------------------------------------------------
 
@@ -102,6 +109,22 @@ class SimulationReport:
             return 1.0
         return self.delivered_bits / self.generated_bits
 
+    # -- per-tenant demand ------------------------------------------------------
+
+    def tenant_delivered_gb(self) -> dict[str, float]:
+        """Delivered volume per tenant in GB (empty without tenants)."""
+        return {
+            tenant_id: block["delivered_bits"] / GB_TO_BITS
+            for tenant_id, block in self.tenant_reports.items()
+        }
+
+    def total_sla_violations(self) -> int:
+        """Late deliveries plus undelivered-but-overdue chunks, all tenants."""
+        return sum(
+            int(block["sla_violations"])
+            for block in self.tenant_reports.values()
+        )
+
     # -- stage timings ---------------------------------------------------------
 
     def run_stage_seconds(self) -> dict[str, float]:
@@ -125,8 +148,13 @@ class SimulationReport:
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-compatible dict; stable round-trip via :meth:`from_dict`."""
-        return {
+        """JSON-compatible dict; stable round-trip via :meth:`from_dict`.
+
+        The tenant block is emitted only when the run had a demand
+        layer: legacy single-tenant reports keep the exact key set (and
+        therefore byte-identical JSON) they had before tenants existed.
+        """
+        payload = {
             "schema": REPORT_SCHEMA,
             "latency_s": {k: list(v) for k, v in self.latency_s.items()},
             "final_backlog_gb": dict(self.final_backlog_gb),
@@ -151,6 +179,13 @@ class SimulationReport:
             "link_changes": self.link_changes,
             "plan_mismatch_steps": self.plan_mismatch_steps,
         }
+        if self.tenant_reports:
+            payload["tenant_reports"] = {
+                tenant_id: dict(block)
+                for tenant_id, block in self.tenant_reports.items()
+            }
+            payload["tenant_fairness"] = self.tenant_fairness
+        return payload
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SimulationReport":
@@ -183,6 +218,11 @@ class SimulationReport:
             stage_timings=dict(raw.get("stage_timings", {})),
             link_changes=int(raw.get("link_changes", 0)),
             plan_mismatch_steps=int(raw.get("plan_mismatch_steps", 0)),
+            tenant_reports={
+                tenant_id: dict(block)
+                for tenant_id, block in raw.get("tenant_reports", {}).items()
+            },
+            tenant_fairness=raw.get("tenant_fairness"),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -243,6 +283,8 @@ class MetricsCollector:
                  stage_timings: dict[str, float] | None = None,
                  link_changes: int = 0,
                  plan_mismatch_steps: int = 0,
+                 tenant_reports: dict[str, dict] | None = None,
+                 tenant_fairness: float | None = None,
                  ) -> SimulationReport:
         return SimulationReport(
             latency_s={k: list(v) for k, v in self.latency_s.items()},
@@ -260,4 +302,6 @@ class MetricsCollector:
             stage_timings=dict(stage_timings or {}),
             link_changes=link_changes,
             plan_mismatch_steps=plan_mismatch_steps,
+            tenant_reports=dict(tenant_reports or {}),
+            tenant_fairness=tenant_fairness,
         )

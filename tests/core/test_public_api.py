@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.weather",
     "repro.groundstations",
     "repro.satellites",
+    "repro.demand",
     "repro.scheduling",
     "repro.network",
     "repro.simulation",

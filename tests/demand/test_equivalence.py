@@ -1,0 +1,120 @@
+"""Demand-layer equivalence: legacy runs stay bit-identical.
+
+Two contracts pin the demand layer's blast radius to zero on existing
+results: (1) a ``tenants=None`` spec produces byte-identical reports to
+the pre-demand engine -- including across back-to-back runs in one
+process, the chunk-counter regression -- and (2) attaching tenants under
+the paper's latency pricing stamps the chunks without perturbing a
+single scheduling decision.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.scenarios import ScenarioSpec
+from repro.demand import tenant_mix
+from repro.orbits.ephemeris import clear_ephemeris_cache
+
+SPEC = ScenarioSpec.dgs(num_satellites=6, num_stations=12,
+                        duration_s=2 * 3600.0)
+
+TENANT_KEYS = ("tenant_reports", "tenant_fairness")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_ephemeris_cache()
+    yield
+    clear_ephemeris_cache()
+
+
+def _run(spec):
+    return spec.build().simulation.run()
+
+
+class TestLegacyPath:
+    def test_report_has_no_tenant_block(self):
+        report = _run(SPEC)
+        raw = report.to_dict()
+        for key in TENANT_KEYS:
+            assert key not in raw
+        assert report.tenant_reports == {}
+        assert report.tenant_fairness is None
+
+    def test_same_spec_twice_in_one_process_is_identical(self):
+        """Chunk ids are per-run, so an in-process rerun reproduces
+        the report byte for byte (regression: the module-global chunk
+        counter used to renumber the second run's chunks)."""
+        first = _run(SPEC)
+        second = _run(SPEC)
+        assert first.to_json() == second.to_json()
+
+
+class TestStampingIsInert:
+    def test_tenants_under_latency_pricing_change_nothing(self):
+        """Stamping tenancy onto chunks must not move a single decision
+        when the value function ignores it: the report matches the
+        untenanted run on every field outside the tenant block."""
+        plain = _run(SPEC).to_dict()
+        stamped_report = _run(
+            replace(SPEC, tenants=tenant_mix("balanced"))
+        )
+        stamped = stamped_report.to_dict()
+        assert stamped["tenant_reports"]  # the demand layer did run
+        for key in TENANT_KEYS:
+            stamped.pop(key)
+        assert stamped == plain
+
+
+class TestTenantAccountingConsistency:
+    @pytest.fixture(scope="class")
+    def report(self):
+        clear_ephemeris_cache()
+        return _run(
+            replace(SPEC, tenants=tenant_mix("balanced"), value="deadline")
+        )
+
+    def test_reports_every_tenant(self, report):
+        expected = {t.tenant_id for t in tenant_mix("balanced")}
+        assert set(report.tenant_reports) == expected
+
+    def test_totals_partition_exactly(self, report):
+        """Every generated and delivered bit belongs to some tenant."""
+        generated = sum(b["generated_bits"]
+                        for b in report.tenant_reports.values())
+        delivered = sum(b["delivered_bits"]
+                        for b in report.tenant_reports.values())
+        assert generated == pytest.approx(report.generated_bits)
+        assert delivered == pytest.approx(report.delivered_bits)
+        assert delivered > 0.0
+
+    def test_fairness_in_unit_interval(self, report):
+        assert 0.0 < report.tenant_fairness <= 1.0
+
+    def test_report_round_trips(self, report):
+        from repro.simulation.metrics import SimulationReport
+
+        clone = SimulationReport.from_json(report.to_json())
+        assert clone.tenant_reports == report.tenant_reports
+        assert clone.tenant_fairness == report.tenant_fairness
+
+    def test_deterministic_rerun(self, report):
+        clear_ephemeris_cache()
+        again = _run(
+            replace(SPEC, tenants=tenant_mix("balanced"), value="deadline")
+        )
+        assert again.to_json() == report.to_json()
+
+
+class TestSpecValidation:
+    def test_deadline_value_needs_tenants(self):
+        with pytest.raises(ValueError, match="tenants"):
+            ScenarioSpec.dgs(value="deadline")
+
+    def test_tenants_round_trip_through_spec_dict(self):
+        spec = replace(SPEC, tenants=tenant_mix("quota-tight"),
+                       value="deadline")
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.tenants == tenant_mix("quota-tight")

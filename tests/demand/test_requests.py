@@ -1,0 +1,147 @@
+"""Tests for seeded request generation and chunk stamping."""
+
+import itertools
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.demand import DemandAssigner, RequestGenerator, Tenant, tenant_mix
+from repro.satellites.data import DataChunk
+
+EPOCH = datetime(2020, 6, 1)
+
+MIX = tenant_mix("balanced")
+
+
+def _take(generator, satellite_id, n):
+    return list(itertools.islice(generator.stream_for(satellite_id), n))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RequestGenerator(MIX, seed=13)
+        b = RequestGenerator(MIX, seed=13)
+        assert _take(a, "sat-1", 50) == _take(b, "sat-1", 50)
+
+    def test_different_seed_different_stream(self):
+        a = RequestGenerator(MIX, seed=13)
+        b = RequestGenerator(MIX, seed=14)
+        assert _take(a, "sat-1", 50) != _take(b, "sat-1", 50)
+
+    def test_different_satellites_different_streams(self):
+        gen = RequestGenerator(MIX, seed=13)
+        assert _take(gen, "sat-1", 50) != _take(gen, "sat-2", 50)
+
+    def test_streams_independent_of_interleaving(self):
+        """Per-satellite streams never depend on the fleet's order."""
+        gen = RequestGenerator(MIX, seed=13)
+        solo = _take(gen, "sat-2", 30)
+        interleaved = RequestGenerator(MIX, seed=13)
+        stream_1 = interleaved.stream_for("sat-1")
+        stream_2 = interleaved.stream_for("sat-2")
+        mixed = []
+        for _ in range(30):
+            next(stream_1)
+            mixed.append(next(stream_2))
+        assert mixed == solo
+
+    def test_request_ids_are_per_satellite_sequences(self):
+        gen = RequestGenerator(MIX, seed=13)
+        for sat in ("sat-1", "sat-2"):
+            ids = [r.request_id for r in _take(gen, sat, 10)]
+            assert ids == list(range(10))
+
+
+class TestTenantDraw:
+    def test_shares_approximately_respected(self):
+        gen = RequestGenerator(MIX, seed=13)
+        requests = _take(gen, "sat-1", 4000)
+        counts = {t.tenant_id: 0 for t in MIX}
+        for request in requests:
+            counts[request.tenant_id] += 1
+        for tenant in MIX:
+            observed = counts[tenant.tenant_id] / len(requests)
+            assert observed == pytest.approx(tenant.demand_share, abs=0.05)
+
+    def test_priority_is_tier_and_region_from_tenant(self):
+        by_id = {t.tenant_id: t for t in MIX}
+        gen = RequestGenerator(MIX, seed=13)
+        for request in _take(gen, "sat-1", 200):
+            tenant = by_id[request.tenant_id]
+            assert request.priority == float(tenant.tier)
+            assert request.sla_deadline_s == tenant.sla_deadline_s
+            if tenant.regions:
+                assert request.region in tenant.regions
+            else:
+                assert request.region == ""
+
+    def test_needs_tenants(self):
+        with pytest.raises(ValueError):
+            RequestGenerator(())
+
+
+@dataclass
+class _FakeSatellite:
+    generation_gb_per_day: float = 100.0
+    chunk_size_gb: float = 0.5
+
+
+def _chunk(i, satellite_id="sat-1"):
+    return DataChunk(
+        satellite_id=satellite_id,
+        size_bits=4e9,
+        capture_time=EPOCH + timedelta(minutes=i),
+        chunk_id=i,
+    )
+
+
+class TestDemandAssigner:
+    def test_consecutive_chunks_share_a_request(self):
+        # 200 chunks/day over 25 requests/day -> runs of 8 chunks.
+        assigner = DemandAssigner(RequestGenerator(MIX, seed=13),
+                                  requests_per_day=25)
+        satellite = _FakeSatellite()
+        chunks = [_chunk(i) for i in range(16)]
+        for chunk in chunks:
+            assigner.stamp(chunk, satellite)
+        first_run = {c.tenant_id for c in chunks[:8]}
+        second_run = {c.tenant_id for c in chunks[8:]}
+        assert len(first_run) == 1
+        assert len(second_run) == 1
+
+    def test_deadline_is_capture_plus_sla(self):
+        by_id = {t.tenant_id: t for t in MIX}
+        assigner = DemandAssigner(RequestGenerator(MIX, seed=13),
+                                  requests_per_day=24)
+        satellite = _FakeSatellite()
+        for i in range(40):
+            chunk = _chunk(i)
+            assigner.stamp(chunk, satellite)
+            sla = by_id[chunk.tenant_id].sla_deadline_s
+            assert chunk.deadline == chunk.capture_time + timedelta(seconds=sla)
+            assert chunk.priority == float(by_id[chunk.tenant_id].tier)
+
+    def test_stamping_deterministic_across_assigners(self):
+        satellite = _FakeSatellite()
+        stamped = []
+        for _ in range(2):
+            assigner = DemandAssigner(RequestGenerator(MIX, seed=13),
+                                      requests_per_day=24)
+            chunks = [_chunk(i) for i in range(30)]
+            for chunk in chunks:
+                assigner.stamp(chunk, satellite)
+            stamped.append([(c.tenant_id, c.deadline) for c in chunks])
+        assert stamped[0] == stamped[1]
+
+    def test_single_tenant_stamps_everything(self):
+        solo = (Tenant("only", sla_deadline_s=7200.0),)
+        assigner = DemandAssigner(RequestGenerator(solo, seed=1),
+                                  requests_per_day=24)
+        chunk = _chunk(0)
+        assigner.stamp(chunk, _FakeSatellite())
+        assert chunk.tenant_id == "only"
+
+    def test_invalid_requests_per_day(self):
+        with pytest.raises(ValueError):
+            DemandAssigner(RequestGenerator(MIX), requests_per_day=0)

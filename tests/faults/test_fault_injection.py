@@ -263,3 +263,23 @@ class TestFaultSweepExperiment:
         second = robustness.fault_sweep(**kwargs)
         assert first.to_json() == second.to_json()
         assert any(key.startswith("intensity:") for key in first.series)
+
+
+class TestEndOfRunDrain:
+    def test_huge_latency_spike_cannot_strand_receipts(self):
+        """Regression: the end-of-run drain used to flush a fixed hour
+        past the horizon, so a backhaul spike larger than that stranded
+        receipts in flight forever and the backend's totals leaked."""
+        network, _ = _simulate()
+        spikes = FaultSchedule(backhaul=[
+            BackhaulFault(st.station_id, EPOCH,
+                          EPOCH + timedelta(seconds=DURATION_S + 3600),
+                          extra_latency_s=2 * 86400.0)
+            for st in network
+        ])
+        _n, sim = _simulate(faults=spikes)
+        report = sim.run()
+        assert report.delivered_bits > 0.0
+        # Every receipt landed despite arriving two days "late".
+        assert sim.backend.in_flight_count == 0
+        assert sim.backend.total_bits_received == report.delivered_bits

@@ -119,3 +119,24 @@ class TestAckBatches:
         view = backend.pending_acks("sat-A")
         view.add(999)
         assert backend.pending_acks("sat-A") == {1}
+
+
+class TestFlushHorizon:
+    def test_empty_backend_floors_at_now(self):
+        backend = BackendCollator()
+        assert backend.flush_horizon(EPOCH) == EPOCH
+
+    def test_horizon_is_latest_outstanding_arrival(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), backhaul_latency_s=30.0)
+        backend.submit_receipt(receipt(2), backhaul_latency_s=7 * 86400.0)
+        horizon = backend.flush_horizon(EPOCH)
+        assert horizon == EPOCH + timedelta(days=7)
+        assert backend.advance(horizon) == 2
+        assert backend.in_flight_count == 0
+
+    def test_past_arrivals_never_move_clock_backwards(self):
+        backend = BackendCollator()
+        backend.submit_receipt(receipt(1), backhaul_latency_s=5.0)
+        later = EPOCH + timedelta(hours=1)
+        assert backend.flush_horizon(later) == later

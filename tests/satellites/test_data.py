@@ -89,3 +89,34 @@ class TestLostTransmission:
     def test_cannot_requeue_onboard(self):
         with pytest.raises(ValueError):
             make_chunk().requeue()
+
+
+class TestChunkIdAllocator:
+    def test_sequential_from_start(self):
+        from repro.satellites.data import ChunkIdAllocator
+
+        allocator = ChunkIdAllocator(start=5)
+        assert [allocator.next_id() for _ in range(3)] == [5, 6, 7]
+
+    def test_defaults_to_zero(self):
+        from repro.satellites.data import ChunkIdAllocator
+
+        assert ChunkIdAllocator().next_id() == 0
+
+    def test_negative_start_rejected(self):
+        from repro.satellites.data import ChunkIdAllocator
+
+        with pytest.raises(ValueError):
+            ChunkIdAllocator(start=-1)
+
+    def test_independent_allocators_restart_numbering(self):
+        """Regression: ids used to come from a module-global counter, so
+        two in-process simulations of the same scenario numbered their
+        chunks differently and their reports diverged."""
+        from repro.satellites.data import ChunkIdAllocator
+
+        first = ChunkIdAllocator()
+        first.next_id()
+        first.next_id()
+        second = ChunkIdAllocator()
+        assert second.next_id() == 0

@@ -78,6 +78,18 @@ class TestSustainableDuty:
         with pytest.raises(ValueError):
             PowerModel().sustainable_transmit_duty(1.5)
 
+    def test_free_transmitter_with_surplus(self):
+        power = PowerModel(transmit_load_watts=0.0)
+        assert power.sustainable_transmit_duty(1.0) == 1.0
+
+    def test_free_transmitter_cannot_outrun_idle_drain(self):
+        """Regression: a zero-watt transmitter used to report full duty
+        even when the idle load alone drained the battery."""
+        power = PowerModel(transmit_load_watts=0.0, panel_watts=2.0,
+                           idle_load_watts=3.0)
+        assert power.sustainable_transmit_duty(1.0) == 0.0
+        assert power.sustainable_transmit_duty(0.0) == 0.0
+
 
 class TestEngineIntegration:
     def test_power_gated_simulation(self, small_tles):
