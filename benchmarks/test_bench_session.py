@@ -1,0 +1,116 @@
+"""Session lifecycle benchmarks: tick overhead and replay at scale.
+
+Two contracts for the event-driven session API:
+
+1. Tick overhead gate -- driving the paper-scale scenario (259 x 173)
+   one ``advance()`` tick at a time costs at most 1.5x the batch
+   ``Simulation.run()`` per-step cost.  The stepped lifecycle is the
+   same loop body; the allowed overhead is the per-tick bookkeeping
+   (pending-event drain, plan-delta diff, Python call dispatch).
+2. Replay equivalence at fig3a scale -- the session's finalized report
+   is byte-identical to the batch report, with and without tenants.
+   Tier-1 pins this at toy scale; this bench repeats it at the
+   environment-scaled population the figures use.
+
+The pytest-benchmark timings feed the committed
+``benchmarks/baselines/BENCH_session.baseline.json`` that
+``compare_bench.py`` gates in CI (the ``service-smoke`` job).  Like the
+other benches this file is not tier-1 (``testpaths`` excludes
+``benchmarks/``).
+"""
+
+import math
+import time
+from dataclasses import replace
+
+from repro.core.scenarios import ScenarioSpec
+from repro.demand import tenant_mix
+from repro.simulation import SimulationSession
+
+#: The tick-overhead gate runs the paper's full 259 x 173 population --
+#: that is the acceptance scale -- over a short horizon (the per-step
+#: cost is what's measured, not the day).
+GATE_SATELLITES = 259
+GATE_STATIONS = 173
+GATE_STEPS = 120
+OVERHEAD_LIMIT = 1.5
+
+
+def gate_spec() -> ScenarioSpec:
+    return ScenarioSpec.dgs(
+        num_satellites=GATE_SATELLITES,
+        num_stations=GATE_STATIONS,
+        duration_s=GATE_STEPS * 60.0,
+    )
+
+
+def run_batch(spec: ScenarioSpec):
+    return spec.build().simulation.run()
+
+
+def run_session_ticks(spec: ScenarioSpec):
+    session = SimulationSession(spec)
+    while session.step < session.horizon_steps:
+        session.advance(steps=1)
+    return session.finalize()
+
+
+def test_bench_batch_run(benchmark):
+    """Batch ``Simulation.run()`` at 259 x 173 over the gate horizon."""
+    report = benchmark.pedantic(run_batch, args=(gate_spec(),),
+                                rounds=3, iterations=1)
+    assert report.generated_bits > 0
+
+
+def test_bench_session_ticks(benchmark):
+    """The same horizon driven one ``advance()`` tick at a time."""
+    report = benchmark.pedantic(run_session_ticks, args=(gate_spec(),),
+                                rounds=3, iterations=1)
+    assert report.generated_bits > 0
+
+
+def test_session_tick_overhead_gate():
+    """Acceptance gate: per-step session cost <= 1.5x batch at 259x173.
+
+    Best-of-3 wall clock on both sides, batch and session interleaved
+    run-for-run so drift hits both equally.
+    """
+    best_batch = best_session = math.inf
+    for _ in range(3):
+        spec = gate_spec()
+        start = time.perf_counter()
+        batch_report = run_batch(spec)
+        best_batch = min(best_batch, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        session_report = run_session_ticks(spec)
+        best_session = min(best_session, time.perf_counter() - start)
+    assert session_report.to_json() == batch_report.to_json()
+    ratio = best_session / best_batch
+    print(f"\nsession tick overhead {GATE_SATELLITES}x{GATE_STATIONS}: "
+          f"batch {1e3 * best_batch / GATE_STEPS:.2f} ms/step, "
+          f"session {1e3 * best_session / GATE_STEPS:.2f} ms/step, "
+          f"ratio {ratio:.3f}x (limit {OVERHEAD_LIMIT}x)")
+    assert ratio <= OVERHEAD_LIMIT, (
+        f"stepped session costs {ratio:.2f}x the batch loop "
+        f"(limit {OVERHEAD_LIMIT}x)"
+    )
+
+
+def test_replay_equivalence_at_fig3a_scale(scale, duration_s):
+    """Session == batch byte-for-byte at the figures' population scale."""
+    from repro.experiments.paper_runs import spec_for_variant
+
+    # The equivalence property is horizon-independent; cap the check at
+    # two simulated hours so the full-scale CI run stays quick.
+    horizon_s = min(duration_s, 7200.0)
+    plain = spec_for_variant("dgs-L", horizon_s, scale)
+    tenanted = replace(plain, tenants=tenant_mix("balanced"),
+                       value="deadline")
+    for spec in (plain, tenanted):
+        batch = spec.build().simulation.run()
+        session_report = SimulationSession(spec).run_to_horizon()
+        label = "tenanted" if spec.tenants else "plain"
+        assert session_report.to_json() == batch.to_json(), (
+            f"session replay diverged from batch ({label} spec)"
+        )

@@ -13,11 +13,7 @@ the paper's whole argument.
 
 from datetime import datetime
 
-from repro.core.scenarios import (
-    build_paper_weather,
-    make_baseline_scenario,
-    make_dgs_scenario,
-)
+from repro.core.scenarios import ScenarioSpec
 
 EPOCH = datetime(2020, 6, 1)
 FLEET_SIZES = (10, 40, 100, 180)
@@ -26,14 +22,15 @@ DURATION_S = 6 * 3600.0
 
 def run_point(kind: str, num_satellites: int) -> tuple[float, float]:
     if kind == "baseline":
-        _f, _n, sim = make_baseline_scenario(
+        spec = ScenarioSpec.baseline(
             num_satellites=num_satellites, duration_s=DURATION_S
         )
     else:
-        _f, _n, sim = make_dgs_scenario(
+        spec = ScenarioSpec.dgs(
             num_satellites=num_satellites, num_stations=120,
             duration_s=DURATION_S,
         )
+    _f, _n, sim = spec.build()
     report = sim.run()
     median = report.latency_percentiles_min((50,))[50]
     return median, report.delivery_fraction

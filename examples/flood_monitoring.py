@@ -48,7 +48,7 @@ def main() -> None:
 
     value_function = PriorityValue(region_multipliers={FLOOD_REGION: 4.0})
     config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0, step_s=60.0)
-    sim = Simulation(satellites, network, value_function, config,
+    sim = Simulation(satellites=satellites, network=network, value_function=value_function, config=config,
                      truth_weather=build_paper_weather(seed=3))
     report = sim.run()
 

@@ -29,7 +29,7 @@ def ack_lifecycle_demo() -> None:
     for sat in satellites:
         sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
     config = SimulationConfig(start=EPOCH, duration_s=6 * 3600.0)
-    sim = Simulation(satellites, network, LatencyValue(), config,
+    sim = Simulation(satellites=satellites, network=network, value_function=LatencyValue(), config=config,
                      truth_weather=build_paper_weather(seed=3))
     report = sim.run()
 
@@ -84,7 +84,7 @@ def tx_fraction_sweep() -> None:
             start=EPOCH, duration_s=6 * 3600.0,
             enforce_plan_distribution=True, plan_max_age_s=12 * 3600.0,
         )
-        sim = Simulation(satellites, network, LatencyValue(), config,
+        sim = Simulation(satellites=satellites, network=network, value_function=LatencyValue(), config=config,
                          truth_weather=build_paper_weather(seed=3))
         report = sim.run()
         acked = sum(len(s.storage.acked_chunks) for s in satellites)

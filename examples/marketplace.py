@@ -49,7 +49,7 @@ def auction_demo() -> None:
     }
     value_function = AuctionValue(bids=bids, default_bid=DEFAULT_BID)
     config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-    sim = Simulation(satellites, network, value_function, config,
+    sim = Simulation(satellites=satellites, network=network, value_function=value_function, config=config,
                      truth_weather=build_paper_weather(seed=3))
     report = sim.run()
 

@@ -75,7 +75,7 @@ def power_gated_simulation(tles) -> None:
         ]
         network = satnogs_like_network(40, seed=11)
         config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-        sim = Simulation(sats, network, LatencyValue(), config,
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                          truth_weather=build_paper_weather())
         report = sim.run()
         soc = sum(s.power.state_of_charge for s in sats) / len(sats)

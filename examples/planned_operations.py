@@ -33,7 +33,7 @@ def run_mode(mode: str):
         plan_refresh_s=3600.0, plan_horizon_s=2 * 3600.0,
         record_events=True,
     )
-    sim = Simulation(satellites, network, LatencyValue(), config,
+    sim = Simulation(satellites=satellites, network=network, value_function=LatencyValue(), config=config,
                      truth_weather=build_paper_weather(seed=3))
     report = sim.run()
     return sim, report

@@ -46,7 +46,7 @@ def link_choice_demo() -> None:
     satellites[0].generate_data(EPOCH - timedelta(hours=1), 3600.0)
 
     # Find an instant where the satellite sees at least two stations.
-    clear = DGSNetwork(satellites, network, weather=ClearSkyProvider())
+    clear = DGSNetwork(satellites=satellites, network=network, weather=ClearSkyProvider())
     when, pairs = None, []
     probe = EPOCH
     for _ in range(24 * 60):
@@ -67,7 +67,7 @@ def link_choice_demo() -> None:
           f"({station.latitude_deg:.1f}N, {station.longitude_deg:.1f}E)")
 
     rainy = DGSNetwork(
-        satellites, network,
+        satellites=satellites, network=network,
         weather=RainOverStation(station.latitude_deg, station.longitude_deg),
     )
     step_rain = rainy.schedule(when)
@@ -92,7 +92,7 @@ def system_effect_demo() -> None:
         satellites = build_paper_fleet(count=25, seed=7)
         network = satnogs_like_network(50, seed=11)
         config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-        sim = Simulation(satellites, network, LatencyValue(), config,
+        sim = Simulation(satellites=satellites, network=network, value_function=LatencyValue(), config=config,
                          truth_weather=truth)
         if label == "blind":
             # The scheduler predicts with clear skies; reality is rainy, so

@@ -22,12 +22,63 @@ Quickstart::
     step = net.schedule(datetime(2020, 6, 1, 12, 0))
     for a in step.assignments:
         print(a.satellite_index, "->", a.station_index, f"{a.bitrate_bps/1e6:.0f} Mbps")
+
+Or describe a whole run as a frozen :class:`ScenarioSpec` and either
+batch-run it (``spec.run()``) or drive it as an event-fed
+:class:`SimulationSession` -- optionally behind the
+:class:`SchedulerService` HTTP daemon (``repro serve``)::
+
+    from repro import ScenarioSpec, SimulationSession, SubmitRequest
+    from repro.demand import tenant_mix
+
+    spec = ScenarioSpec.dgs(num_satellites=20, num_stations=40,
+                            duration_s=3600.0, tenants=tenant_mix("balanced"))
+    session = SimulationSession(spec)
+    session.ingest([SubmitRequest("req-1", "premium",
+                                  session.simulation.satellites[0].satellite_id)])
+    session.advance(steps=10)
+    report = session.finalize()
+
+This module's ``__all__`` is the library's one canonical public surface;
+everything else is reachable through the subpackages it re-exports from.
 """
 
 from repro.core.api import DGSNetwork
-from repro.core.scenarios import ScenarioSpec
+from repro.core.scenarios import Scenario, ScenarioResult, ScenarioSpec
+from repro.demand import DemandLayer, DownlinkRequest, Tenant, tenant_mix
 from repro.obs import ObsConfig
+from repro.service import SchedulerService
+from repro.simulation import (
+    OutageNotice,
+    PlanDelta,
+    QuotaUpdate,
+    Simulation,
+    SimulationConfig,
+    SimulationReport,
+    SimulationSession,
+    SubmitRequest,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["DGSNetwork", "ObsConfig", "ScenarioSpec", "__version__"]
+__all__ = [
+    "DGSNetwork",
+    "DemandLayer",
+    "DownlinkRequest",
+    "ObsConfig",
+    "OutageNotice",
+    "PlanDelta",
+    "QuotaUpdate",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchedulerService",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "SimulationSession",
+    "SubmitRequest",
+    "Tenant",
+    "tenant_mix",
+    "__version__",
+]

@@ -12,6 +12,9 @@ Commands:
 * ``sweep``          -- run a grid of frozen scenario specs across worker
                         processes, with checkpoint/resume and a merged
                         schema-versioned report.
+* ``serve``          -- boot the scheduler-as-a-service daemon: a ticking
+                        simulation session behind HTTP endpoints for
+                        request submission, plan polling, and metrics.
 * ``dataset``        -- generate a SatNOGS-like dataset as JSON.
 * ``validate-trace`` -- schema-check a JSONL trace emitted by a run.
 
@@ -253,6 +256,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import ScenarioSpec
+    from repro.service import SchedulerService
+    from repro.simulation.session import SimulationSession
+
+    tenants = None
+    if args.tenants:
+        from repro.demand import tenant_mix
+
+        tenants = tenant_mix(args.tenants)
+    spec = ScenarioSpec.dgs(
+        num_satellites=args.satellites, num_stations=args.stations,
+        duration_s=args.hours * 3600.0, value=args.value, tenants=tenants,
+    )
+    service = SchedulerService(
+        SimulationSession(spec), host=args.host, port=args.port,
+        pace_s=args.pace,
+    )
+    host, port = service.address
+    session = service.session
+    print(f"repro serve: http://{host}:{port} -- "
+          f"{args.satellites} satellites x {args.stations} stations, "
+          f"{session.horizon_steps} steps"
+          + (f", tenants={args.tenants}" if args.tenants else "")
+          + "; POST /shutdown to finalize", file=sys.stderr)
+    try:
+        report = service.serve_forever()
+    except KeyboardInterrupt:
+        report = service.finalize()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(indent=2))
+        print(f"wrote report to {args.json_out}", file=sys.stderr)
+    print(f"served {session.step}/{session.horizon_steps} steps: "
+          f"{report.delivered_tb:.2f} TB delivered "
+          f"({report.delivery_fraction:.1%}), "
+          f"{len(session.plan_deltas())} plan deltas")
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.satnogs.dataset import generate_dataset
 
@@ -384,6 +427,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="write a per-cell JSONL trace under DIR/traces/")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("serve",
+                       help="boot the scheduler-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = pick an ephemeral port)")
+    p.add_argument("--satellites", type=int, default=50)
+    p.add_argument("--stations", type=int, default=60)
+    p.add_argument("--hours", type=float, default=6.0)
+    p.add_argument("--value", choices=("latency", "throughput", "deadline"),
+                   default="latency")
+    p.add_argument("--tenants", default=None,
+                   choices=("balanced", "premium-heavy", "quota-tight"),
+                   help="attach a preset multi-tenant demand mix "
+                        "(required for --value deadline)")
+    p.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                   help="sleep between ticks so clients can steer the "
+                        "plan (0 = free-running)")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the final simulation report as JSON")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("dataset", help="generate a SatNOGS-like dataset")
     p.add_argument("--stations", type=int, default=200)

@@ -17,8 +17,6 @@ from repro.core.scenarios import (
     ScenarioSpec,
     build_paper_fleet,
     build_paper_weather,
-    make_baseline_scenario,
-    make_dgs_scenario,
     run_scenario,
 )
 
@@ -29,7 +27,5 @@ __all__ = [
     "ScenarioSpec",
     "build_paper_fleet",
     "build_paper_weather",
-    "make_dgs_scenario",
-    "make_baseline_scenario",
     "run_scenario",
 ]

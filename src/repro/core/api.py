@@ -8,7 +8,6 @@ schedule or an uplink plan, and run data-transfer simulations.
 
 from __future__ import annotations
 
-import warnings
 from datetime import datetime, timedelta
 
 from repro.groundstations.network import GroundStationNetwork
@@ -32,16 +31,12 @@ from repro.simulation.engine import Simulation
 from repro.simulation.metrics import SimulationReport
 from repro.weather.provider import ClearSkyProvider, WeatherProvider
 
-#: Legacy positional order of the pre-keyword-only constructor.
-_POSITIONAL_PARAMS = ("satellites", "network", "value_function", "weather")
-
 
 class DGSNetwork:
     """A distributed ground station network bound to a satellite fleet.
 
     All constructor arguments are keyword-only; ``satellites`` and
-    ``network`` are required.  (A deprecation shim still accepts the
-    historical positional order.)
+    ``network`` are required.
     """
 
     def __init__(
@@ -55,30 +50,11 @@ class DGSNetwork:
         step_s: float = 60.0,
     ):
         if args:
-            warnings.warn(
-                "positional DGSNetwork(...) arguments are deprecated; pass "
-                "satellites=, network= (and the rest) as keywords",
-                DeprecationWarning, stacklevel=2,
+            raise TypeError(
+                "DGSNetwork() no longer accepts positional arguments (the "
+                "PR-3 deprecation shim was removed); pass satellites=, "
+                "network= (and value_function=, weather=) as keywords"
             )
-            if len(args) > len(_POSITIONAL_PARAMS):
-                raise TypeError(
-                    f"DGSNetwork takes at most {len(_POSITIONAL_PARAMS)} "
-                    f"positional arguments ({len(args)} given)"
-                )
-            provided = {
-                "satellites": satellites, "network": network,
-                "value_function": value_function, "weather": weather,
-            }
-            for name, value in zip(_POSITIONAL_PARAMS, args):
-                if provided[name] is not None:
-                    raise TypeError(
-                        f"DGSNetwork got multiple values for argument {name!r}"
-                    )
-                provided[name] = value
-            satellites = provided["satellites"]
-            network = provided["network"]
-            value_function = provided["value_function"]
-            weather = provided["weather"]
         if satellites is None or network is None:
             raise TypeError(
                 "DGSNetwork missing required keyword arguments: satellites=, "

@@ -10,16 +10,15 @@ exactly one dimension at a time.
 The one way in is :class:`ScenarioSpec`: a frozen, fully-serializable
 description of a run.  ``ScenarioSpec.dgs(...)`` / ``.baseline(...)``
 construct specs, ``spec.build()`` assembles the fleet/network/simulation
-triple, and ``spec.run(label)`` executes it.  The historical
-``make_dgs_scenario`` / ``make_baseline_scenario`` helpers remain as thin
-deprecation shims over the spec.
+triple, and ``spec.run(label)`` executes it.  (The historical
+``make_dgs_scenario`` / ``make_baseline_scenario`` helpers went through a
+deprecation cycle and are gone.)
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
-import warnings
 from dataclasses import dataclass, field, fields, replace
 from datetime import datetime
 
@@ -516,74 +515,23 @@ class ScenarioSpec:
         return self.build().run(label)
 
 
-# -- legacy builders (deprecation shims over ScenarioSpec) -------------------
+# -- retired legacy builders -------------------------------------------------
+
+_REMOVED_BUILDERS = {
+    "make_dgs_scenario": "ScenarioSpec.dgs(...).build()",
+    "make_baseline_scenario": "ScenarioSpec.baseline(...).build()",
+}
 
 
-def make_dgs_scenario(
-    station_fraction: float = 1.0,
-    value: str = "latency",
-    matcher: MatcherName = "stable",
-    num_satellites: int = PAPER_SATELLITES,
-    num_stations: int = PAPER_STATIONS,
-    duration_s: float = 86400.0,
-    step_s: float = 60.0,
-    weather_seed: int = 3,
-    network_seed: int = 11,
-    fleet_seed: int = 7,
-    use_forecast: bool = False,
-    enforce_plan_distribution: bool = False,
-    tx_capable_fraction: float = 0.1,
-) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
-    """Deprecated: use ``ScenarioSpec.dgs(...).build()``."""
-    warnings.warn(
-        "make_dgs_scenario is deprecated; use ScenarioSpec.dgs(...).build()",
-        DeprecationWarning, stacklevel=2,
-    )
-    scenario = ScenarioSpec.dgs(
-        station_fraction=station_fraction,
-        value=value,
-        matcher=matcher,
-        num_satellites=num_satellites,
-        num_stations=num_stations,
-        duration_s=duration_s,
-        step_s=step_s,
-        weather_seed=weather_seed,
-        network_seed=network_seed,
-        fleet_seed=fleet_seed,
-        use_forecast=use_forecast,
-        enforce_plan_distribution=enforce_plan_distribution,
-        tx_capable_fraction=tx_capable_fraction,
-    ).build()
-    return scenario.fleet, scenario.network, scenario.simulation
-
-
-def make_baseline_scenario(
-    value: str = "latency",
-    matcher: MatcherName = "stable",
-    num_satellites: int = PAPER_SATELLITES,
-    duration_s: float = 86400.0,
-    step_s: float = 60.0,
-    weather_seed: int = 3,
-    fleet_seed: int = 7,
-    station_count: int = 5,
-) -> tuple[list[Satellite], GroundStationNetwork, Simulation]:
-    """Deprecated: use ``ScenarioSpec.baseline(...).build()``."""
-    warnings.warn(
-        "make_baseline_scenario is deprecated; "
-        "use ScenarioSpec.baseline(...).build()",
-        DeprecationWarning, stacklevel=2,
-    )
-    scenario = ScenarioSpec.baseline(
-        value=value,
-        matcher=matcher,
-        num_satellites=num_satellites,
-        duration_s=duration_s,
-        step_s=step_s,
-        weather_seed=weather_seed,
-        fleet_seed=fleet_seed,
-        station_count=station_count,
-    ).build()
-    return scenario.fleet, scenario.network, scenario.simulation
+def __getattr__(name: str):
+    """Actionable errors for the removed PR-3 deprecation shims."""
+    if name in _REMOVED_BUILDERS:
+        raise AttributeError(
+            f"{name} was removed after its deprecation cycle; use "
+            f"{_REMOVED_BUILDERS[name]} (the Scenario it returns still "
+            "unpacks as a (fleet, network, simulation) tuple)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_scenario(label: str, sim: Simulation) -> ScenarioResult:

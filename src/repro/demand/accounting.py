@@ -10,6 +10,7 @@ per-tenant block of the :class:`~repro.simulation.metrics.SimulationReport`.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from datetime import datetime
 from typing import TYPE_CHECKING, Iterable
 
@@ -83,6 +84,25 @@ class TenantAccountant:
                     and chunk.deadline < end
                 ):
                     self.missed_undelivered[chunk.tenant_id] += 1
+
+    # -- mid-run control inputs ---------------------------------------------
+
+    def set_quota(self, tenant_id: str, quota_gb_per_day: float) -> None:
+        """Apply a mid-run quota change for one tenant.
+
+        Takes effect immediately for :meth:`under_quota` reads (so
+        quota-aware pricing sees it at the next scheduling pass) and for
+        the end-of-run summary; already-delivered bits in the day ledger
+        are kept.
+        """
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        if quota_gb_per_day < 0.0:
+            raise ValueError("quota_gb_per_day must be >= 0")
+        self._tenants[tenant_id] = replace(
+            tenant, quota_gb_per_day=float(quota_gb_per_day)
+        )
 
     # -- pricing-side reads -------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from collections import deque
 from dataclasses import dataclass
 from datetime import timedelta
 from typing import TYPE_CHECKING, Iterator
@@ -106,6 +107,9 @@ class DemandAssigner:
         self._requests_per_day = requests_per_day
         #: satellite_id -> [stream, current request, chunks left in it].
         self._state: dict[str, list] = {}
+        #: satellite_id -> deque of [request, chunks left] injected via
+        #: :meth:`inject`; drained before the seeded stream resumes.
+        self._pending: dict[str, deque] = {}
 
     def _chunks_per_request(self, satellite: "Satellite") -> int:
         daily_chunks = (
@@ -113,17 +117,43 @@ class DemandAssigner:
         )
         return max(1, round(daily_chunks / self._requests_per_day))
 
+    def inject(self, satellite_id: str, request: DownlinkRequest,
+               chunks: int = 1) -> None:
+        """Queue an externally submitted request for a satellite.
+
+        Injected requests preempt the seeded stream: the satellite's
+        next ``chunks`` captures are stamped with this request, in
+        submission order across injections, and the interrupted seeded
+        window is abandoned (a fresh seeded request is drawn once the
+        injections drain).  With no injections the stamping path is
+        untouched, so purely seeded runs stay bit-identical.
+        """
+        if chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        self._pending.setdefault(satellite_id, deque()).append(
+            [request, int(chunks)]
+        )
+
     def stamp(self, chunk: "DataChunk", satellite: "Satellite") -> None:
         """Assign the chunk to the satellite's current request window."""
         state = self._state.get(chunk.satellite_id)
         if state is None:
             state = [self._generator.stream_for(chunk.satellite_id), None, 0]
             self._state[chunk.satellite_id] = state
-        if state[2] <= 0:
-            state[1] = next(state[0])
-            state[2] = self._chunks_per_request(satellite)
-        request: DownlinkRequest = state[1]
-        state[2] -= 1
+        pending = self._pending.get(chunk.satellite_id)
+        if pending:
+            head = pending[0]
+            request: DownlinkRequest = head[0]
+            head[1] -= 1
+            if head[1] <= 0:
+                pending.popleft()
+            state[2] = 0  # abandon the preempted seeded window
+        else:
+            if state[2] <= 0:
+                state[1] = next(state[0])
+                state[2] = self._chunks_per_request(satellite)
+            request = state[1]
+            state[2] -= 1
         chunk.tenant_id = request.tenant_id
         chunk.priority = request.priority
         chunk.region = request.region

@@ -174,8 +174,18 @@ def build_grid(name: str, duration_s: float, scale: float) -> list[SweepCell]:
 
 
 def cells_from_json(text: str) -> list[SweepCell]:
-    """Parse an explicit grid: a JSON list of {label, spec} objects."""
-    raw = json.loads(text)
+    """Parse an explicit grid: a JSON list of {label, spec} objects.
+
+    Every malformed input -- bad JSON, wrong shape, unknown or
+    mistyped spec fields -- raises ``ValueError`` with the offending
+    entry named, so the CLI's one-line-stderr + exit-2 contract holds
+    (a bare ``TypeError`` out of the spec constructor would surface as
+    a traceback).
+    """
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"grid file is not valid JSON: {exc}")
     if not isinstance(raw, list) or not raw:
         raise ValueError("grid file must be a non-empty JSON list")
     cells = []
@@ -184,12 +194,24 @@ def cells_from_json(text: str) -> list[SweepCell]:
             raise ValueError(
                 f"grid entry {index} must be an object with a 'spec' key"
             )
-        spec = ScenarioSpec.from_dict(item["spec"])
+        if not isinstance(item["spec"], dict):
+            raise ValueError(f"grid entry {index}: 'spec' must be an object")
+        try:
+            spec = ScenarioSpec.from_dict(item["spec"])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"grid entry {index}: {exc}")
         label = str(item.get("label", f"cell-{index}"))
         cells.append(SweepCell(label, spec))
     return cells
 
 
 def load_grid_file(path: str) -> list[SweepCell]:
-    with open(path, "r", encoding="utf-8") as handle:
-        return cells_from_json(handle.read())
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ValueError(f"cannot read grid file {path!r}: {exc}")
+    try:
+        return cells_from_json(text)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}")

@@ -1,0 +1,15 @@
+"""Scheduling-as-a-service: the long-running planner daemon.
+
+The paper's control plane is a centralized scheduler that collects
+station/satellite state and computes contact plans; Ground-Station-as-a-
+Service operators run exactly that as a *service* -- a daemon that
+ingests customer downlink requests and continuously revises plans.
+This package wraps a :class:`~repro.simulation.session.SimulationSession`
+in a stdlib HTTP daemon (:class:`SchedulerService`) exposing
+submit-request / get-plan / stream-plan-deltas / metrics endpoints; the
+``repro serve`` CLI subcommand boots one.
+"""
+
+from repro.service.daemon import SchedulerService
+
+__all__ = ["SchedulerService"]

@@ -14,12 +14,24 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.faults import Outage, OutageSchedule
 from repro.simulation.metrics import MetricsCollector, SimulationReport
 from repro.simulation.engine import Simulation
+from repro.simulation.session import (
+    OutageNotice,
+    PlanDelta,
+    QuotaUpdate,
+    SimulationSession,
+    SubmitRequest,
+)
 
 __all__ = [
     "SimulationConfig",
     "MetricsCollector",
     "SimulationReport",
     "Simulation",
+    "SimulationSession",
+    "SubmitRequest",
+    "QuotaUpdate",
+    "OutageNotice",
+    "PlanDelta",
     "Outage",
     "OutageSchedule",
 ]

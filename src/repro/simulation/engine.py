@@ -20,7 +20,6 @@ per experiment variant (``repro.core`` scenario helpers do this).
 
 from __future__ import annotations
 
-import warnings
 from datetime import datetime, timedelta
 
 from repro.faults import FaultCounters, FaultSchedule
@@ -40,19 +39,12 @@ from repro.simulation.metrics import GB_TO_BITS, MetricsCollector, SimulationRep
 from repro.weather.forecast import ForecastProvider
 from repro.weather.provider import ClearSkyProvider, WeatherProvider
 
-#: Legacy positional order of the pre-keyword-only constructor; the shim
-#: maps stray positional arguments onto these names.
-_POSITIONAL_PARAMS = (
-    "satellites", "network", "value_function", "config", "truth_weather",
-)
-
 
 class Simulation:
     """One configured data-transfer simulation.
 
     All constructor arguments are keyword-only; ``satellites``,
-    ``network``, ``value_function``, and ``config`` are required.  (A
-    deprecation shim still accepts the historical positional order.)
+    ``network``, ``value_function``, and ``config`` are required.
     """
 
     def __init__(
@@ -74,32 +66,12 @@ class Simulation:
         observability: ObsConfig | None = None,
     ):
         if args:
-            warnings.warn(
-                "positional Simulation(...) arguments are deprecated; pass "
-                "satellites=, network=, value_function=, config= as keywords",
-                DeprecationWarning, stacklevel=2,
+            raise TypeError(
+                "Simulation() no longer accepts positional arguments (the "
+                "PR-3 deprecation shim was removed); pass satellites=, "
+                "network=, value_function=, config= (and truth_weather=) as "
+                "keywords, or describe the run with repro.ScenarioSpec"
             )
-            if len(args) > len(_POSITIONAL_PARAMS):
-                raise TypeError(
-                    f"Simulation takes at most {len(_POSITIONAL_PARAMS)} "
-                    f"positional arguments ({len(args)} given)"
-                )
-            provided = {
-                "satellites": satellites, "network": network,
-                "value_function": value_function, "config": config,
-                "truth_weather": truth_weather,
-            }
-            for name, value in zip(_POSITIONAL_PARAMS, args):
-                if provided[name] is not None:
-                    raise TypeError(
-                        f"Simulation got multiple values for argument {name!r}"
-                    )
-                provided[name] = value
-            satellites = provided["satellites"]
-            network = provided["network"]
-            value_function = provided["value_function"]
-            config = provided["config"]
-            truth_weather = provided["truth_weather"]
         missing = [
             name for name, value in (
                 ("satellites", satellites), ("network", network),
@@ -219,6 +191,12 @@ class Simulation:
         #: Steps where a satellite transmitted per its (stale) plan at a
         #: station that was no longer pointing at it.
         self.plan_mismatch_steps = 0
+        # Stepped-lifecycle state (set by _begin_loop, advanced by
+        # _step_once): the wall clock of the last executed step and the
+        # last forecast issue time.  run() and SimulationSession drive
+        # the same four stages, so both paths share these.
+        self._now = config.start
+        self._last_forecast_issue = config.start
 
     @staticmethod
     def _build_ephemeris(satellites: list[Satellite],
@@ -254,6 +232,40 @@ class Simulation:
         except SGP4Error:
             return None
 
+    # -- mid-run control inputs ---------------------------------------------
+
+    def announce_outage(self, station_id: str, start: datetime,
+                        end: datetime) -> None:
+        """Register a station maintenance window announced mid-run.
+
+        The window is appended to the simulation's (announced) outage
+        schedule and the scheduler routes around it from the next
+        scheduling pass.  A simulation configured with an *unannounced*
+        schedule refuses the call: a notice cannot retroactively make
+        surprise failures known to the scheduler.
+        """
+        from repro.simulation.faults import Outage, OutageSchedule
+
+        if self.outages is not None and not self.outages_announced:
+            raise ValueError(
+                "cannot announce outages on a simulation configured with "
+                "an unannounced OutageSchedule"
+            )
+        known = {st.station_id for st in self.network}
+        if station_id not in known:
+            raise ValueError(f"unknown station {station_id!r}")
+        if self.outages is None:
+            self.outages = OutageSchedule()
+            self.outages_announced = True
+            network = self.network
+            outages = self.outages
+
+            def station_available(index: int, when) -> bool:
+                return not outages.is_down(network[index].station_id, when)
+
+            self.scheduler.station_available = station_available
+        self.outages.add(Outage(station_id, start, end))
+
     # -- main loop --------------------------------------------------------------
 
     def run(self) -> SimulationReport:
@@ -283,71 +295,106 @@ class Simulation:
         return report
 
     def _run_observed(self) -> SimulationReport:
-        """The main loop, staged under the recorder's ``run`` span."""
+        """The main loop, staged under the recorder's ``run`` span.
+
+        The batch path is just the stepped lifecycle driven to the
+        horizon in one go: :meth:`_begin_loop`, then
+        :meth:`_step_once` per step, then :meth:`_drain_backend` and
+        :meth:`_finalize_report`.  :class:`SimulationSession` drives
+        the identical stages tick by tick, which is what makes the
+        replay-equivalence guarantee hold by construction.
+        """
         cfg = self.config
         rec = self.obs
-        last_forecast_issue = cfg.start
-        now = cfg.start
+        self._begin_loop()
         with rec.span("run"):
             for k in range(cfg.num_steps):
-                now = cfg.start + timedelta(seconds=k * cfg.step_s)
-                with rec.span("generate"):
-                    self._generate(now)
-                with rec.span("backend_advance"):
-                    self.backend.advance(now)
-                if cfg.use_forecast and (
-                    (now - last_forecast_issue).total_seconds()
-                    >= cfg.forecast_refresh_s
-                ):
-                    last_forecast_issue = now
-                self._transmitted_this_step = set()
-                if cfg.execution_mode == "planned":
-                    with rec.span("plan_execution"):
-                        executed = self._planned_step(now)
-                else:
-                    with rec.span("schedule"):
-                        step = self.scheduler.schedule_step(
-                            now,
-                            forecast_issued_at=(
-                                last_forecast_issue if cfg.use_forecast
-                                else None
-                            ),
-                        )
-                    with rec.span("execute"):
-                        for assignment in step.assignments:
-                            self._execute_assignment(assignment, now)
-                    executed = {
-                        a.satellite_index: a.station_index
-                        for a in step.assignments
-                    }
-                with rec.span("bookkeeping"):
-                    if self._power_enabled:
-                        self._update_power(now, k)
-                    self.metrics.record_step(len(executed))
-                    self._record_churn(executed)
-                    self._previous_links = executed
-                    if cfg.snapshot_every_steps \
-                            and k % cfg.snapshot_every_steps == 0:
-                        self.metrics.record_snapshot(
-                            now,
-                            {s.satellite_id:
-                             s.storage.true_backlog_bits / GB_TO_BITS
-                             for s in self.satellites},
-                            {s.satellite_id:
-                             s.storage.stored_bits / GB_TO_BITS
-                             for s in self.satellites},
-                        )
-                if rec.enabled:
-                    rec.event("step", step=k, when=now.isoformat(),
-                              matched=len(executed))
-            # Land any receipts still in flight so totals are conserved:
-            # flush to the latest outstanding arrival, not a fixed
-            # horizon, so fault-injected latency spikes cannot strand
-            # receipts past the drain.
-            with rec.span("drain"):
-                self.backend.advance(self.backend.flush_horizon(now))
+                self._step_once(k)
+            self._drain_backend()
         if rec.enabled:
             self._record_component_stats()
+        return self._finalize_report()
+
+    def _begin_loop(self) -> None:
+        """Reset the stepped-lifecycle clock to the configured start."""
+        self._now = self.config.start
+        self._last_forecast_issue = self.config.start
+
+    def _step_once(self, k: int) -> dict[int, int]:
+        """Advance the simulation by exactly one step (index ``k``).
+
+        Must run inside the recorder's ``run`` span after
+        :meth:`_begin_loop`.  Returns the executed satellite->station
+        links for the step.
+        """
+        cfg = self.config
+        rec = self.obs
+        now = cfg.start + timedelta(seconds=k * cfg.step_s)
+        self._now = now
+        with rec.span("generate"):
+            self._generate(now)
+        with rec.span("backend_advance"):
+            self.backend.advance(now)
+        if cfg.use_forecast and (
+            (now - self._last_forecast_issue).total_seconds()
+            >= cfg.forecast_refresh_s
+        ):
+            self._last_forecast_issue = now
+        self._transmitted_this_step = set()
+        if cfg.execution_mode == "planned":
+            with rec.span("plan_execution"):
+                executed = self._planned_step(now)
+        else:
+            with rec.span("schedule"):
+                step = self.scheduler.schedule_step(
+                    now,
+                    forecast_issued_at=(
+                        self._last_forecast_issue if cfg.use_forecast
+                        else None
+                    ),
+                )
+            with rec.span("execute"):
+                for assignment in step.assignments:
+                    self._execute_assignment(assignment, now)
+            executed = {
+                a.satellite_index: a.station_index
+                for a in step.assignments
+            }
+        with rec.span("bookkeeping"):
+            if self._power_enabled:
+                self._update_power(now, k)
+            self.metrics.record_step(len(executed))
+            self._record_churn(executed)
+            self._previous_links = executed
+            if cfg.snapshot_every_steps \
+                    and k % cfg.snapshot_every_steps == 0:
+                self.metrics.record_snapshot(
+                    now,
+                    {s.satellite_id:
+                     s.storage.true_backlog_bits / GB_TO_BITS
+                     for s in self.satellites},
+                    {s.satellite_id:
+                     s.storage.stored_bits / GB_TO_BITS
+                     for s in self.satellites},
+                )
+        if rec.enabled:
+            rec.event("step", step=k, when=now.isoformat(),
+                      matched=len(executed))
+        return executed
+
+    def _drain_backend(self) -> None:
+        """Land any receipts still in flight so totals are conserved.
+
+        Flushes to the latest outstanding arrival, not a fixed horizon,
+        so fault-injected latency spikes cannot strand receipts past the
+        drain.
+        """
+        with self.obs.span("drain"):
+            self.backend.advance(self.backend.flush_horizon(self._now))
+
+    def _finalize_report(self) -> SimulationReport:
+        """Close the books at the current clock and build the report."""
+        now = self._now
         tenant_reports: dict[str, dict] = {}
         tenant_fairness = None
         if self.demand is not None:
@@ -367,7 +414,7 @@ class Simulation:
                 self.fault_counters.as_dict()
                 if self.faults is not None else None
             ),
-            stage_timings=rec.stage_timings(),
+            stage_timings=self.obs.stage_timings(),
             link_changes=self.link_changes,
             plan_mismatch_steps=self.plan_mismatch_steps,
             tenant_reports=tenant_reports,

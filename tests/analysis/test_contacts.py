@@ -88,7 +88,7 @@ class TestEndToEnd:
         network = satnogs_like_network(12, seed=13)
         config = SimulationConfig(start=EPOCH, duration_s=3 * 3600.0,
                                   record_events=True)
-        sim = Simulation(sats, network, LatencyValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
         report = sim.run()
         contacts = contacts_from_events(sim.events, step_s=config.step_s)
         assert contacts

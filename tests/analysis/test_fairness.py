@@ -93,8 +93,10 @@ class TestSimulationFairness:
         tles = synthetic_leo_constellation(8, epoch, seed=21)
         sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
         network = satnogs_like_network(15, seed=13)
-        sim = Simulation(sats, network, LatencyValue(),
-                         SimulationConfig(start=epoch, duration_s=3 * 3600.0))
+        sim = Simulation(
+            satellites=sats, network=network, value_function=LatencyValue(),
+            config=SimulationConfig(start=epoch, duration_s=3 * 3600.0),
+        )
         report = sim.run()
         fairness = matching_fairness(report)
         assert fairness.participants == 8

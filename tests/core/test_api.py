@@ -14,19 +14,19 @@ EPOCH = datetime(2020, 6, 1)
 def api(small_fleet, small_network):
     for sat in small_fleet:
         sat.generate_data(EPOCH - timedelta(hours=2), 7200.0)
-    return DGSNetwork(small_fleet, small_network)
+    return DGSNetwork(satellites=small_fleet, network=small_network)
 
 
 class TestConstruction:
     def test_rejects_empty_fleet(self, small_network):
         with pytest.raises(ValueError):
-            DGSNetwork([], small_network)
+            DGSNetwork(satellites=[], network=small_network)
 
     def test_rejects_empty_network(self, small_fleet):
         from repro.groundstations.network import GroundStationNetwork
 
         with pytest.raises(ValueError):
-            DGSNetwork(small_fleet, GroundStationNetwork([]))
+            DGSNetwork(satellites=small_fleet, network=GroundStationNetwork([]))
 
 
 class TestGeometryQueries:

@@ -142,3 +142,119 @@ class TestDataset:
                      "--days", "1", "--filter"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert all(s["status"] == "online" for s in data["stations"])
+
+
+class TestSweepGridFileErrors:
+    """Bad --grid-file inputs keep the one-line-stderr + exit-2 contract."""
+
+    def run_sweep(self, path, capsys):
+        code = main(["sweep", "--grid-file", str(path), "--workers", "1"])
+        err = capsys.readouterr().err
+        return code, err
+
+    def assert_one_line_error(self, code, err):
+        assert code == 2
+        assert err.startswith("repro sweep: error:")
+        assert err.count("\n") == 1, f"stderr not one line: {err!r}"
+
+    def test_missing_file(self, capsys):
+        code, err = self.run_sweep("/no/such/grid.json", capsys)
+        self.assert_one_line_error(code, err)
+        assert "cannot read grid file" in err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text("{not json at all")
+        code, err = self.run_sweep(path, capsys)
+        self.assert_one_line_error(code, err)
+        assert "not valid JSON" in err
+
+    def test_not_a_list(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text('{"label": "x"}')
+        code, err = self.run_sweep(path, capsys)
+        self.assert_one_line_error(code, err)
+        assert "non-empty JSON list" in err
+
+    def test_entry_without_spec(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text('[{"label": "x"}]')
+        code, err = self.run_sweep(path, capsys)
+        self.assert_one_line_error(code, err)
+        assert "grid entry 0" in err
+
+    def test_mistyped_spec_field(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(
+            [{"label": "bad", "spec": {"kind": "dgs",
+                                       "station_fraction": "lots"}}]
+        ))
+        code, err = self.run_sweep(path, capsys)
+        self.assert_one_line_error(code, err)
+        assert "grid entry 0" in err
+
+    def test_unknown_spec_field(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(
+            [{"label": "bad", "spec": {"kind": "dgs", "warp_drive": 9}}]
+        ))
+        code, err = self.run_sweep(path, capsys)
+        self.assert_one_line_error(code, err)
+
+    def test_grid_and_grid_file_mutually_exclusive(self, capsys):
+        code = main(["sweep", "--grid", "fig3", "--grid-file", "x.json"])
+        err = capsys.readouterr().err
+        self.assert_one_line_error(code, err)
+        assert "exactly one" in err
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.pace == 0.0
+        assert args.tenants is None
+
+    def test_serve_smoke_over_http(self, tmp_path):
+        """Boot `repro serve` as a subprocess, hit it, shut it down."""
+        import http.client
+        import os
+        import pathlib
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).parents[1])
+        report_path = tmp_path / "report.json"
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve",
+             "--satellites", "3", "--stations", "5", "--hours", "0.5",
+             "--pace", "0.02", "--tenants", "balanced",
+             "--value", "deadline", "--json-out", str(report_path)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert banner.startswith("repro serve: http://")
+            port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("GET", "/healthz")
+                health = json.loads(conn.getresponse().read())
+                assert health["status"] == "ok"
+                conn.request("POST", "/shutdown", body="{}")
+                shut = json.loads(conn.getresponse().read())
+                assert "report" in shut
+            finally:
+                conn.close()
+            out, _err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert out.startswith("served ")
+        report = json.loads(report_path.read_text())
+        assert report["delivered_bits"] >= 0.0

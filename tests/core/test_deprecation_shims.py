@@ -1,12 +1,12 @@
-"""The keyword-only API redesign keeps legacy call shapes working.
+"""The keyword-only API redesign: the legacy constructors are gone.
 
-Positional ``Simulation(...)`` / ``DGSNetwork(...)`` calls and the
-``make_*_scenario`` builders still function but warn; the new spellings
-(`ScenarioSpec`, keyword arguments) are silent and produce the same
-objects.
+The PR-3 deprecation shims (positional ``Simulation(...)`` /
+``DGSNetwork(...)`` calls and the ``make_*_scenario`` builders) went
+through their cycle and were removed: every legacy spelling now fails
+with an actionable error naming the replacement, and the new spellings
+(`ScenarioSpec`, keyword arguments) are the only way in.
 """
 
-import warnings
 from datetime import datetime
 
 import pytest
@@ -15,9 +15,6 @@ from repro.core.api import DGSNetwork
 from repro.core.scenarios import (
     ScenarioSpec,
     build_paper_fleet,
-    build_paper_weather,
-    make_baseline_scenario,
-    make_dgs_scenario,
 )
 from repro.groundstations.network import satnogs_like_network
 from repro.scheduling.value_functions import LatencyValue
@@ -34,76 +31,73 @@ def small_world():
     return fleet, network, config
 
 
-class TestSimulationShim:
-    def test_positional_args_warn_but_work(self):
+class TestSimulationLegacyRemoval:
+    def test_positional_args_rejected_with_hint(self):
         fleet, network, config = small_world()
-        with pytest.warns(DeprecationWarning, match="positional"):
-            sim = Simulation(fleet, network, LatencyValue(), config)
+        with pytest.raises(TypeError, match="satellites="):
+            Simulation(fleet, network, LatencyValue(), config)
+
+    def test_error_names_scenariospec_migration(self):
+        fleet, network, config = small_world()
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            Simulation(fleet, network, LatencyValue(), config)
+
+    def test_keyword_call_works(self):
+        fleet, network, config = small_world()
+        sim = Simulation(satellites=fleet, network=network,
+                         value_function=LatencyValue(), config=config)
         assert sim.satellites is fleet
         assert sim.config is config
-
-    def test_keyword_call_is_silent(self):
-        fleet, network, config = small_world()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            Simulation(satellites=fleet, network=network,
-                       value_function=LatencyValue(), config=config)
-
-    def test_duplicate_argument_rejected(self):
-        fleet, network, config = small_world()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                Simulation(fleet, network, LatencyValue(), config,
-                           satellites=fleet)
-
-    def test_too_many_positionals_rejected(self):
-        fleet, network, config = small_world()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="at most"):
-                Simulation(fleet, network, LatencyValue(), config, None, None)
 
     def test_missing_required_named_in_error(self):
         with pytest.raises(TypeError, match="satellites="):
             Simulation()
 
 
-class TestDGSNetworkShim:
-    def test_positional_args_warn_but_work(self):
+class TestDGSNetworkLegacyRemoval:
+    def test_positional_args_rejected_with_hint(self):
         fleet, network, _config = small_world()
-        with pytest.warns(DeprecationWarning, match="positional"):
-            net = DGSNetwork(fleet, network)
-        assert net.satellites is fleet
+        with pytest.raises(TypeError, match="satellites="):
+            DGSNetwork(fleet, network)
 
-    def test_keyword_call_is_silent(self):
+    def test_keyword_call_works(self):
         fleet, network, _config = small_world()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            DGSNetwork(satellites=fleet, network=network)
+        net = DGSNetwork(satellites=fleet, network=network)
+        assert net.satellites is fleet
 
     def test_missing_required_rejected(self):
         with pytest.raises(TypeError, match="satellites"):
             DGSNetwork()
 
 
-class TestScenarioBuilderShims:
-    def test_make_dgs_scenario_warns_and_matches_spec(self):
-        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
-            fleet, network, sim = make_dgs_scenario(
-                num_satellites=4, num_stations=6, duration_s=600.0
-            )
-        scenario = ScenarioSpec.dgs(
-            num_satellites=4, num_stations=6, duration_s=600.0
-        ).build()
-        assert len(fleet) == len(scenario.fleet)
-        assert len(network) == len(scenario.network)
-        assert sim.config == scenario.simulation.config
+class TestScenarioBuilderRemoval:
+    def test_make_dgs_scenario_gone_with_hint(self):
+        import repro.core.scenarios as scenarios
 
-    def test_make_baseline_scenario_warns(self):
-        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
-            _fleet, network, _sim = make_baseline_scenario(
-                num_satellites=4, duration_s=600.0
-            )
-        assert len(network) == 5
+        with pytest.raises(AttributeError, match=r"ScenarioSpec\.dgs"):
+            scenarios.make_dgs_scenario
+
+    def test_make_baseline_scenario_gone_with_hint(self):
+        import repro.core.scenarios as scenarios
+
+        with pytest.raises(AttributeError, match=r"ScenarioSpec\.baseline"):
+            scenarios.make_baseline_scenario
+
+    def test_import_fails(self):
+        with pytest.raises(ImportError):
+            from repro.core.scenarios import make_dgs_scenario  # noqa: F401
+
+    def test_not_reexported_from_core(self):
+        import repro.core as core
+
+        assert not hasattr(core, "make_dgs_scenario")
+        assert not hasattr(core, "make_baseline_scenario")
+
+    def test_other_missing_attributes_still_plain(self):
+        import repro.core.scenarios as scenarios
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            scenarios.definitely_not_a_thing
 
     def test_scenario_unpacks_like_the_legacy_tuple(self):
         scenario = ScenarioSpec.dgs(

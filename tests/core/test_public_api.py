@@ -1,6 +1,7 @@
 """Public API surface tests: every exported name exists and imports."""
 
 import importlib
+import types
 
 import pytest
 
@@ -16,6 +17,7 @@ PACKAGES = [
     "repro.scheduling",
     "repro.network",
     "repro.simulation",
+    "repro.service",
     "repro.satnogs",
     "repro.baseline",
     "repro.analysis",
@@ -52,6 +54,56 @@ def test_public_classes_have_docstrings():
                 PassPredictor, OnboardStorage, Satellite,
                 DownlinkScheduler, Simulation):
         assert cls.__doc__ and len(cls.__doc__.strip()) > 20, cls
+
+
+class TestCanonicalSurface:
+    """``repro.__all__`` is the one public surface -- nothing else leaks."""
+
+    CANONICAL = {
+        "DGSNetwork",
+        "DemandLayer",
+        "DownlinkRequest",
+        "ObsConfig",
+        "OutageNotice",
+        "PlanDelta",
+        "QuotaUpdate",
+        "Scenario",
+        "ScenarioResult",
+        "ScenarioSpec",
+        "SchedulerService",
+        "Simulation",
+        "SimulationConfig",
+        "SimulationReport",
+        "SimulationSession",
+        "SubmitRequest",
+        "Tenant",
+        "tenant_mix",
+        "__version__",
+    }
+
+    def test_all_matches_canonical_set(self):
+        import repro
+
+        assert set(repro.__all__) == self.CANONICAL
+
+    def test_nothing_else_leaks(self):
+        """Every non-underscore, non-module attribute is in ``__all__``."""
+        import repro
+
+        leaked = {
+            name for name, value in vars(repro).items()
+            if not name.startswith("_")
+            and not isinstance(value, types.ModuleType)
+        } - set(repro.__all__)
+        assert not leaked, f"undeclared names leak from repro: {sorted(leaked)}"
+
+    def test_session_and_service_exports_are_the_real_ones(self):
+        import repro
+        from repro.service.daemon import SchedulerService
+        from repro.simulation.session import SimulationSession
+
+        assert repro.SimulationSession is SimulationSession
+        assert repro.SchedulerService is SchedulerService
 
 
 def test_version():

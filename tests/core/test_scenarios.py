@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.scenarios import (
+    ScenarioSpec,
     build_paper_fleet,
     build_paper_weather,
-    make_baseline_scenario,
-    make_dgs_scenario,
     run_scenario,
     value_function_by_name,
 )
@@ -39,31 +38,31 @@ class TestValueFunctionLookup:
 
 class TestScenarioAssembly:
     def test_dgs_scenario_shapes(self):
-        fleet, network, sim = make_dgs_scenario(
+        fleet, network, sim = ScenarioSpec.dgs(
             num_satellites=6, num_stations=10, duration_s=600.0
-        )
+        ).build()
         assert len(fleet) == 6
         assert len(network) == 10
         assert sim.config.matcher == "stable"
 
     def test_dgs25_fraction(self):
-        _fleet, network, _sim = make_dgs_scenario(
+        _fleet, network, _sim = ScenarioSpec.dgs(
             station_fraction=0.25, num_satellites=4, num_stations=20,
             duration_s=600.0,
-        )
+        ).build()
         assert len(network) == 5
 
     def test_baseline_scenario(self):
-        fleet, network, sim = make_baseline_scenario(
+        fleet, network, sim = ScenarioSpec.baseline(
             num_satellites=4, duration_s=600.0
-        )
+        ).build()
         assert len(network) == 5
         assert all(s.can_transmit for s in network)
 
     def test_run_scenario_labels(self):
-        _f, _n, sim = make_dgs_scenario(
+        _f, _n, sim = ScenarioSpec.dgs(
             num_satellites=4, num_stations=8, duration_s=600.0
-        )
+        ).build()
         result = run_scenario("test-run", sim)
         assert result.label == "test-run"
         assert result.num_satellites == 4

@@ -32,7 +32,7 @@ def _simulate(faults=None, announced=True, prior=None, ack_timeout_s=None,
         ack_timeout_s=ack_timeout_s if ack_timeout_s is not None else 3 * 3600.0,
         batched_kernels=batched,
     )
-    sim = Simulation(sats, network, LatencyValue(), config, faults=faults,
+    sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config, faults=faults,
                      faults_announced=announced,
                      fault_availability_prior=prior)
     return network, sim

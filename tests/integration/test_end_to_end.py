@@ -33,7 +33,7 @@ class TestScheduledLinksAreReal:
         sats, network = build_world()
         for sat in sats:
             sat.generate_data(EPOCH - timedelta(hours=1), 3600.0)
-        api = DGSNetwork(sats, network, weather=build_paper_weather())
+        api = DGSNetwork(satellites=sats, network=network, weather=build_paper_weather())
         for hour in (0, 6, 12):
             when = EPOCH + timedelta(hours=hour)
             step = api.schedule(when)
@@ -57,7 +57,7 @@ class TestEndToEndDataFlow:
     def finished_run(self):
         sats, network = build_world()
         config = SimulationConfig(start=EPOCH, duration_s=6 * 3600.0, step_s=60.0)
-        sim = Simulation(sats, network, LatencyValue(), config,
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                          truth_weather=build_paper_weather())
         return sim, sim.run()
 
@@ -105,7 +105,7 @@ class TestValueFunctionBehaviourEndToEnd:
                          ("throughput", ThroughputValue())):
             sats, network = build_world(seed=23)
             config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-            sim = Simulation(sats, network, vf, config,
+            sim = Simulation(satellites=sats, network=network, value_function=vf, config=config,
                              truth_weather=build_paper_weather())
             results[name] = sim.run()
         assert results["throughput"].delivered_bits >= \
@@ -124,7 +124,7 @@ class TestHybridEndToEnd:
                 enforce_plan_distribution=enforce,
                 plan_max_age_s=12 * 3600.0,
             )
-            sim = Simulation(sats, network, LatencyValue(), config,
+            sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                              truth_weather=build_paper_weather())
             return sim.run()
 

@@ -54,7 +54,7 @@ def build_and_run(params):
         enforce_plan_distribution=params["enforce_plans"],
         snapshot_every_steps=0,
     )
-    sim = Simulation(sats, network, value, config)
+    sim = Simulation(satellites=sats, network=network, value_function=value, config=config)
     return sim, sim.run()
 
 

@@ -44,7 +44,7 @@ class TestRealDataWorkflow:
             for record in dataset.satellites
         ]
         config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-        sim = Simulation(satellites, network, LatencyValue(), config)
+        sim = Simulation(satellites=satellites, network=network, value_function=LatencyValue(), config=config)
         report = sim.run()
         assert report.generated_bits > 0.0
 
@@ -63,7 +63,7 @@ class TestHorizonSchedulerEndToEnd:
         sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
         network = satnogs_like_network(12, seed=13)
         config = SimulationConfig(start=EPOCH, duration_s=3 * 3600.0)
-        sim = Simulation(sats, network, LatencyValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
         base = sim.scheduler
         sim.scheduler = HorizonScheduler(
             base.satellites, base.network, base.value_function,
@@ -91,7 +91,7 @@ class TestBeamformingEndToEnd:
         sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
         network = satnogs_like_network(8, seed=13)
         config = SimulationConfig(start=EPOCH, duration_s=2 * 3600.0)
-        sim = Simulation(sats, network, ThroughputValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=ThroughputValue(), config=config)
         base = sim.scheduler
         sim.scheduler = BeamformingScheduler(
             base.satellites, base.network, base.value_function,

@@ -113,7 +113,7 @@ class TestEngineIntegration:
         ]
         network = satnogs_like_network(15, seed=13)
         config = SimulationConfig(start=epoch, duration_s=2 * 3600.0)
-        sim = Simulation(sats, network, LatencyValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
         report = sim.run()
         assert report.delivered_bits == 0.0
 
@@ -133,7 +133,7 @@ class TestEngineIntegration:
         ]
         network = satnogs_like_network(15, seed=13)
         config = SimulationConfig(start=epoch, duration_s=4 * 3600.0)
-        sim = Simulation(sats, network, LatencyValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
         report = sim.run()
         assert report.delivered_bits > 0.0
         # Batteries were actually integrated.

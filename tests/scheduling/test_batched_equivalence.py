@@ -176,7 +176,7 @@ class TestSimulationEquivalence:
                 precompute_ephemeris=batched,
             )
             weather = QuantizedWeatherCache(RainCellField(seed=3))
-            sim = Simulation(sats, network, LatencyValue(), config,
+            sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                              truth_weather=weather)
             reports[batched] = sim.run()
         scalar, batched = reports[False], reports[True]

@@ -45,7 +45,7 @@ class TestGeometryEngine:
         """The vectorized path must agree with the reference scalar path."""
         engine = GeometryEngine(small_network)
         elevation, rng_km, visible = engine.visibility(loaded_fleet, EPOCH)
-        api = DGSNetwork(loaded_fleet, small_network)
+        api = DGSNetwork(satellites=loaded_fleet, network=small_network)
         for i, sat in enumerate(loaded_fleet):
             for j, station in enumerate(small_network):
                 topo = api.look_angles(sat, station, EPOCH)

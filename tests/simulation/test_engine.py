@@ -28,7 +28,7 @@ def build_sim(network=None, duration_h=4.0, num_sats=8, **config_kwargs):
         **config_kwargs,
     )
     weather = QuantizedWeatherCache(RainCellField(seed=3))
-    return Simulation(sats, network, LatencyValue(), config,
+    return Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                       truth_weather=weather)
 
 

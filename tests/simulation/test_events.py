@@ -60,7 +60,7 @@ class TestEngineEventRecording:
         network = satnogs_like_network(20, seed=13)
         config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0,
                                   record_events=True)
-        sim = Simulation(sats, network, LatencyValue(), config)
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
         return sim, sim.run()
 
     def test_events_recorded(self, run_with_events):
@@ -100,7 +100,9 @@ class TestEngineEventRecording:
         tles = synthetic_leo_constellation(3, EPOCH, seed=21)
         sats = [Satellite(tle=t) for t in tles]
         network = satnogs_like_network(8, seed=13)
-        sim = Simulation(sats, network, LatencyValue(),
-                         SimulationConfig(start=EPOCH, duration_s=600.0))
+        sim = Simulation(
+            satellites=sats, network=network, value_function=LatencyValue(),
+            config=SimulationConfig(start=EPOCH, duration_s=600.0),
+        )
         sim.run()
         assert sim.events is None

@@ -81,7 +81,7 @@ class TestFaultInjectedSimulation:
         sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
         network = satnogs_like_network(15, seed=13)
         config = SimulationConfig(start=EPOCH, duration_s=4 * 3600.0)
-        sim = Simulation(sats, network, LatencyValue(), config,
+        sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config,
                          outages=outages, outages_announced=announced)
         return network, sim.run()
 

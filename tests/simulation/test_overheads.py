@@ -23,7 +23,7 @@ def build(acquisition_overhead_s=0.0, matcher="stable"):
         acquisition_overhead_s=acquisition_overhead_s,
         matcher=matcher,
     )
-    return Simulation(sats, network, LatencyValue(), config)
+    return Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
 
 
 class TestAcquisitionOverhead:

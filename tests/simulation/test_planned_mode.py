@@ -23,7 +23,7 @@ def build(mode="planned", tx_fraction=0.15, hours=4.0, **config_kwargs):
         start=EPOCH, duration_s=hours * 3600.0,
         execution_mode=mode, **config_kwargs,
     )
-    sim = Simulation(sats, network, LatencyValue(), config)
+    sim = Simulation(satellites=sats, network=network, value_function=LatencyValue(), config=config)
     return sim
 
 
