@@ -1,0 +1,103 @@
+"""Storm-weather and diversity-reception overhead benchmarks.
+
+Three tracked benchmarks -- stationary cell weather, advected storm
+tracks, and storms plus two-station diversity reception -- plus the
+acceptance gate: the storm + diversity path may cost at most 1.5x the
+stationary-weather run on the same population.  The storm field adds a
+second additive weather term per (station, instant) sample and the
+diversity path adds secondary-receiver recruitment plus per-copy link
+evaluations; this bench is what keeps both "cheap by construction".
+
+The pytest-benchmark timings feed the committed
+``benchmarks/baselines/BENCH_storms.baseline.json`` that
+``compare_bench.py`` gates in CI (the ``storm-diversity-smoke`` job).
+Like the other benches this file is not tier-1 (``testpaths`` excludes
+``benchmarks/``).
+"""
+
+import math
+import time
+
+from repro.core.scenarios import ScenarioSpec
+
+#: Mid-scale population: large enough that per-step weather sampling and
+#: matching dominate setup, small enough for three interleaved best-of-3
+#: runs in a CI smoke job.
+GATE_SATELLITES = 100
+GATE_STATIONS = 60
+GATE_STEPS = 120
+OVERHEAD_LIMIT = 1.5
+
+
+def _spec(**kwargs) -> ScenarioSpec:
+    return ScenarioSpec.dgs(
+        num_satellites=GATE_SATELLITES,
+        num_stations=GATE_STATIONS,
+        duration_s=GATE_STEPS * 60.0,
+        **kwargs,
+    )
+
+
+def stationary_spec() -> ScenarioSpec:
+    return _spec()
+
+
+def storm_spec() -> ScenarioSpec:
+    return _spec(weather="storms", storm_rate=2.0)
+
+
+def storm_diversity_spec() -> ScenarioSpec:
+    return _spec(weather="storms", storm_rate=2.0,
+                 execution_mode="diversity", diversity_receivers=2)
+
+
+def run(spec: ScenarioSpec):
+    return spec.build().simulation.run()
+
+
+def test_bench_stationary_weather(benchmark):
+    """Baseline: the PR-1 cell field, live execution."""
+    report = benchmark.pedantic(run, args=(stationary_spec(),),
+                                rounds=3, iterations=1)
+    assert report.generated_bits > 0
+
+
+def test_bench_storm_weather(benchmark):
+    """Advected storm tracks layered on the cell field, live execution."""
+    report = benchmark.pedantic(run, args=(storm_spec(),),
+                                rounds=3, iterations=1)
+    assert report.generated_bits > 0
+
+
+def test_bench_storm_diversity(benchmark):
+    """Storm weather plus two-station diversity reception."""
+    report = benchmark.pedantic(run, args=(storm_diversity_spec(),),
+                                rounds=3, iterations=1)
+    assert report.diversity["passes"] > 0
+
+
+def test_storm_diversity_overhead_gate():
+    """Acceptance gate: storms + diversity <= 1.5x stationary weather.
+
+    Best-of-3 wall clock on both sides, interleaved run-for-run so
+    machine drift hits both equally.
+    """
+    best_plain = best_storm = math.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        run(stationary_spec())
+        best_plain = min(best_plain, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        report = run(storm_diversity_spec())
+        best_storm = min(best_storm, time.perf_counter() - start)
+    assert report.diversity["passes"] > 0
+    ratio = best_storm / best_plain
+    print(f"\nstorm+diversity overhead {GATE_SATELLITES}x{GATE_STATIONS}: "
+          f"stationary {1e3 * best_plain / GATE_STEPS:.2f} ms/step, "
+          f"storm+div {1e3 * best_storm / GATE_STEPS:.2f} ms/step, "
+          f"ratio {ratio:.3f}x (limit {OVERHEAD_LIMIT}x)")
+    assert ratio <= OVERHEAD_LIMIT, (
+        f"storm + diversity costs {ratio:.2f}x the stationary-weather run "
+        f"(limit {OVERHEAD_LIMIT}x)"
+    )

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Per-package coverage floors over a coverage.py JSON report.
+
+Usage::
+
+    python scripts/coverage_gate.py coverage.json \
+        [--floor repro/weather=85 --floor repro/network=85] \
+        [--summary "$GITHUB_STEP_SUMMARY"]
+
+The input is ``coverage json``'s report (``pytest --cov=repro
+--cov-branch --cov-report=json:coverage.json``).  Files are grouped into
+packages by their directory under ``src/``; each package's percentage is
+the combined line+branch figure coverage.py itself uses
+(``(covered_lines + covered_branches) / (num_statements +
+num_branches)``), so running without ``--cov-branch`` simply degrades to
+line coverage rather than failing.
+
+The floors gate only the packages they name -- the table still lists
+every package for eyeballing.  Exit codes: 0 ok, 1 floor violated (or a
+floored package absent from the report), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+#: Default floors: the PR-9 storm/diversity subsystems.  New weather and
+#: network code is cheap to cover at birth and expensive to cover later.
+DEFAULT_FLOORS = {"repro/weather": 85.0, "repro/network": 85.0}
+
+
+def package_of(path: str) -> str:
+    """``src/repro/weather/storms.py`` -> ``repro/weather``."""
+    parts = path.replace("\\", "/").split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    return "/".join(parts[:-1]) if len(parts) > 1 else "(top-level)"
+
+
+def aggregate(report: dict) -> dict[str, dict[str, int]]:
+    packages: dict[str, dict[str, int]] = defaultdict(
+        lambda: {"covered": 0, "total": 0, "files": 0}
+    )
+    for path, data in report.get("files", {}).items():
+        summary = data.get("summary", {})
+        agg = packages[package_of(path)]
+        agg["covered"] += int(summary.get("covered_lines", 0))
+        agg["covered"] += int(summary.get("covered_branches", 0))
+        agg["total"] += int(summary.get("num_statements", 0))
+        agg["total"] += int(summary.get("num_branches", 0))
+        agg["files"] += 1
+    return dict(packages)
+
+
+def percent(agg: dict[str, int]) -> float:
+    return 100.0 * agg["covered"] / agg["total"] if agg["total"] else 100.0
+
+
+def parse_floor(spec: str) -> tuple[str, float]:
+    name, _, value = spec.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"floor must look like repro/weather=85, got {spec!r}"
+        )
+    return name, float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("report", help="coverage.py JSON report")
+    parser.add_argument(
+        "--floor", action="append", type=parse_floor, default=None,
+        metavar="PKG=PCT",
+        help="minimum combined line+branch %% for one package "
+             "(repeatable; default: repro/weather=85 repro/network=85)",
+    )
+    parser.add_argument(
+        "--summary", default=None,
+        help="append the markdown table to this file "
+             "(pass \"$GITHUB_STEP_SUMMARY\" in CI)",
+    )
+    args = parser.parse_args(argv)
+    floors = dict(args.floor) if args.floor else dict(DEFAULT_FLOORS)
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
+    packages = aggregate(report)
+
+    failures = []
+    lines = [
+        "### Coverage by package (line + branch)",
+        "",
+        "| package | files | covered% | floor | verdict |",
+        "|---|---|---|---|---|",
+    ]
+    for name in sorted(set(packages) | set(floors)):
+        floor = floors.get(name)
+        if name not in packages:
+            failures.append(f"{name} (floored package missing from report)")
+            lines.append(f"| {name} | 0 | - | {floor:.0f}% | **missing** |")
+            continue
+        pct = percent(packages[name])
+        verdict = "ok"
+        if floor is not None and pct < floor:
+            failures.append(f"{name} ({pct:.1f}% < {floor:.0f}%)")
+            verdict = "**below floor**"
+        lines.append(
+            f"| {name} | {packages[name]['files']} | {pct:.1f}% | "
+            f"{'-' if floor is None else f'{floor:.0f}%'} | {verdict} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append("Coverage floors violated: " + "; ".join(failures))
+    else:
+        floored = ", ".join(sorted(floors)) or "(none)"
+        lines.append(f"All coverage floors met ({floored}).")
+    table = "\n".join(lines)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,22 +121,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.demand import tenant_mix
 
         tenants = tenant_mix(args.tenants)
+    common = dict(
+        value=args.value, num_satellites=args.satellites,
+        duration_s=args.hours * 3600.0, observability=observability,
+        tenants=tenants, weather=args.weather,
+        storm_rate=args.storm_rate, storm_speed=args.storm_speed,
+    )
+    if args.diversity > 0:
+        common.update(execution_mode="diversity",
+                      diversity_receivers=args.diversity)
     if args.system == "baseline":
-        spec = ScenarioSpec.baseline(
-            value=args.value, num_satellites=args.satellites,
-            duration_s=args.hours * 3600.0, observability=observability,
-            tenants=tenants,
-        )
+        spec = ScenarioSpec.baseline(**common)
     else:
         spec = ScenarioSpec.dgs(
-            station_fraction=args.fraction, value=args.value,
-            num_satellites=args.satellites, num_stations=args.stations,
-            duration_s=args.hours * 3600.0, observability=observability,
+            station_fraction=args.fraction,
+            num_stations=args.stations,
             constellation=args.constellation,
             spatial_culling=not args.no_culling,
             ephemeris_dtype=args.ephemeris_dtype,
             ephemeris_window_steps=args.ephemeris_window,
-            tenants=tenants,
+            **common,
         )
     sim = spec.build().simulation
     report = sim.run()
@@ -162,6 +166,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   f"{block['delivered_gb']:8.1f} GB delivered  "
                   f"deadline hit {block['deadline_hit_rate']:.1%}  "
                   f"violations {block['sla_violations']}")
+    if report.diversity:
+        d = report.diversity
+        per_copy = (d["copies_decoded"] / d["copies_attempted"]
+                    if d["copies_attempted"] else 0.0)
+        combined = (d["combined_decoded"] / d["passes"]
+                    if d["passes"] else 0.0)
+        print(f"diversity: {d['passes']} pass steps, "
+              f"{d['copies_attempted']} copies "
+              f"(decode {per_copy:.1%} per copy, {combined:.1%} combined), "
+              f"{d['rescued_by_diversity']} rescued by extra receivers")
     if report.stage_timings:
         total = report.stage_timings.get("run", 0.0)
         print(f"stage timings ({total:.2f} s run loop, "
@@ -367,6 +381,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a preset multi-tenant demand mix "
                         "(required for --value deadline)")
     p.add_argument("--hours", type=float, default=6.0)
+    p.add_argument("--weather", choices=("cells", "storms"), default="cells",
+                   help="weather process: stationary rain cells or the "
+                        "same plus advected storm tracks")
+    p.add_argument("--storm-rate", type=float, default=1.0,
+                   help="storm births-per-day multiplier (--weather storms)")
+    p.add_argument("--storm-speed", type=float, default=1.0,
+                   help="storm track-speed multiplier (--weather storms)")
+    p.add_argument("--diversity", type=int, default=0, metavar="N",
+                   help="diversity reception with N receivers per pass "
+                        "(0 = off; primary + N-1 extra listeners)")
     p.add_argument("--plot", action="store_true")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a schema-versioned JSONL event trace")
@@ -406,7 +430,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a scenario grid across worker processes")
     p.add_argument("--grid", default=None,
                    help="named grid: fig3, fig3-seeds, ablations, "
-                        "fault-sweep, constellation-scaling, demand-sweep")
+                        "fault-sweep, constellation-scaling, demand-sweep, "
+                        "storm-diversity")
     p.add_argument("--grid-file", default=None, metavar="PATH",
                    help="explicit grid: JSON list of {label, spec} objects")
     p.add_argument("--workers", type=int, default=0,

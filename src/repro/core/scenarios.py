@@ -81,6 +81,28 @@ def build_paper_weather(seed: int = 3,
     )
 
 
+def build_storm_weather(
+    seed: int = 3,
+    intensity_scale: float = 1.0,
+    storm_seed: int = 17,
+    storm_rate: float = 1.0,
+    storm_speed: float = 1.0,
+) -> WeatherProvider:
+    """The weather month plus advected storm tracks, memoized.
+
+    Composition order matters for reproducibility: storms add on top of
+    the same rain-cell field ``build_paper_weather`` makes, so away from
+    every storm the two providers return bit-identical samples.
+    """
+    from repro.weather.storms import StormField, StormWeatherProvider
+
+    base = RainCellField(seed=seed, intensity_scale=intensity_scale)
+    storms = StormField(
+        seed=storm_seed, rate=storm_rate, speed_scale=storm_speed
+    )
+    return QuantizedWeatherCache(StormWeatherProvider(base, storms))
+
+
 def value_function_by_name(name: str) -> ValueFunction:
     """'latency' (Phi = t), 'throughput' (Phi = |x|), or 'deadline'.
 
@@ -164,6 +186,16 @@ class ScenarioSpec:
     #: Rain intensity multiplier on the synthetic weather month
     #: (0 = clear sky, 1 = the paper's month, >1 = stormier).
     weather_intensity: float = 1.0
+    #: Weather process: ``cells`` (the stationary-statistics rain-cell
+    #: month) or ``storms`` (the same month plus seeded, advected
+    #: synoptic storm tracks -- moving regional wipeouts).
+    weather: str = "cells"
+    #: Storm-track knobs (ignored unless ``weather="storms"``): the storm
+    #: process seed, the multiplier on storm births per day, and the
+    #: multiplier on track speeds.
+    storm_seed: int = 17
+    storm_rate: float = 1.0
+    storm_speed: float = 1.0
     #: Scheduler family: ``downlink`` (the paper's per-instant matcher),
     #: ``horizon`` (receding-horizon lookahead), or ``beamforming``
     #: (power-split multi-beam stations).
@@ -175,9 +207,16 @@ class ScenarioSpec:
     #: Override the fleet's downlink carrier (None = the radio's default
     #: X-band); Ku/Ka sweeps set 14.0 / 26.5.
     frequency_ghz: float | None = None
-    #: ``live`` per-instant matching or ``planned`` plan-following
-    #: execution (Sec. 3's operational model).
+    #: ``live`` per-instant matching, ``planned`` plan-following
+    #: execution (Sec. 3's operational model), or ``diversity``: live
+    #: matching where up to ``diversity_receivers`` stations listen to
+    #: each pass and the backend merges their independently-errored
+    #: copies (Sec. 3.3's hybrid-GS reception).
     execution_mode: str = "live"
+    #: Diversity-mode knobs (ignored otherwise): total receivers per pass
+    #: (primary + extra listeners) and the decode-draw seed.
+    diversity_receivers: int = 2
+    diversity_seed: int = 19
     #: Seeded fault-injection intensity for :meth:`FaultSchedule.generate`
     #: (0 = healthy run, no fault layer attached).
     fault_intensity: float = 0.0
@@ -226,6 +265,21 @@ class ScenarioSpec:
             raise ValueError("beams must be >= 1")
         if self.weather_intensity < 0.0:
             raise ValueError("weather_intensity must be >= 0")
+        if self.weather not in ("cells", "storms"):
+            raise ValueError(f"unknown weather process {self.weather!r}")
+        if self.storm_rate < 0.0:
+            raise ValueError("storm_rate must be >= 0")
+        if self.storm_speed < 0.0:
+            raise ValueError("storm_speed must be >= 0")
+        if self.diversity_receivers < 1:
+            raise ValueError("diversity_receivers must be >= 1")
+        if self.execution_mode == "diversity" and (
+            self.horizon_steps > 1 or self.beams > 1
+        ):
+            raise ValueError(
+                "diversity execution requires the downlink scheduler "
+                "(horizon_steps=1, beams=1)"
+            )
         if not 0.0 <= self.fault_intensity <= 1.0:
             raise ValueError(
                 f"fault_intensity must be in [0, 1], got {self.fault_intensity}"
@@ -289,6 +343,10 @@ class ScenarioSpec:
             "weather": self.weather_seed,
             "network": self.network_seed,
         }
+        if self.weather == "storms":
+            seeds["storm"] = self.storm_seed
+        if self.execution_mode == "diversity":
+            seeds["diversity"] = self.diversity_seed
         if self.fault_intensity > 0.0:
             seeds["faults"] = self.fault_seed
         if self.tenants is not None:
@@ -362,6 +420,8 @@ class ScenarioSpec:
             network_seed=derived("network"),
             fault_seed=derived("faults"),
             demand_seed=derived("demand"),
+            storm_seed=derived("storm"),
+            diversity_seed=derived("diversity"),
         )
 
     # -- assembly -----------------------------------------------------------
@@ -421,8 +481,18 @@ class ScenarioSpec:
                 network = network.subset_fraction(
                     self.station_fraction, seed=self.network_seed
                 )
-        weather = build_paper_weather(self.weather_seed,
-                                      intensity_scale=self.weather_intensity)
+        if self.weather == "storms":
+            weather = build_storm_weather(
+                self.weather_seed,
+                intensity_scale=self.weather_intensity,
+                storm_seed=self.storm_seed,
+                storm_rate=self.storm_rate,
+                storm_speed=self.storm_speed,
+            )
+        else:
+            weather = build_paper_weather(
+                self.weather_seed, intensity_scale=self.weather_intensity
+            )
         config = SimulationConfig(
             start=PAPER_EPOCH,
             duration_s=self.duration_s,
@@ -431,6 +501,8 @@ class ScenarioSpec:
             use_forecast=self.use_forecast,
             enforce_plan_distribution=self.enforce_plan_distribution,
             execution_mode=self.execution_mode,
+            diversity_receivers=self.diversity_receivers,
+            diversity_seed=self.diversity_seed,
             spatial_culling=self.spatial_culling,
             ephemeris_dtype=self.ephemeris_dtype,
             ephemeris_window_steps=self.ephemeris_window_steps,

@@ -9,7 +9,9 @@ stations cannot send feedback -- by combining:
 * hardware terms (dish gain, system noise), :mod:`repro.linkbudget.antennas`;
 * the DVB-S2 MODCOD table to turn SNR into a data rate,
   :mod:`repro.linkbudget.dvbs2`;
-* an end-to-end budget calculator, :mod:`repro.linkbudget.budget`.
+* an end-to-end budget calculator, :mod:`repro.linkbudget.budget`;
+* a soft decode-probability model around the MODCOD threshold for
+  diversity reception, :mod:`repro.linkbudget.decode`.
 """
 
 from repro.linkbudget.fspl import free_space_path_loss_db, free_space_loss_linear
@@ -33,6 +35,11 @@ from repro.linkbudget.dvbs2 import (
     required_esn0_db,
 )
 from repro.linkbudget.budget import LinkBudget, LinkResult, RadioConfig
+from repro.linkbudget.decode import (
+    DEFAULT_SIGMA_DB,
+    decode_probability,
+    decode_probability_batch,
+)
 
 __all__ = [
     "free_space_path_loss_db",
@@ -53,4 +60,7 @@ __all__ = [
     "LinkBudget",
     "LinkResult",
     "RadioConfig",
+    "DEFAULT_SIGMA_DB",
+    "decode_probability",
+    "decode_probability_batch",
 ]

@@ -17,6 +17,12 @@ from repro.network.messages import (
     encode_message,
 )
 from repro.network.backend import BackendCollator, PendingReceipt
+from repro.network.diversity import (
+    CombinedReception,
+    CopyOutcome,
+    DiversityCombiner,
+    diversity_draw,
+)
 from repro.network.backhaul import (
     StationUplink,
     backhaul_reduction_factor,
@@ -37,4 +43,8 @@ __all__ = [
     "decode_message",
     "BackendCollator",
     "PendingReceipt",
+    "CopyOutcome",
+    "CombinedReception",
+    "DiversityCombiner",
+    "diversity_draw",
 ]

@@ -150,6 +150,48 @@ def demand_sweep_grid(duration_s: float = 21600.0,
     return cells
 
 
+def storm_diversity_grid(duration_s: float = 21600.0,
+                         scale: float = 0.3) -> list[SweepCell]:
+    """How many cheap overlapping stations equal one good one under a
+    moving regional wipeout?
+
+    One stationary-weather reference cell, the same network under storm
+    tracks (how much a moving wipeout costs without diversity), the storm
+    scenario with 1/2/3 receivers per pass (``div1`` isolates the
+    stochastic per-copy loss model from the combiner's gain), and the
+    centralized few-good-dishes baseline under the same storms -- the
+    comparison the paper's geographic-redundancy argument rests on.
+    """
+    from repro.core.scenarios import PAPER_SATELLITES, PAPER_STATIONS
+
+    sats = max(4, int(round(PAPER_SATELLITES * scale)))
+    stations = max(6, int(round(PAPER_STATIONS * scale)))
+
+    def spec(**kwargs) -> ScenarioSpec:
+        return ScenarioSpec.dgs(
+            num_satellites=sats, num_stations=stations,
+            duration_s=duration_s, **kwargs,
+        )
+
+    storm = dict(weather="storms", storm_rate=2.0)
+    cells = [
+        SweepCell("cells-live", spec()),
+        SweepCell("storms-live", spec(**storm)),
+    ]
+    for receivers in (1, 2, 3):
+        cells.append(SweepCell(
+            f"storms-div{receivers}",
+            spec(**storm, execution_mode="diversity",
+                 diversity_receivers=receivers),
+        ))
+    cells.append(SweepCell(
+        "baseline-storms",
+        ScenarioSpec.baseline(duration_s=duration_s,
+                              num_satellites=sats, **storm),
+    ))
+    return cells
+
+
 #: Grid names the CLI accepts.
 GRID_BUILDERS = {
     "fig3": fig3_grid,
@@ -158,6 +200,7 @@ GRID_BUILDERS = {
     "fault-sweep": fault_sweep_grid,
     "constellation-scaling": constellation_scaling_grid,
     "demand-sweep": demand_sweep_grid,
+    "storm-diversity": storm_diversity_grid,
 }
 
 

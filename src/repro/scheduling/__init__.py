@@ -28,6 +28,7 @@ from repro.scheduling.value_functions import (
 from repro.scheduling.graph import ContactEdge, ContactGraph, build_contact_graph
 from repro.scheduling.matching import (
     Assignment,
+    diversity_groups,
     gale_shapley,
     greedy_matching,
     hungarian,
@@ -51,6 +52,7 @@ __all__ = [
     "ContactGraph",
     "build_contact_graph",
     "Assignment",
+    "diversity_groups",
     "gale_shapley",
     "greedy_matching",
     "hungarian",

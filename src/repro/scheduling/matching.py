@@ -324,3 +324,41 @@ def is_stable(graph: ContactGraph, assignments: list[Assignment],
         if has_room or would_evict:
             return False
     return True
+
+
+def diversity_groups(
+    graph: ContactGraph,
+    assignments: list[Assignment],
+    max_receivers: int,
+) -> dict[int, list[ContactEdge]]:
+    """Pick extra listening stations per matched satellite (diversity).
+
+    For each assignment, stations that (a) can also see the satellite --
+    they have an edge to it in the same priced graph -- and (b) were not
+    matched as anyone's primary nor already claimed as another
+    satellite's secondary, are recruited as additional receivers, best
+    candidate edge first (descending weight, ascending station index for
+    determinism).  Each satellite gets at most ``max_receivers - 1``
+    secondaries.
+
+    Purely a function of the graph's edges and the matching, so the
+    selection is deterministic and identical whether the graph was built
+    by the scalar or the batched path (those are bit-identical by the
+    PR-1 equivalence contract).
+    """
+    if max_receivers < 1:
+        raise ValueError("max_receivers must be >= 1")
+    taken = {a.station_index for a in assignments}
+    groups: dict[int, list[ContactEdge]] = {}
+    for a in assignments:
+        candidates = [
+            e for e in graph.edges_for_satellite(a.satellite_index)
+            if e.station_index != a.station_index
+            and e.station_index not in taken
+        ]
+        candidates.sort(key=lambda e: (-e.weight, e.station_index))
+        chosen = candidates[: max_receivers - 1]
+        for e in chosen:
+            taken.add(e.station_index)
+        groups[a.satellite_index] = chosen
+    return groups

@@ -60,6 +60,10 @@ class ScheduleStep:
     when: datetime
     assignments: list[Assignment]
     num_edges: int
+    #: The priced contact graph the matching ran on; only retained when
+    #: the caller asked (``schedule_step(keep_graph=True)``), e.g. for
+    #: diversity-mode secondary-receiver selection.
+    graph: "ContactGraph | None" = None
 
     @property
     def matched_satellites(self) -> set[int]:
@@ -320,8 +324,14 @@ class DownlinkScheduler:
         )
 
     def schedule_step(self, when: datetime,
-                      forecast_issued_at: datetime | None = None) -> ScheduleStep:
-        """Match the contact graph at ``when``."""
+                      forecast_issued_at: datetime | None = None,
+                      keep_graph: bool = False) -> ScheduleStep:
+        """Match the contact graph at ``when``.
+
+        ``keep_graph=True`` retains the priced graph on the returned step
+        (diversity mode reuses it to pick secondary receivers without a
+        second graph build); the matching itself is unaffected.
+        """
         rec = self.recorder
         with rec.span("graph_build"):
             graph = self.contact_graph(when, forecast_issued_at)
@@ -332,7 +342,8 @@ class DownlinkScheduler:
             rec.counter("contact_edges", graph.num_edges)
             rec.counter("assignments", len(assignments))
         return ScheduleStep(
-            when=when, assignments=assignments, num_edges=graph.num_edges
+            when=when, assignments=assignments, num_edges=graph.num_edges,
+            graph=graph if keep_graph else None,
         )
 
     # -- horizon plans ------------------------------------------------------------

@@ -52,9 +52,20 @@ class SimulationConfig:
     #: the latest plan immediately (Internet), but each satellite follows
     #: the plan it last *received at a transmit-capable contact*, so stale
     #: satellite plans can point at stations that are no longer listening.
+    #: ``diversity``: live matching, but up to ``diversity_receivers``
+    #: stations listen to each pass and the backend combines their
+    #: independently-errored copies (Sec. 3.3's hybrid reception).
     execution_mode: str = "live"
     plan_refresh_s: float = 3600.0
     plan_horizon_s: float = 2 * 3600.0
+    #: Diversity mode: total receivers per pass step (the matched primary
+    #: plus up to N-1 otherwise-idle stations that can also see the
+    #: satellite).  1 = stochastic decode without overlap, isolating the
+    #: per-copy loss model from the combiner's gain.
+    diversity_receivers: int = 2
+    #: Seed for the deterministic per-(satellite, station, time) decode
+    #: draws in :class:`repro.network.diversity.DiversityCombiner`.
+    diversity_seed: int = 19
     #: Batch-propagate the fleet over the whole horizon up front (one
     #: vectorized SGP4 pass, shared across variants via the ephemeris
     #: cache) instead of per-satellite propagation at every step.
@@ -91,11 +102,13 @@ class SimulationConfig:
             raise ValueError(
                 "acquisition overhead must be within [0, step_s)"
             )
-        if self.execution_mode not in ("live", "planned"):
+        if self.execution_mode not in ("live", "planned", "diversity"):
             raise ValueError(
-                f"execution_mode must be 'live' or 'planned', "
-                f"got {self.execution_mode!r}"
+                f"execution_mode must be 'live', 'planned', or "
+                f"'diversity', got {self.execution_mode!r}"
             )
+        if self.diversity_receivers < 1:
+            raise ValueError("diversity_receivers must be >= 1")
         if self.plan_refresh_s <= 0 or self.plan_horizon_s <= 0:
             raise ValueError("plan refresh and horizon must be positive")
         if self.plan_horizon_s < self.plan_refresh_s:

@@ -24,7 +24,9 @@ from datetime import datetime, timedelta
 
 from repro.faults import FaultCounters, FaultSchedule
 from repro.groundstations.network import GroundStationNetwork
+from repro.linkbudget.decode import decode_probability
 from repro.network.backend import BackendCollator
+from repro.network.diversity import DiversityCombiner
 from repro.network.messages import ChunkReceiptMessage
 from repro.obs import ObsConfig, build_manifest, make_recorder
 from repro.orbits.ephemeris import EphemerisTable, shared_ephemeris_table
@@ -104,6 +106,13 @@ class Simulation:
         #: recover -- instead of being pruned outright.
         self.fault_availability_prior = fault_availability_prior
         self.fault_counters = FaultCounters()
+        #: Diversity-reception combiner (``execution_mode="diversity"``
+        #: only; None otherwise, so every other mode's report is
+        #: byte-identical to builds without the diversity layer).
+        self.diversity = (
+            DiversityCombiner(seed=config.diversity_seed)
+            if config.execution_mode == "diversity" else None
+        )
         #: Chunk ids whose first decoded delivery has been recorded; a
         #: redelivery (receipt lost in a partition -> requeue ->
         #: retransmit) must not double-count delivered bits or latency.
@@ -140,6 +149,14 @@ class Simulation:
                 return not outages.is_down(network[index].station_id, when)
         station_weight = None
         if faults is not None and faults_announced:
+            # Single-penalty contract: this factor prices *fault*
+            # availability only, and the graph applies it exactly once as
+            # the edge's weight_factor.  Weather never enters here -- rain
+            # already discounts the same edge through the link budget's
+            # attenuation -- so a station inside a storm cell AND under an
+            # injected outage is discounted once for each cause, not
+            # twice for either (pinned by
+            # tests/faults/test_weather_fault_interaction.py).
             def station_weight(index: int, when) -> float:
                 availability = faults.station_availability(
                     network[index].station_id, when
@@ -344,6 +361,36 @@ class Simulation:
         if cfg.execution_mode == "planned":
             with rec.span("plan_execution"):
                 executed = self._planned_step(now)
+        elif cfg.execution_mode == "diversity":
+            # Live matching plus extra listeners: the matched primary
+            # transmits as usual while otherwise-idle stations that can
+            # see the satellite record the same stream; the backend
+            # combiner keeps whichever copy decodes.
+            with rec.span("schedule"):
+                step = self.scheduler.schedule_step(
+                    now,
+                    forecast_issued_at=(
+                        self._last_forecast_issue if cfg.use_forecast
+                        else None
+                    ),
+                    keep_graph=True,
+                )
+            with rec.span("execute"):
+                from repro.scheduling.matching import diversity_groups
+
+                groups = diversity_groups(
+                    step.graph, step.assignments, cfg.diversity_receivers
+                )
+                for assignment in step.assignments:
+                    self._execute_diversity(
+                        assignment,
+                        groups.get(assignment.satellite_index, []),
+                        now,
+                    )
+            executed = {
+                a.satellite_index: a.station_index
+                for a in step.assignments
+            }
         else:
             with rec.span("schedule"):
                 step = self.scheduler.schedule_step(
@@ -419,6 +466,10 @@ class Simulation:
             plan_mismatch_steps=self.plan_mismatch_steps,
             tenant_reports=tenant_reports,
             tenant_fairness=tenant_fairness,
+            diversity=(
+                self.diversity.as_dict()
+                if self.diversity is not None else None
+            ),
         )
 
     def _record_component_stats(self) -> None:
@@ -644,6 +695,186 @@ class Simulation:
                 )
         if station.can_transmit:
             self._tx_contact(sat, now, station.station_id)
+
+    # -- diversity reception (Sec. 3.3's hybrid-GS combining) ---------------
+
+    def _copy_decode_probability(self, sat: Satellite, station_index: int,
+                                 elevation_deg: float, range_km: float,
+                                 required_esn0_db: float,
+                                 now: datetime) -> float:
+        """One listening station's chance of decoding the shared stream.
+
+        The station's *true*-weather Es/N0 (its own geometry, its own
+        storm) is measured against the MODCOD threshold the transmitter
+        committed to, through the soft Gaussian-margin model.  Injected
+        faults apply the single-penalty rule: a hard outage (or dark
+        station, or decode fault) zeroes the copy, a partial outage
+        scales the copy's probability -- never the group's bits budget,
+        which belongs to the transmitter, not any one receiver.
+        """
+        station = self.network[station_index]
+        if self.outages is not None and self.outages.is_down(
+            station.station_id, now
+        ):
+            return 0.0
+        availability = 1.0
+        if self.faults is not None:
+            availability = self.faults.station_availability(
+                station.station_id, now
+            )
+            if availability <= 0.0:
+                return 0.0
+            if self.faults.is_undecoded(station.station_id, now):
+                return 0.0
+        truth = self.truth_weather.sample(
+            station.latitude_deg, station.longitude_deg, now
+        )
+        budget = self.scheduler._link_budget_for(sat, station_index)
+        result = budget.evaluate(
+            range_km=range_km,
+            elevation_deg=elevation_deg,
+            station_latitude_deg=station.latitude_deg,
+            rain_rate_mm_h=truth.rain_rate_mm_h,
+            cloud_water_kg_m2=truth.cloud_water_kg_m2,
+            station_altitude_km=station.altitude_km,
+        )
+        probability = decode_probability(result.esn0_db, required_esn0_db)
+        return probability * availability
+
+    def _execute_diversity(self, assignment, secondaries,
+                           now: datetime) -> None:
+        """Execute one pass step with extra listening stations.
+
+        The satellite transmits exactly once, at the primary assignment's
+        committed bitrate/MODCOD; every receiver (primary + recruited
+        secondaries) independently attempts to decode that one stream and
+        the :class:`DiversityCombiner` ORs the copies.  Each successful
+        station posts its own receipt through the normal backhaul path --
+        the backend collator's duplicate handling collapses the extras,
+        and delivered bits/latency are credited once via the
+        delivered-chunk dedup set, to the first successful station.
+        """
+        cfg = self.config
+        rec = self.obs
+        sat = self.satellites[assignment.satellite_index]
+        primary = self.network[assignment.station_index]
+        if sat.power is not None and not sat.power.can_transmit():
+            self.power_blocked_steps += 1
+            return
+        self._transmitted_this_step.add(assignment.satellite_index)
+        usable_fraction = 1.0
+        if cfg.acquisition_overhead_s > 0.0:
+            previously = self._previous_links.get(assignment.satellite_index)
+            if previously != assignment.station_index:
+                usable_fraction = 1.0 - (
+                    cfg.acquisition_overhead_s / cfg.step_s
+                )
+        attempts = [(
+            assignment.station_index,
+            primary.station_id,
+            True,
+            self._copy_decode_probability(
+                sat, assignment.station_index, assignment.elevation_deg,
+                assignment.range_km, assignment.required_esn0_db, now,
+            ),
+        )]
+        for edge in secondaries:
+            attempts.append((
+                edge.station_index,
+                self.network[edge.station_index].station_id,
+                False,
+                self._copy_decode_probability(
+                    sat, edge.station_index, edge.elevation_deg,
+                    edge.range_km, assignment.required_esn0_db, now,
+                ),
+            ))
+        reception = self.diversity.combine(sat.satellite_id, now, attempts)
+        decoded = reception.decoded
+        if decoded and self.faults is not None and self.faults.is_tle_stale(
+            sat.satellite_id, now
+        ):
+            # Pointing is the transmitter's problem: stale elements fail
+            # every copy at once, however many stations are listening.
+            decoded = False
+            self.fault_counters.stale_tle_steps += 1
+            if rec.enabled:
+                rec.event("fault", when=now.isoformat(), fault="stale_tle",
+                          satellite_id=sat.satellite_id,
+                          station_id=primary.station_id)
+        bits_budget = assignment.bitrate_bps * cfg.step_s * usable_fraction
+        sent, completed = sat.storage.transmit(bits_budget, now,
+                                               decoded=decoded)
+        if rec.enabled:
+            rec.event("assignment", when=now.isoformat(),
+                      satellite_id=sat.satellite_id,
+                      station_id=primary.station_id,
+                      bitrate_bps=assignment.bitrate_bps,
+                      decoded=decoded, bits=sent,
+                      receivers=len(attempts))
+        if self.events is not None and sent > 0:
+            self.events.record(
+                now, "transmission", sat.satellite_id, primary.station_id,
+                bits=sent, bitrate_bps=assignment.bitrate_bps,
+                decoded=decoded,
+            )
+        if decoded:
+            successes = [c for c in reception.copies if c.decoded]
+            credit = self.network[successes[0].station_index]
+            for chunk in completed:
+                if chunk.chunk_id not in self._delivered_chunk_ids:
+                    self._delivered_chunk_ids.add(chunk.chunk_id)
+                    latency = (now - chunk.capture_time).total_seconds()
+                    self.metrics.record_delivery(
+                        sat.satellite_id, latency, chunk.size_bits,
+                        credit.station_id,
+                    )
+                    if self.demand is not None:
+                        self.demand.accountant.record_delivery(chunk, now)
+                    if self.events is not None:
+                        self.events.record(
+                            now, "delivery", sat.satellite_id,
+                            credit.station_id, chunk_id=chunk.chunk_id,
+                            latency_s=latency, bits=chunk.size_bits,
+                        )
+                else:
+                    self.fault_counters.redelivered_chunks += 1
+                # One receipt per successful copy, each over its own
+                # backhaul (partitions/latency apply per station); the
+                # collator's duplicate-receipt path eats the extras.
+                for copy in successes:
+                    station = self.network[copy.station_index]
+                    backhaul_fault = None
+                    if self.faults is not None:
+                        backhaul_fault = self.faults.backhaul_fault(
+                            station.station_id, now
+                        )
+                    if backhaul_fault is not None \
+                            and backhaul_fault.partitioned:
+                        self.fault_counters.receipts_dropped += 1
+                        continue
+                    backhaul_latency_s = station.backhaul_latency_s
+                    if backhaul_fault is not None:
+                        backhaul_latency_s += backhaul_fault.extra_latency_s
+                        self.fault_counters.receipts_delayed += 1
+                    self.backend.submit_receipt(
+                        ChunkReceiptMessage(
+                            station_id=station.station_id,
+                            satellite_id=sat.satellite_id,
+                            chunk_id=chunk.chunk_id,
+                            received_at=now,
+                            size_bits=chunk.size_bits,
+                        ),
+                        backhaul_latency_s=backhaul_latency_s,
+                    )
+        else:
+            self.metrics.record_lost_transmission(sent)
+            if self.events is not None and sent > 0:
+                self.events.record(
+                    now, "loss", sat.satellite_id, primary.station_id,
+                    bits=sent,
+                )
+        if primary.can_transmit:
+            self._tx_contact(sat, now, primary.station_id)
 
     def _decodes_under_truth(self, assignment, sat: Satellite,
                              station, now: datetime) -> bool:

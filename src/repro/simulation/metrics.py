@@ -69,6 +69,11 @@ class SimulationReport:
     #: Jain's index over demand-share-normalized per-tenant delivered
     #: bits; None without a demand layer.
     tenant_fairness: float | None = None
+    #: Diversity-reception counters (passes, copies attempted/decoded,
+    #: combined outcomes, rescues, per-station stats from
+    #: :meth:`repro.network.diversity.DiversityCombiner.as_dict`); empty
+    #: unless the run executed in diversity mode.
+    diversity: dict = field(default_factory=dict)
 
     # -- latency --------------------------------------------------------------
 
@@ -185,6 +190,17 @@ class SimulationReport:
                 for tenant_id, block in self.tenant_reports.items()
             }
             payload["tenant_fairness"] = self.tenant_fairness
+        if self.diversity:
+            # Same contract as the tenant block: emitted only when the
+            # run used diversity reception, so every other mode's JSON is
+            # byte-identical to builds without the diversity layer.
+            block = dict(self.diversity)
+            if "stations" in block:
+                block["stations"] = {
+                    station_id: dict(stats)
+                    for station_id, stats in block["stations"].items()
+                }
+            payload["diversity"] = block
         return payload
 
     @classmethod
@@ -223,6 +239,7 @@ class SimulationReport:
                 for tenant_id, block in raw.get("tenant_reports", {}).items()
             },
             tenant_fairness=raw.get("tenant_fairness"),
+            diversity=dict(raw.get("diversity", {})),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -285,6 +302,7 @@ class MetricsCollector:
                  plan_mismatch_steps: int = 0,
                  tenant_reports: dict[str, dict] | None = None,
                  tenant_fairness: float | None = None,
+                 diversity: dict | None = None,
                  ) -> SimulationReport:
         return SimulationReport(
             latency_s={k: list(v) for k, v in self.latency_s.items()},
@@ -304,4 +322,5 @@ class MetricsCollector:
             plan_mismatch_steps=plan_mismatch_steps,
             tenant_reports=dict(tenant_reports or {}),
             tenant_fairness=tenant_fairness,
+            diversity=dict(diversity or {}),
         )

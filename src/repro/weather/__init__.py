@@ -14,6 +14,10 @@ is gone and was never redistributable, so this package generates a
 * :mod:`repro.weather.forecast` -- the scheduler never sees truth; it sees
   a forecast whose error grows with lead time, exercising the same
   prediction-based code path the paper describes.
+* :mod:`repro.weather.storms` -- advected synoptic storm tracks layered on
+  the base field: moving regional wipeouts that take out correlated
+  clusters of stations for hours, the scenario geographic redundancy is
+  supposed to absorb.
 
 Everything is deterministic given a seed.
 """
@@ -27,10 +31,14 @@ from repro.weather.provider import (
     QuantizedWeatherCache,
     WeatherProvider,
 )
+from repro.weather.storms import StormCell, StormField, StormWeatherProvider
 
 __all__ = [
     "WeatherSample",
     "RainCellField",
+    "StormCell",
+    "StormField",
+    "StormWeatherProvider",
     "ClimateZone",
     "climate_zone_for_latitude",
     "ForecastProvider",

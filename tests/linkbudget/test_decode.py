@@ -1,0 +1,65 @@
+"""The soft decode-probability model around the MODCOD threshold."""
+
+import numpy as np
+import pytest
+
+from repro.linkbudget.decode import (
+    DEFAULT_SIGMA_DB,
+    decode_probability,
+    decode_probability_batch,
+)
+
+
+class TestDecodeProbability:
+    def test_half_at_threshold(self):
+        assert decode_probability(10.0, 10.0) == pytest.approx(0.5)
+
+    def test_monotone_in_margin(self):
+        probs = [
+            decode_probability(10.0 + m, 10.0)
+            for m in (-3.0, -1.0, 0.0, 1.0, 3.0)
+        ]
+        assert probs == sorted(probs)
+        assert probs[0] < 0.01
+        assert probs[-1] > 0.99
+
+    def test_bounded(self):
+        assert 0.0 <= decode_probability(-50.0, 10.0) <= 1.0
+        assert 0.0 <= decode_probability(80.0, 10.0) <= 1.0
+
+    def test_default_margin_gives_high_success(self):
+        # The scheduler's 1 dB ACM margin under the default sigma.
+        p = decode_probability(11.0, 10.0, DEFAULT_SIGMA_DB)
+        assert 0.85 < p < 0.95
+
+    def test_sigma_widens_the_shoulder(self):
+        tight = decode_probability(10.5, 10.0, sigma_db=0.2)
+        loose = decode_probability(10.5, 10.0, sigma_db=2.0)
+        assert tight > loose  # same positive margin, more jitter = worse
+        # And symmetric below threshold: more jitter = better.
+        assert decode_probability(9.5, 10.0, sigma_db=2.0) > \
+            decode_probability(9.5, 10.0, sigma_db=0.2)
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            decode_probability(10.0, 10.0, sigma_db=0.0)
+        with pytest.raises(ValueError):
+            decode_probability(10.0, 10.0, sigma_db=-1.0)
+
+
+class TestBatchParity:
+    def test_batch_matches_scalar_bit_exactly(self):
+        esn0 = np.linspace(-5.0, 25.0, 61)
+        required = np.full_like(esn0, 10.0)
+        batch = decode_probability_batch(esn0, required)
+        scalar = np.array([
+            decode_probability(float(e), 10.0) for e in esn0
+        ])
+        assert batch.shape == esn0.shape
+        assert (batch == scalar).all()
+
+    def test_broadcast_scalar_threshold(self):
+        esn0 = np.array([[8.0, 10.0], [12.0, 14.0]])
+        batch = decode_probability_batch(esn0, 10.0)
+        assert batch.shape == (2, 2)
+        assert batch[0, 1] == decode_probability(10.0, 10.0)
