@@ -238,6 +238,11 @@ class ScenarioSpec:
     spatial_culling: bool = True
     ephemeris_dtype: str = "float64"
     ephemeris_window_steps: int = 0
+    #: Drive the per-step loop from the precomputed contact-window index
+    #: (bit-identical reports either way; ``False`` pins the per-step
+    #: culled/dense reference paths).  Only the base downlink scheduler
+    #: consumes the index, so horizon/beamforming specs skip the build.
+    contact_windows: bool = True
     #: Multi-tenant demand: a tuple of :class:`repro.demand.Tenant` (or
     #: their dicts, normalized on construction).  None = the legacy
     #: uniform single-tenant stream, bit-identical to builds without the
@@ -506,6 +511,12 @@ class ScenarioSpec:
             spatial_culling=self.spatial_culling,
             ephemeris_dtype=self.ephemeris_dtype,
             ephemeris_window_steps=self.ephemeris_window_steps,
+            # The horizon/beamforming replacements (_attach_scheduler)
+            # never consume the index; skip the build for them.
+            contact_windows=self.contact_windows and not (
+                (self.scheduler == "horizon" and self.horizon_steps > 1)
+                or (self.scheduler == "beamforming" and self.beams > 1)
+            ),
         )
         observability = self.observability
         if observability is not None and not observability.seeds:

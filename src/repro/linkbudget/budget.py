@@ -36,10 +36,13 @@ from repro.linkbudget.fspl import (
 from repro.linkbudget.itu import (
     cloud_attenuation_db,
     cloud_attenuation_db_batch,
+    cloud_attenuation_db_batch_presin,
     gaseous_attenuation_db,
     gaseous_attenuation_db_batch,
     rain_attenuation_db,
     rain_attenuation_db_batch,
+    rain_attenuation_db_batch_pregeom,
+    rain_height_km_batch,
 )
 from repro.orbits.constants import BOLTZMANN_DBW
 
@@ -137,6 +140,57 @@ class BatchLinkResult:
         return DVBS2_MODCODS[index] if index >= 0 else None
 
 
+@dataclass(frozen=True)
+class KernelStatics:
+    """Geometry-only kernel terms, precomputed once for a fixed pair set.
+
+    Free-space path loss and gaseous attenuation depend only on range,
+    elevation, and the radio frequency; the cloud model's sole
+    transcendental is ``sin(radians(max(el, 5)))``.  All three are
+    invariant across simulation steps for a stored (pair, step) row, so
+    the contact-window index evaluates them once at build time and the
+    batched budget reuses them every tick.  Each array is the exact
+    output of the corresponding batch helper on the same range/elevation
+    columns, which keeps :meth:`LinkBudget.evaluate_batch` bit-identical
+    with or without them.
+    """
+
+    fspl_db: np.ndarray
+    gas_db: np.ndarray
+    sin_el: np.ndarray
+    #: Rain-model geometry (slant path, horizontal projection, and the
+    #: ``0.38 * (1 - exp(-2 * lg))`` reduction term), present only when
+    #: :meth:`LinkBudget.precompute_statics` was given station latitude
+    #: (the rain geometry additionally needs latitude and altitude).
+    rain_slant: np.ndarray | None = None
+    rain_lg: np.ndarray | None = None
+    rain_b: np.ndarray | None = None
+
+    def narrow(self, lo: int, hi: int) -> "KernelStatics":
+        """Zero-copy row slice ``[lo:hi)`` of every stored column."""
+        return KernelStatics(
+            fspl_db=self.fspl_db[lo:hi],
+            gas_db=self.gas_db[lo:hi],
+            sin_el=self.sin_el[lo:hi],
+            rain_slant=None if self.rain_slant is None
+            else self.rain_slant[lo:hi],
+            rain_lg=None if self.rain_lg is None else self.rain_lg[lo:hi],
+            rain_b=None if self.rain_b is None else self.rain_b[lo:hi],
+        )
+
+    def take(self, idx: np.ndarray) -> "KernelStatics":
+        """Row gather of every stored column (fancy-indexed copies)."""
+        return KernelStatics(
+            fspl_db=self.fspl_db[idx],
+            gas_db=self.gas_db[idx],
+            sin_el=self.sin_el[idx],
+            rain_slant=None if self.rain_slant is None
+            else self.rain_slant[idx],
+            rain_lg=None if self.rain_lg is None else self.rain_lg[idx],
+            rain_b=None if self.rain_b is None else self.rain_b[idx],
+        )
+
+
 @dataclass
 class LinkBudget:
     """A calculator binding one satellite radio to one ground receiver."""
@@ -232,6 +286,53 @@ class LinkBudget:
         self._bitrate_table_cache = table
         return table
 
+    def precompute_statics(
+        self,
+        range_km: np.ndarray,
+        elevation_deg: np.ndarray,
+        station_latitude_deg: np.ndarray | None = None,
+        station_altitude_km: np.ndarray | float = 0.0,
+    ) -> KernelStatics:
+        """Evaluate the geometry-only kernel terms for a fixed pair set.
+
+        Runs the identical batch helpers :meth:`evaluate_batch` would run,
+        so passing the result back via its ``static`` parameter changes
+        nothing but when the work happens.  When ``station_latitude_deg``
+        is given, the rain model's geometry (slant path, horizontal
+        projection, reduction ``b`` term -- functions of elevation,
+        latitude, and altitude only) is precomputed too, with the exact
+        expressions of :func:`rain_attenuation_db_batch`.
+        """
+        range_km = np.asarray(range_km, dtype=float)
+        elevation_deg = np.asarray(elevation_deg, dtype=float)
+        freq = self.radio.frequency_ghz
+        rain_slant = rain_lg = rain_b = None
+        if station_latitude_deg is not None:
+            lat, alt, el_in = np.broadcast_arrays(
+                np.asarray(station_latitude_deg, dtype=float),
+                np.asarray(station_altitude_km, dtype=float),
+                elevation_deg,
+            )
+            # The cloud sine and the rain model clamp to the same 5-deg
+            # floor, so one radians/sin/cos evaluation serves both.
+            el = np.maximum(el_in, 5.0)
+            rad_el = np.radians(el)
+            sin_el = np.sin(rad_el)
+            height = np.maximum(0.0, rain_height_km_batch(lat) - alt)
+            rain_slant = np.where(height > 0.0, height / sin_el, 0.0)
+            rain_lg = rain_slant * np.cos(rad_el)
+            rain_b = 0.38 * (1.0 - np.exp(-2.0 * rain_lg))
+        else:
+            sin_el = np.sin(np.radians(np.maximum(elevation_deg, 5.0)))
+        return KernelStatics(
+            fspl_db=free_space_path_loss_db_batch(range_km, freq),
+            gas_db=gaseous_attenuation_db_batch(freq, elevation_deg),
+            sin_el=sin_el,
+            rain_slant=rain_slant,
+            rain_lg=rain_lg,
+            rain_b=rain_b,
+        )
+
     def evaluate_batch(
         self,
         range_km: np.ndarray,
@@ -240,6 +341,7 @@ class LinkBudget:
         rain_rate_mm_h: np.ndarray | float = 0.0,
         cloud_water_kg_m2: np.ndarray | float = 0.0,
         station_altitude_km: np.ndarray | float = 0.0,
+        static: KernelStatics | None = None,
     ) -> BatchLinkResult:
         """Vectorized :meth:`evaluate` over per-pair arrays.
 
@@ -249,24 +351,53 @@ class LinkBudget:
         to float rounding (NumPy vs libm transcendentals, ~1e-12 dB); a
         MODCOD choice can differ only for an Es/N0 within that distance
         of a table threshold.
+
+        ``static``, when given, must be :meth:`precompute_statics` of this
+        same ``range_km``/``elevation_deg`` (element-wise); the fspl, gas,
+        and cloud-sine evaluations are then skipped in favour of the
+        stored arrays, bit-identically.
         """
         range_km = np.asarray(range_km, dtype=float)
         elevation_deg = np.asarray(elevation_deg, dtype=float)
         freq = self.radio.frequency_ghz
-        fspl = free_space_path_loss_db_batch(range_km, freq)
-        rain = rain_attenuation_db_batch(
-            rain_rate_mm_h, freq, elevation_deg,
-            station_latitude_deg, station_altitude_km,
-            self.radio.polarization,
-        )
-        cloud = cloud_attenuation_db_batch(
-            cloud_water_kg_m2, freq, elevation_deg
-        )
-        gas = gaseous_attenuation_db_batch(freq, elevation_deg)
-        channels = min(self.radio.channels, self.receiver.channels)
+        if static is not None:
+            fspl = static.fspl_db
+            gas = static.gas_db
+            cloud = cloud_attenuation_db_batch_presin(
+                cloud_water_kg_m2, freq, static.sin_el
+            )
+        else:
+            fspl = free_space_path_loss_db_batch(range_km, freq)
+            cloud = cloud_attenuation_db_batch(
+                cloud_water_kg_m2, freq, elevation_deg
+            )
+            gas = gaseous_attenuation_db_batch(freq, elevation_deg)
+        if static is not None and static.rain_slant is not None:
+            rain = rain_attenuation_db_batch_pregeom(
+                rain_rate_mm_h, freq, static.rain_slant,
+                static.rain_lg, static.rain_b, self.radio.polarization,
+            )
+        else:
+            rain = rain_attenuation_db_batch(
+                rain_rate_mm_h, freq, elevation_deg,
+                station_latitude_deg, station_altitude_km,
+                self.radio.polarization,
+            )
+        # Per-instance scalar constants (EIRP + G/T and the symbol-rate
+        # term): pure functions of the frozen radio/receiver fields, so
+        # computing them once and reusing the exact floats is
+        # bit-identical to re-deriving them every call.
+        scalars = getattr(self, "_cn0_scalar_cache", None)
+        if scalars is None:
+            channels = min(self.radio.channels, self.receiver.channels)
+            scalars = (
+                self.radio.eirp_dbw_per_channel(channels)
+                + self.receiver.g_over_t_db(freq),
+                10.0 * math.log10(self.radio.symbol_rate_baud),
+            )
+            self._cn0_scalar_cache = scalars
         # Same accumulation order as the scalar path, for bit-stability.
-        cn0_dbhz = self.radio.eirp_dbw_per_channel(channels) \
-            + self.receiver.g_over_t_db(freq)
+        cn0_dbhz = scalars[0]
         cn0_dbhz = cn0_dbhz - fspl
         cn0_dbhz = cn0_dbhz - rain
         cn0_dbhz = cn0_dbhz - cloud
@@ -275,7 +406,7 @@ class LinkBudget:
         cn0_dbhz = cn0_dbhz - self.receiver.implementation_loss_db
         cn0_dbhz = cn0_dbhz - self.hardware_calibration_db
         cn0_dbhz = cn0_dbhz - BOLTZMANN_DBW
-        esn0 = cn0_dbhz - 10.0 * math.log10(self.radio.symbol_rate_baud)
+        esn0 = cn0_dbhz - scalars[1]
         index = best_modcod_indices(esn0, self.acm_margin_db)
         index = np.where(elevation_deg <= 0.0, -1, index)
         open_link = index < 0

@@ -70,6 +70,12 @@ def _regression(coeffs: dict, frequency_ghz: float) -> float:
     return total
 
 
+#: (frequency, polarization) -> (k, alpha) memo: the regression is pure
+#: and a simulation uses a handful of carrier frequencies, yet the batch
+#: rain kernel asks every step.
+_RAIN_COEFF_CACHE: dict[tuple[float, str], tuple[float, float]] = {}
+
+
 def rain_coefficients(frequency_ghz: float,
                       polarization: str = "circular") -> tuple[float, float]:
     """P.838-3 (k, alpha) for a frequency and polarization.
@@ -78,6 +84,10 @@ def rain_coefficients(frequency_ghz: float,
     combination used when the link tilt is unknown; exact for a 45 deg tilt
     at zero elevation and an excellent approximation for LEO downlinks).
     """
+    cache_key = (frequency_ghz, polarization)
+    cached = _RAIN_COEFF_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     if not 1.0 <= frequency_ghz <= 1000.0:
         raise ValueError(
             f"P.838 is defined for 1-1000 GHz, got {frequency_ghz} GHz"
@@ -88,14 +98,17 @@ def rain_coefficients(frequency_ghz: float,
     a_v = _regression(_ALPHA_V, frequency_ghz)
     pol = polarization.lower()
     if pol in {"h", "horizontal"}:
-        return k_h, a_h
-    if pol in {"v", "vertical"}:
-        return k_v, a_v
-    if pol in {"c", "circular"}:
+        result = (k_h, a_h)
+    elif pol in {"v", "vertical"}:
+        result = (k_v, a_v)
+    elif pol in {"c", "circular"}:
         k = (k_h + k_v) / 2.0
         alpha = (k_h * a_h + k_v * a_v) / (2.0 * k)
-        return k, alpha
-    raise ValueError(f"unknown polarization {polarization!r}")
+        result = (k, alpha)
+    else:
+        raise ValueError(f"unknown polarization {polarization!r}")
+    _RAIN_COEFF_CACHE[cache_key] = result
+    return result
 
 
 def rain_specific_attenuation_db_km(
@@ -276,6 +289,61 @@ def rain_attenuation_db_batch(
     return np.where(rain > 0.0, gamma * slant * reduction, 0.0)
 
 
+def rain_attenuation_db_batch_pregeom(
+    rain_rate_mm_h: np.ndarray,
+    frequency_ghz: float,
+    slant: np.ndarray,
+    lg: np.ndarray,
+    b_term: np.ndarray,
+    polarization: str = "circular",
+) -> np.ndarray:
+    """:func:`rain_attenuation_db_batch` with its geometry pre-evaluated.
+
+    ``slant``, ``lg``, and ``b_term`` must be the slant path, horizontal
+    projection, and ``0.38 * (1 - exp(-2 * lg))`` reduction term the full
+    model would derive from elevation/latitude/altitude for the same
+    rows (``LinkBudget.precompute_statics`` produces exactly these).
+    Only the rain-rate-dependent terms -- specific attenuation and the
+    P.618 reduction factor -- are evaluated here, on the wet subset,
+    with the same expressions and operand order as the full model, so
+    results are bit-identical.
+    """
+    rain = np.asarray(rain_rate_mm_h, dtype=float)
+    if (rain < 0.0).any():
+        raise ValueError("rain rate cannot be negative")
+    slant = np.asarray(slant, dtype=float)
+    lg = np.asarray(lg, dtype=float)
+    b_term = np.asarray(b_term, dtype=float)
+    if not (rain.shape == slant.shape == lg.shape == b_term.shape):
+        rain, slant, lg, b_term = np.broadcast_arrays(
+            rain, slant, lg, b_term
+        )
+    wet = np.flatnonzero(rain > 0.0)
+    out = np.zeros(rain.shape)
+    if wet.size == 0:
+        return out
+    # Gathered-subset elementwise ops produce the same per-element bits
+    # as full-array ops, matching the full model's wet-subset recursion.
+    rain_w = rain.ravel()[wet]
+    slant_w = slant.ravel()[wet]
+    lg_w = lg.ravel()[wet]
+    b_w = b_term.ravel()[wet]
+    k, alpha = rain_coefficients(frequency_ghz, polarization)
+    # Every wet row has rain > 0, so the full model's zero-rain guards
+    # select the computed branch for every element here; gamma > 0 and
+    # lg >= 0 also bound the reduction denominator away from zero, so no
+    # errstate suppression is needed (identical arithmetic either way).
+    gamma = k * rain_w**alpha
+    r = 1.0 / (
+        1.0
+        + 0.78 * np.sqrt(lg_w * gamma / frequency_ghz)
+        - b_w
+    )
+    reduction = np.where(lg_w <= 0.0, 1.0, np.clip(r, 0.05, 2.5))
+    out.ravel()[wet] = gamma * slant_w * reduction
+    return out
+
+
 def rain_attenuation_exceeded_db(
     rain_rate_001_mm_h: float,
     frequency_ghz: float,
@@ -428,6 +496,36 @@ def cloud_attenuation_db_batch(
     el = np.maximum(elevation.ravel()[wet], 5.0)
     kl = cloud_specific_coefficient(frequency_ghz, temperature_k)
     out.ravel()[wet] = clw.ravel()[wet] * kl / np.sin(np.radians(el))
+    return out
+
+
+def cloud_attenuation_db_batch_presin(
+    columnar_liquid_water_kg_m2: np.ndarray,
+    frequency_ghz: float,
+    sin_elevation: np.ndarray,
+    temperature_k: float = 273.15,
+) -> np.ndarray:
+    """:func:`cloud_attenuation_db_batch` with the elevation sine hoisted.
+
+    ``sin_elevation`` must equal ``np.sin(np.radians(np.maximum(el, 5.0)))``
+    element-wise for the same elevations the plain batch call would see;
+    the output is then bit-identical (the remaining multiply/divide run in
+    the same order on the same operands).  Callers that evaluate the same
+    geometry every step -- the contact-window index -- compute the sine
+    once at build time instead of once per step.
+    """
+    clw = np.asarray(columnar_liquid_water_kg_m2, dtype=float)
+    if (clw < 0.0).any():
+        raise ValueError("columnar liquid water cannot be negative")
+    sin_el = np.asarray(sin_elevation, dtype=float)
+    if clw.shape != sin_el.shape:
+        clw, sin_el = np.broadcast_arrays(clw, sin_el)
+    wet = np.flatnonzero(clw > 0.0)
+    out = np.zeros(clw.shape)
+    if wet.size == 0:
+        return out
+    kl = cloud_specific_coefficient(frequency_ghz, temperature_k)
+    out.ravel()[wet] = clw.ravel()[wet] * kl / sin_el.ravel()[wet]
     return out
 
 

@@ -25,7 +25,16 @@ Propagator = Callable[[datetime], tuple]
 
 @dataclass(frozen=True)
 class ContactWindow:
-    """One satellite pass over one site."""
+    """One satellite pass over one site.
+
+    Interval contract: a window is half-open, ``[rise_time, set_time)``.
+    The satellite is above the mask *at* ``rise_time`` and already below
+    it *at* ``set_time``, so a tick landing exactly on one window's set
+    time and the next window's rise time belongs to exactly one window —
+    never both.  Step-sampled consumers
+    (:class:`repro.scheduling.windows.ContactWindowIndex`) rely on this
+    to avoid double-counting boundary ticks.
+    """
 
     rise_time: datetime
     set_time: datetime
@@ -37,14 +46,24 @@ class ContactWindow:
         return (self.set_time - self.rise_time).total_seconds()
 
     def contains(self, when: datetime) -> bool:
-        return self.rise_time <= when <= self.set_time
+        return self.rise_time <= when < self.set_time
 
     def overlaps(self, other: "ContactWindow") -> bool:
         return self.rise_time < other.set_time and other.rise_time < self.set_time
 
 
 class PassPredictor:
-    """Predict passes of one propagated satellite over one geodetic site."""
+    """Predict passes of one propagated satellite over one geodetic site.
+
+    This is the scalar, sub-second-precision reference: it bisects the
+    exact horizon crossings of a single (satellite, site) pair.  The
+    vectorized :class:`repro.scheduling.windows.ContactWindowIndex`
+    computes the same pass structure for *every* pair at once, but only
+    at the simulation's step granularity — its step-sampled intervals
+    are always bracketed by this predictor's rise/set times (pinned by
+    an equivalence test).  Use the predictor for precise single-pass
+    queries, the index for driving the per-step scheduling loop.
+    """
 
     def __init__(
         self,

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Callable, NamedTuple
 import numpy as np
 
 from repro.groundstations.network import GroundStationNetwork
-from repro.linkbudget.budget import LinkBudget
+from repro.linkbudget.budget import KernelStatics, LinkBudget
 from repro.orbits.frames import geodetic_to_ecef
 from repro.orbits.timebase import datetime_to_jd, gmst_rad
 from repro.satellites.satellite import Satellite
@@ -286,6 +286,9 @@ def build_contact_graph(
     culling=None,
     queue_profile=None,
     recorder=None,
+    window_index=None,
+    window_state: dict | None = None,
+    weather_memo=None,
 ) -> ContactGraph:
     """Construct the weighted bipartite graph at ``when``.
 
@@ -325,6 +328,18 @@ def build_contact_graph(
     ``recorder`` (a :class:`repro.obs.Recorder`) receives visible-pair,
     candidate-pair, and ephemeris-row counters; it never influences the
     constructed graph.
+
+    ``window_index`` (a :class:`repro.scheduling.windows.ContactWindowIndex`)
+    short-circuits candidate generation entirely for on-grid instants:
+    the visible pairs and their exact elevation/range come from the
+    precomputed pass structure, so the step pays only for active
+    contacts.  Off-grid instants fall through to the culled/dense paths.
+    ``window_state`` is a mutable per-scheduler dict caching per-pair
+    gathers between rise/set boundary ticks, and ``weather_memo`` (a
+    ``_StationWeatherMemo``) reuses per-station samples within one
+    provider quantization bucket.  All three are value-neutral: the
+    same edges, in the same order, as the culled path -- the contract
+    ``tests/scheduling/test_windows_equivalence.py`` pins.
     """
     if geometry is None:
         geometry = GeometryEngine(network)
@@ -341,10 +356,25 @@ def build_contact_graph(
         unavailable |= {
             j for j, f in enumerate(weight_factor) if f <= 0.0
         }
+    record = recorder is not None and recorder.enabled
+    if batched and window_index is not None:
+        k = window_index.step_of(when)
+        if k is not None:
+            w_sat, w_gs, w_elev, w_rng = window_index.pairs_at(k)
+            if record:
+                recorder.counter("window_index_hits")
+                recorder.counter("visible_pairs", int(w_sat.size))
+            edges = _window_edges(
+                satellites, network, when, value_function, link_budget_for,
+                forecast, step_s, geometry, w_sat, w_gs, w_elev, w_rng,
+                unavailable, require_current_plan, plan_max_age_s,
+                weight_factor, pair_groups, queue_profile, window_index, k,
+                window_state, weather_memo, recorder,
+            )
+            return _graph_from(edges, when, len(satellites), len(network))
     sat_ecef = None
     if ephemeris is not None:
         sat_ecef = ephemeris.positions_ecef(when)
-    record = recorder is not None and recorder.enabled
     if record:
         recorder.counter(
             "ephemeris_row_hits" if sat_ecef is not None
@@ -679,6 +709,112 @@ def _culled_edges(
     )
 
 
+def _window_edges(
+    satellites: list[Satellite],
+    network: GroundStationNetwork,
+    when: datetime,
+    value_function: ValueFunction,
+    link_budget_for: Callable[[Satellite, int], LinkBudget],
+    forecast: ForecastFn,
+    step_s: float,
+    geometry: GeometryEngine,
+    pair_sat: np.ndarray,
+    pair_gs: np.ndarray,
+    pair_elevation: np.ndarray,
+    pair_range: np.ndarray,
+    unavailable: set[int],
+    require_current_plan: bool,
+    plan_max_age_s: float,
+    weight_factor: list[float] | None,
+    pair_groups: PairGroupCache | None,
+    queue_profile,
+    window_index,
+    step_k: int,
+    window_state: dict | None,
+    weather_memo,
+    recorder,
+) -> "EdgeColumns | list[ContactEdge]":
+    """Index-driven counterpart of :func:`_culled_edges`.
+
+    The stored pairs *are* the visible set (same arithmetic, same
+    row-major order), so only the feasibility masks remain -- and in the
+    common unmasked case the CSR slices flow to :func:`_price_pairs`
+    without a single copy.  Between rise/set boundary ticks the pair
+    topology is constant, so the per-pair gathers the pricing kernel
+    needs (station latitude/altitude, hardware-class ids) are cached in
+    ``window_state`` and reused; the ``edges_rebuilt`` counter ticks
+    only when a pass boundary invalidates them.
+    """
+    num_sats = len(satellites)
+    n = int(pair_sat.size)
+    keep: np.ndarray | None = None  # None == every stored pair survives
+    if unavailable:
+        down = np.zeros(len(network), dtype=bool)
+        down[sorted(unavailable)] = True
+        keep = ~down[pair_gs]
+    for j, station in enumerate(network):
+        if station.constraints.bitmap == -1:
+            continue
+        base = keep if keep is not None else np.ones(n, dtype=bool)
+        at_station = base & (pair_gs == j)
+        if not at_station.any():
+            continue
+        allowed = np.fromiter(
+            (station.allows_satellite(i) for i in range(num_sats)),
+            bool, num_sats,
+        )
+        keep = base & (allowed[pair_sat] | ~at_station)
+    if require_current_plan:
+        has_plan = np.fromiter(
+            (s.has_current_plan(when, plan_max_age_s) for s in satellites),
+            bool, num_sats,
+        )
+        mask = has_plan[pair_sat] | geometry._can_transmit[pair_gs]
+        keep = mask if keep is None else keep & mask
+    if keep is not None and bool(keep.all()):
+        keep = None
+
+    pair_static = None
+    kernel_static = window_index.kernel_statics_at(step_k)
+    if keep is None:
+        if window_state is not None and pair_groups is not None:
+            seg = window_index.segment_id(step_k)
+            if window_state.get("segment") == seg:
+                pair_static = window_state.get("static")
+            if pair_static is None and n:
+                gids = pair_groups.gid[pair_sat, pair_gs]
+                if not (gids < 0).any():
+                    pair_static = (
+                        geometry._station_lat_deg[pair_gs],
+                        geometry._station_alt_km[pair_gs],
+                        gids,
+                    )
+                    window_state["segment"] = seg
+                    window_state["static"] = pair_static
+                    if recorder is not None and recorder.enabled:
+                        recorder.counter("edges_rebuilt")
+        sel_sat, sel_gs = pair_sat, pair_gs
+        sel_elev, sel_rng = pair_elevation, pair_range
+    else:
+        final = np.nonzero(keep)[0]
+        sel_sat, sel_gs = pair_sat[final], pair_gs[final]
+        sel_elev, sel_rng = pair_elevation[final], pair_range[final]
+        if kernel_static is not None:
+            # Gathering precomputed columns with the same mask keeps them
+            # element-aligned (and element-wise ops on a gathered subset
+            # are bit-equal to gathering their full-array results).
+            kernel_static = {
+                gid: st.take(final) for gid, st in kernel_static.items()
+            }
+    return _price_pairs(
+        satellites, network, when, value_function, link_budget_for,
+        forecast, step_s, geometry, sel_sat, sel_gs, sel_elev, sel_rng,
+        weight_factor, pair_groups, queue_profile,
+        weather_memo=weather_memo, pair_static=pair_static,
+        kernel_static=kernel_static,
+    )
+
+
 def _price_pairs(
     satellites: list[Satellite],
     network: GroundStationNetwork,
@@ -695,13 +831,28 @@ def _price_pairs(
     weight_factor: list[float] | None = None,
     pair_groups: PairGroupCache | None = None,
     queue_profile=None,
+    weather_memo=None,
+    pair_static: tuple | None = None,
+    kernel_static: dict[int, KernelStatics] | None = None,
 ) -> "EdgeColumns | list[ContactEdge]":
     """Price feasible pairs through the batched budget kernel.
 
-    The shared tail of the dense and culled batched paths: both feed it
-    the same final pair set in the same order, so both produce identical
-    edges.  ``sat_idx``/``gs_idx`` are the feasible pairs (all masks
-    applied) with their already-gathered elevation/range.
+    The shared tail of the dense, culled, and window-index batched paths:
+    all feed it the same final pair set in the same order, so all produce
+    identical edges.  ``sat_idx``/``gs_idx`` are the feasible pairs (all
+    masks applied) with their already-gathered elevation/range.
+
+    ``weather_memo`` substitutes a per-station sample memo for the
+    involved-station oracle loop; it issues the identical first call per
+    provider quantization bucket, so the returned values (and the
+    provider's cache contents) are bit-identical to the loop's.
+    ``pair_static`` is an optional pre-gathered
+    ``(station_lat_deg, station_alt_km, gids)`` triple for this exact
+    pair set -- the window path reuses it across boundary-free ticks.
+    ``kernel_static`` maps hardware-class gid to precomputed
+    :class:`~repro.linkbudget.budget.KernelStatics` columns aligned with
+    this exact pair set; the budget kernel then skips its fspl, gas, and
+    cloud-sine evaluations bit-identically.
     """
     if sat_idx.size == 0:
         return _empty_columns()
@@ -712,9 +863,16 @@ def _price_pairs(
     # by the (small) station count, so this avoids sorting the pair list.
     # An identically-clear provider skips the oracle loop: every sample
     # would be exactly zero.
-    rain = np.zeros(num_stations)
-    cloud = np.zeros(num_stations)
-    if not getattr(forecast, "always_clear", False):
+    if getattr(forecast, "always_clear", False):
+        rain = np.zeros(num_stations)
+        cloud = np.zeros(num_stations)
+    elif weather_memo is not None:
+        rain, cloud = weather_memo.station_weather(
+            network, forecast, gs_idx, when
+        )
+    else:
+        rain = np.zeros(num_stations)
+        cloud = np.zeros(num_stations)
         involved = np.zeros(num_stations, dtype=bool)
         involved[gs_idx] = True
         for j in np.flatnonzero(involved).tolist():
@@ -728,21 +886,27 @@ def _price_pairs(
     # Group pairs by budget hardware class; the paper's scenarios collapse
     # to one or two classes, so the kernel runs once or twice per instant.
     # The class of a pair never changes, so the PairGroupCache resolves
-    # previously-seen pairs with one fancy index.
+    # previously-seen pairs with one fancy index (and the window index
+    # pre-resolves every pair it will ever emit at build time).
     if pair_groups is None:
         pair_groups = PairGroupCache(num_sats, num_stations)
-    gids = pair_groups.gid[sat_idx, gs_idx]
-    unresolved = np.nonzero(gids < 0)[0]
-    if unresolved.size:
-        sat_list = sat_idx.tolist()
-        gs_list = gs_idx.tolist()
-        for p in unresolved.tolist():
-            i, j = sat_list[p], gs_list[p]
-            budget = link_budget_for(satellites[i], j)
-            gid = _budget_group_id(budget)
-            pair_groups.gid[i, j] = gid
-            pair_groups.budget_of.setdefault(gid, budget)
-            gids[p] = gid
+    if pair_static is not None:
+        station_lat, station_alt, gids = pair_static
+    else:
+        gids = pair_groups.gid[sat_idx, gs_idx]
+        unresolved = np.nonzero(gids < 0)[0]
+        if unresolved.size:
+            sat_list = sat_idx.tolist()
+            gs_list = gs_idx.tolist()
+            for p in unresolved.tolist():
+                i, j = sat_list[p], gs_list[p]
+                budget = link_budget_for(satellites[i], j)
+                gid = _budget_group_id(budget)
+                pair_groups.gid[i, j] = gid
+                pair_groups.budget_of.setdefault(gid, budget)
+                gids[p] = gid
+        station_lat = geometry._station_lat_deg[gs_idx]
+        station_alt = geometry._station_alt_km[gs_idx]
 
     pair_count = sat_idx.size
     gid_lo = int(gids.min())
@@ -751,13 +915,17 @@ def _price_pairs(
         # Single hardware class (the common case): evaluate the whole
         # pair set in one kernel call, no group masking or scatters.
         budget = pair_groups.budget_of[gid_lo]
+        static = (
+            kernel_static.get(gid_lo) if kernel_static is not None else None
+        )
         result = budget.evaluate_batch(
             range_km=pair_range,
             elevation_deg=pair_elevation,
-            station_latitude_deg=geometry._station_lat_deg[gs_idx],
+            station_latitude_deg=station_lat,
             rain_rate_mm_h=rain[gs_idx],
             cloud_water_kg_m2=cloud[gs_idx],
-            station_altitude_km=geometry._station_alt_km[gs_idx],
+            station_altitude_km=station_alt,
+            static=static,
         )
         closes = result.closes
         bitrate = result.bitrate_bps
@@ -773,13 +941,19 @@ def _price_pairs(
             budget = pair_groups.budget_of[gid]
             pos = np.nonzero(gids == gid)[0]
             stations_of = gs_idx[pos]
+            static = None
+            if kernel_static is not None:
+                full = kernel_static.get(gid)
+                if full is not None:
+                    static = full.take(pos)
             result = budget.evaluate_batch(
                 range_km=pair_range[pos],
                 elevation_deg=pair_elevation[pos],
-                station_latitude_deg=geometry._station_lat_deg[stations_of],
+                station_latitude_deg=station_lat[pos],
                 rain_rate_mm_h=rain[stations_of],
                 cloud_water_kg_m2=cloud[stations_of],
-                station_altitude_km=geometry._station_alt_km[stations_of],
+                station_altitude_km=station_alt[pos],
+                static=static,
             )
             closes[pos] = result.closes
             bitrate[pos] = result.bitrate_bps
@@ -799,7 +973,10 @@ def _price_pairs(
         k_gs = gs_idx[keep]
         # Pairs arrive row-major, so k_sat is nondecreasing: dedupe by
         # extracting run starts instead of a full unique sort.
-        queue_profile.refresh(k_sat[np.flatnonzero(np.diff(k_sat, prepend=-1))])
+        run_start = np.empty(k_sat.size, dtype=bool)
+        run_start[0] = True
+        np.not_equal(k_sat[1:], k_sat[:-1], out=run_start[1:])
+        queue_profile.refresh(k_sat[run_start])
         weights = batch_values(
             queue_profile, k_sat, bitrate[keep], when, step_s
         )

@@ -65,21 +65,28 @@ def _station_capacities(graph: ContactGraph,
 def _assignments_at(graph: ContactGraph, positions: list[int],
                     sat_l: list[int], gs_l: list[int],
                     w_l: list[float]) -> list[Assignment]:
-    """Assignments for the chosen edge positions of the graph's columns."""
+    """Assignments for the chosen edge positions of the graph's columns.
+
+    Extracts only the chosen positions: the matching is bounded by
+    min(M, N) while the edge count is not, so converting whole columns
+    to lists here would dominate small-step costs.  ``float()`` on a
+    float64 element is value-exact, so assignments are bit-identical to
+    the previous whole-column ``tolist`` extraction.
+    """
     cols = graph.columns()
-    bitrate_l = cols.bitrate_bps.tolist()
-    elev_l = cols.elevation_deg.tolist()
-    range_l = cols.range_km.tolist()
-    esn0_l = cols.required_esn0_db.tolist()
+    bitrate = cols.bitrate_bps
+    elev = cols.elevation_deg
+    rng = cols.range_km
+    esn0 = cols.required_esn0_db
     return [
         Assignment(
             satellite_index=sat_l[p],
             station_index=gs_l[p],
             weight=w_l[p],
-            bitrate_bps=bitrate_l[p],
-            elevation_deg=elev_l[p],
-            range_km=range_l[p],
-            required_esn0_db=esn0_l[p],
+            bitrate_bps=float(bitrate[p]),
+            elevation_deg=float(elev[p]),
+            range_km=float(rng[p]),
+            required_esn0_db=float(esn0[p]),
         )
         for p in positions
     ]

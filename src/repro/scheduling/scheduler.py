@@ -168,6 +168,78 @@ class _AnticipatedGenerationValue:
         return self.DISCOUNT * (elapsed_s / 2.0) * deliverable / chunk_bits
 
 
+class _StationWeatherMemo:
+    """Per-station (rain, cloud) memo keyed on the provider's time bucket.
+
+    A :class:`~repro.weather.provider.QuantizedWeatherCache` returns one
+    sample per (station, bucket) no matter how many times it is asked, so
+    the per-step oracle loop mostly re-reads values it already has.  This
+    memo keeps the last sample per station with a bucket stamp and only
+    calls the oracle for stations whose stamp is stale -- issuing exactly
+    the first call per (station, bucket) the unmemoized loop would have
+    issued, so the provider's cache contents (which capture the first
+    ``when`` seen per bucket) and every value consumed downstream are
+    bit-identical.  Only valid for nowcast sampling against a provider
+    that publishes ``quantize_s``; the scheduler enables it accordingly.
+    """
+
+    def __init__(self, num_stations: int, quantize_s: float):
+        self.quantize_s = float(quantize_s)
+        self._bucket = np.full(num_stations, -1, dtype=np.int64)
+        self._rain = np.zeros(num_stations)
+        self._cloud = np.zeros(num_stations)
+        self._coords: list[tuple[float, float, float, float]] | None = None
+        #: Optional direct oracle (e.g. the provider's bound ``sample``):
+        #: the scheduler installs it when no instrumentation wrapper is
+        #: needed, saving one closure frame and two ``hasattr`` probes
+        #: per miss.  Must make the identical underlying call the
+        #: ``forecast`` argument would.
+        self.oracle = None
+        #: The provider itself, when it exposes ``sample_prequantized``
+        #: and no instrumentation wrapper is in play: station coordinates
+        #: never change, so their cache-key rounding runs once here
+        #: instead of twice per sample.
+        self.provider = None
+
+    def station_weather(self, network, forecast, gs_idx, when):
+        """Full per-station (rain, cloud) arrays, fresh for ``gs_idx``.
+
+        Entries for stations outside ``gs_idx`` may be stale; callers
+        only ever gather the involved stations.
+        """
+        bucket = int(when.timestamp() // self.quantize_s)
+        involved = np.zeros(self._bucket.size, dtype=bool)
+        involved[gs_idx] = True
+        stale = involved & (self._bucket != bucket)
+        if self._coords is None:
+            self._coords = [
+                (round(s.latitude_deg, 3), round(s.longitude_deg, 3),
+                 s.latitude_deg, s.longitude_deg)
+                for s in network
+            ]
+        rain_out = self._rain
+        cloud_out = self._cloud
+        bucket_out = self._bucket
+        provider = self.provider
+        if provider is not None:
+            sample_pq = provider.sample_prequantized
+            for j in np.flatnonzero(stale).tolist():
+                lat_q, lon_q, lat, lon = self._coords[j]
+                sample = sample_pq(lat_q, lon_q, lat, lon, when)
+                rain_out[j] = sample.rain_rate_mm_h
+                cloud_out[j] = sample.cloud_water_kg_m2
+                bucket_out[j] = bucket
+            return rain_out, cloud_out
+        oracle = self.oracle if self.oracle is not None else forecast
+        for j in np.flatnonzero(stale).tolist():
+            lat_q, lon_q, lat, lon = self._coords[j]
+            sample = oracle(lat, lon, when)
+            rain_out[j] = sample.rain_rate_mm_h
+            cloud_out[j] = sample.cloud_water_kg_m2
+            bucket_out[j] = bucket
+        return rain_out, cloud_out
+
+
 class DownlinkScheduler:
     """Builds contact graphs and matches them, one instant at a time."""
 
@@ -237,6 +309,17 @@ class DownlinkScheduler:
         self._budgets: dict[tuple[int, int], LinkBudget] = {}
         self._acm_margin_db = acm_margin_db
         self._pair_groups = PairGroupCache(len(satellites), len(network))
+        #: Precomputed pass structure
+        #: (:class:`repro.scheduling.windows.ContactWindowIndex`), set by
+        #: the engine after construction.  When it covers ``when``, the
+        #: graph build reads active pairs from it instead of running
+        #: candidate generation; off-grid instants fall back to culling.
+        self.window_index = None
+        #: Per-pass-segment gather cache for the window path (station
+        #: scalars + hardware-class ids, reused between rise/set ticks).
+        self._window_state: dict = {}
+        #: Lazily-built per-station weather memo (nowcast path only).
+        self._weather_memo: _StationWeatherMemo | None = None
 
     # -- link budget cache ---------------------------------------------------
 
@@ -290,6 +373,34 @@ class DownlinkScheduler:
         # skip the per-station weather oracle loop outright.
         forecast_fn.always_clear = getattr(self.weather, "always_clear", False)
 
+        # Nowcast sampling against a quantized provider: reuse samples
+        # within one provider bucket (bit-identical values; see
+        # _StationWeatherMemo).  Forecast-mode pricing bypasses the memo
+        # -- its samples depend on the issue time, not just the bucket.
+        weather_memo = None
+        if (
+            self.window_index is not None
+            and forecast_issued_at is None
+            and not forecast_fn.always_clear
+        ):
+            quantize_s = getattr(self.weather, "quantize_s", None)
+            if quantize_s:
+                if self._weather_memo is None:
+                    self._weather_memo = _StationWeatherMemo(
+                        len(self.network), quantize_s
+                    )
+                weather_memo = self._weather_memo
+                # With no instrumentation wrapper in play the memo may
+                # call the provider directly -- same call, fewer frames.
+                direct = not self.recorder.enabled
+                weather_memo.oracle = self.weather.sample if direct else None
+                weather_memo.provider = (
+                    self.weather
+                    if direct
+                    and hasattr(self.weather, "sample_prequantized")
+                    else None
+                )
+
         return build_contact_graph(
             satellites=self.satellites,
             network=self.network,
@@ -309,6 +420,9 @@ class DownlinkScheduler:
             culling=self._culling_grid,
             queue_profile=self._queue_profile,
             recorder=self.recorder,
+            window_index=self.window_index,
+            window_state=self._window_state,
+            weather_memo=weather_memo,
         )
 
     def visibility(

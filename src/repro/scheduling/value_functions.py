@@ -425,9 +425,10 @@ class DeadlineSlaValue:
         """
         profile.ensure_demand(self._order)
         if sat_idx.size:
-            profile.refresh(
-                sat_idx[np.flatnonzero(np.diff(sat_idx, prepend=-1))]
-            )
+            run_start = np.empty(sat_idx.size, dtype=bool)
+            run_start[0] = True
+            np.not_equal(sat_idx[1:], sat_idx[:-1], out=run_start[1:])
+            profile.refresh(sat_idx[run_start])
         budgets = bitrate_bps * step_s
         value = profile.prefix_deadline_values(
             sat_idx, budgets, now, self._slot_weights(now),

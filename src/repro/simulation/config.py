@@ -88,6 +88,14 @@ class SimulationConfig:
     #: Bounds peak memory at mega-constellation scale; rows are
     #: bit-identical to the monolithic table.
     ephemeris_window_steps: int = 0
+    #: Precompute the contact-window (pass) structure once and drive the
+    #: per-step loop from it: candidate generation becomes an index
+    #: lookup, zero-contact ticks skip graph/matching entirely, and edge
+    #: gathers are reused between rise/set boundaries.  Bit-identical
+    #: reports either way (``False`` pins the per-step culled/dense
+    #: reference paths).  Requires batched kernels and a precomputed
+    #: ephemeris; silently inert otherwise.
+    contact_windows: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from datetime import datetime, timedelta
 
+import numpy as np
+
 from repro.faults import FaultCounters, FaultSchedule
 from repro.groundstations.network import GroundStationNetwork
 from repro.linkbudget.decode import decode_probability
@@ -35,6 +37,7 @@ from repro.satellites.data import ChunkIdAllocator
 from repro.satellites.satellite import Satellite
 from repro.scheduling.matching import Assignment
 from repro.scheduling.scheduler import DownlinkScheduler
+from repro.scheduling.windows import shared_window_index
 from repro.scheduling.value_functions import ValueFunction
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import GB_TO_BITS, MetricsCollector, SimulationReport
@@ -187,11 +190,45 @@ class Simulation:
             spatial_culling=config.spatial_culling,
             recorder=self.obs,
         )
+        # Precompute the pass structure once: candidate generation per
+        # step becomes an index lookup and idle ticks (no pair in a pass)
+        # skip scheduling entirely -- byte-identical either way.  Needs
+        # the batched path and a precomputed ephemeris; inert otherwise.
+        self.window_index = None
+        if (
+            config.contact_windows
+            and config.batched_kernels
+            and self.ephemeris is not None
+        ):
+            index_steps = config.num_steps
+            if config.execution_mode == "planned":
+                index_steps += int(config.plan_horizon_s // config.step_s) + 1
+            with self.obs.span("window_index_build"):
+                self.window_index = shared_window_index(
+                    satellites,
+                    network,
+                    start=config.start,
+                    num_steps=index_steps,
+                    step_s=config.step_s,
+                    geometry=self.scheduler._geometry,
+                    ephemeris=self.ephemeris,
+                    culling=self.scheduler._culling_grid,
+                    link_budget_for=self.scheduler._link_budget_for,
+                    pair_groups=self.scheduler._pair_groups,
+                    recorder=self.obs,
+                )
+            self.scheduler.window_index = self.window_index
         self.backend = BackendCollator()
         self.metrics = MetricsCollector()
         from repro.simulation.events import EventLog
 
         self.events = EventLog() if config.record_events else None
+        # Vectorized imagery accumulator (see :meth:`_generate`); filled
+        # lazily so standalone constructions stay cheap.
+        self._gen_acc = None
+        self._gen_per_step = None
+        self._gen_chunk_bits = None
+        self._gen_active = None
         self._power_enabled = any(s.power is not None for s in satellites)
         self._sunlit: dict[int, bool] = {}
         self._transmitted_this_step: set[int] = set()
@@ -358,9 +395,28 @@ class Simulation:
         ):
             self._last_forecast_issue = now
         self._transmitted_this_step = set()
+        # Idle-tick fast-forward: when the contact-window index says zero
+        # pairs are in a pass right now, the contact graph is empty by
+        # construction -- an empty graph samples no weather, touches no
+        # queue profile, and matches nothing -- so skipping link budget,
+        # graph build, and matching outright is byte-identical.  Only the
+        # scheduler that owns the index may skip (horizon/beamforming
+        # replacements keep internal replan counters that must tick), and
+        # planned mode never skips (plan issue ticks are time-driven).
+        skip_idle = False
+        if cfg.execution_mode != "planned":
+            window_index = getattr(self.scheduler, "window_index", None)
+            if window_index is not None:
+                ki = window_index.step_of(now)
+                if ki is not None and window_index.active_count(ki) == 0:
+                    skip_idle = True
+                    if rec.enabled:
+                        rec.counter("idle_ticks_skipped")
         if cfg.execution_mode == "planned":
             with rec.span("plan_execution"):
                 executed = self._planned_step(now)
+        elif skip_idle:
+            executed = {}
         elif cfg.execution_mode == "diversity":
             # Live matching plus extra listeners: the matched primary
             # transmits as usual while otherwise-idle stations that can
@@ -503,13 +559,40 @@ class Simulation:
         # Capture covers the interval that just elapsed, (now - step, now],
         # so no chunk's capture time is in the future of the transmissions
         # happening at ``now``.
+        #
+        # Chunk boundaries are rare (a satellite emits a handful of chunks
+        # a day over 1440 steps), so the per-satellite accumulator runs as
+        # one vectorized add here and ``generate_data`` is only entered on
+        # boundary-crossing steps.  float64 elementwise adds are the same
+        # IEEE operations the scalar accumulator performs, so emission
+        # steps, capture times, and chunk ids are bit-identical.
         interval_start = now - timedelta(seconds=self.config.step_s)
-        for sat in self.satellites:
-            chunks = sat.generate_data(interval_start, self.config.step_s)
+        step_s = self.config.step_s
+        if self._gen_acc is None:
+            rates = [
+                s.generation_gb_per_day * GB_TO_BITS / 86400.0
+                for s in self.satellites
+            ]
+            self._gen_per_step = np.array([r * step_s for r in rates])
+            self._gen_chunk_bits = np.array(
+                [s.chunk_size_gb * GB_TO_BITS for s in self.satellites]
+            )
+            self._gen_active = np.array([r > 0.0 for r in rates])
+            self._gen_acc = np.array(
+                [s._accumulated_bits for s in self.satellites]
+            )
+        total = self._gen_acc + self._gen_per_step
+        emitting = self._gen_active & (total >= self._gen_chunk_bits)
+        for i in np.flatnonzero(emitting).tolist():
+            sat = self.satellites[i]
+            sat._accumulated_bits = float(self._gen_acc[i])
+            chunks = sat.generate_data(interval_start, step_s)
+            total[i] = sat._accumulated_bits
             for chunk in chunks:
                 self.metrics.record_generation(chunk.size_bits)
                 if self.demand is not None:
                     self.demand.accountant.record_generation(chunk)
+        self._gen_acc = total
 
     def _execute_assignment(self, assignment, now: datetime) -> None:
         sat = self.satellites[assignment.satellite_index]

@@ -22,6 +22,13 @@ The replay-equivalence guarantee: a session that is never fed an event
 runs the exact code path of the batch loop, so ``finalize()`` returns a
 :class:`SimulationReport` byte-identical to ``Simulation.run()`` on the
 same :class:`ScenarioSpec` (pinned by ``tests/simulation/test_session.py``).
+
+Sessions inherit the engine's contact-window fast paths untouched: with
+``ScenarioSpec.contact_windows`` on, each tick reads its active pairs
+from the precomputed :class:`~repro.scheduling.windows.ContactWindowIndex`
+and zero-contact ticks fast-forward past scheduling entirely -- an
+:class:`OutageNotice` still applies, because station availability is
+masked at query time, not baked into the index.
 """
 
 from __future__ import annotations

@@ -22,7 +22,11 @@ from datetime import datetime, timedelta
 
 import numpy as np
 
-from repro.weather.climate import ZONE_BANDS, ClimateZone
+from repro.weather.climate import (
+    ZONE_BANDS,
+    ClimateZone,
+    climate_zone_for_latitude,
+)
 
 _EARTH_RADIUS_KM = 6371.0
 _EPOCH_HOURS = 6.0
@@ -123,6 +127,13 @@ class RainCellField:
         self._epoch_cells: dict[int, list[RainCell]] = {}
         self._epoch_arrays: dict[int, dict[str, np.ndarray]] = {}
         self._station_cache: dict[tuple[float, float, int], list[RainCell]] = {}
+        #: Concatenation of ``_relevant_cells`` over the 4-epoch scan
+        #: window, keyed like the station cache, with each cell's fields
+        #: pre-extracted into a plain tuple.  ``sample`` is on the
+        #: scheduler's per-step path, so one dict probe replacing four
+        #: (plus per-cell dataclass attribute chasing) is measurable at
+        #: fleet scale.
+        self._window_cache: dict[tuple[float, float, int], list[tuple]] = {}
 
     # -- cell generation ---------------------------------------------------
 
@@ -146,6 +157,9 @@ class RainCellField:
             self._station_cache = {
                 k: v for k, v in self._station_cache.items() if k[2] != oldest
             }
+            # Window lists span several epochs; rebuilding them is cheap
+            # and pruning only ever happens on multi-week simulations.
+            self._window_cache.clear()
         return cells
 
     def _arrays_for_epoch(self, epoch_index: int) -> dict[str, np.ndarray]:
@@ -236,28 +250,73 @@ class RainCellField:
         self._station_cache[key] = relevant
         return relevant
 
+    def _window_cells(self, lat_deg: float, lon_deg: float,
+                      epoch: int) -> list[tuple]:
+        """Relevant cells over the 4-epoch scan window, concatenated.
+
+        A cell born late in epoch e can still be alive in epoch e+1 (and
+        beyond for long-lived systems), so ``sample`` scans epochs
+        ``epoch-3 .. epoch``.  The concatenation preserves that scan
+        order, so summing over this list accumulates in exactly the same
+        sequence as the per-epoch loops it replaces.  Each entry is the
+        cell's fields as a flat tuple so the inner loop reads locals
+        instead of chasing dataclass attributes.
+        """
+        key = (round(lat_deg, 3), round(lon_deg, 3), epoch)
+        cached = self._window_cache.get(key)
+        if cached is None:
+            cached = [
+                (
+                    cell.birth_time_s,
+                    cell.lifetime_s,
+                    cell.radius_km,
+                    cell.peak_rain_mm_h,
+                    cell.zonal_speed_km_h,
+                    cell.meridional_speed_km_h,
+                    cell.birth_lat_deg,
+                    cell.birth_lon_deg,
+                )
+                for ep in range(epoch - 3, epoch + 1)
+                for cell in self._relevant_cells(lat_deg, lon_deg, ep)
+            ]
+            self._window_cache[key] = cached
+        return cached
+
     def sample(self, lat_deg: float, lon_deg: float, when: datetime) -> WeatherSample:
-        """Truth weather at a point and UTC instant."""
+        """Truth weather at a point and UTC instant.
+
+        The cell loop inlines :meth:`RainCell.envelope_at` and
+        :meth:`RainCell.center_at` expression-for-expression (the
+        arithmetic must stay verbatim: the accumulated sums are part of
+        the simulation's bit-reproducibility contract).
+        """
         time_s = (when - _ORIGIN).total_seconds()
         epoch = int(time_s // (_EPOCH_HOURS * 3600.0))
         rain = 0.0
         cell_cloud = 0.0
-        # A cell born late in epoch e can still be alive in epoch e+1 (and
-        # beyond for long-lived systems); scan a window of prior epochs.
-        for ep in range(epoch - 3, epoch + 1):
-            for cell in self._relevant_cells(lat_deg, lon_deg, ep):
-                env = cell.envelope_at(time_s)
-                if env <= 0.0:
-                    continue
-                clat, clon = cell.center_at(time_s)
-                dist = haversine_km(lat_deg, lon_deg, clat, clon)
-                if dist > 3.0 * cell.radius_km:
-                    continue
-                footprint = math.exp(-0.5 * (dist / cell.radius_km) ** 2)
-                rain += cell.peak_rain_mm_h * env * footprint
-                # Cloud anvil: wider and persists at low rain.
-                anvil = math.exp(-0.5 * (dist / (2.0 * cell.radius_km)) ** 2)
-                cell_cloud += 0.08 * cell.peak_rain_mm_h * env * anvil
+        for (birth_s, lifetime_s, radius_km, peak_mm_h,
+             zonal_km_h, meridional_km_h, birth_lat, birth_lon) in \
+                self._window_cells(lat_deg, lon_deg, epoch):
+            age = time_s - birth_s
+            if age < 0.0 or age > lifetime_s:
+                continue
+            env = math.sin(math.pi * age / lifetime_s) ** 2
+            if env <= 0.0:
+                continue
+            age_h = (time_s - birth_s) / 3600.0
+            clat = birth_lat + meridional_km_h * age_h / 111.0
+            clat = max(-89.9, min(89.9, clat))
+            km_per_deg_lon = 111.0 * max(0.05, math.cos(math.radians(clat)))
+            clon = birth_lon + zonal_km_h * age_h / km_per_deg_lon
+            clon = ((clon + 180.0) % 360.0) - 180.0
+            dist = haversine_km(lat_deg, lon_deg, clat, clon)
+            if dist > 3.0 * radius_km:
+                continue
+            footprint = math.exp(-0.5 * (dist / radius_km) ** 2)
+            rain += peak_mm_h * env * footprint
+            # Cloud anvil: wider and persists at low rain.
+            anvil = math.exp(-0.5 * (dist / (2.0 * radius_km)) ** 2)
+            cell_cloud += 0.08 * peak_mm_h * env * anvil
         background = self._background_cloud(lat_deg, lon_deg, time_s)
         temperature = 288.0 - 30.0 * (abs(lat_deg) / 90.0) ** 1.5
         return WeatherSample(
@@ -268,8 +327,6 @@ class RainCellField:
 
     def _background_cloud(self, lat: float, lon: float, time_s: float) -> float:
         """Smooth stratus background from a few deterministic harmonics."""
-        from repro.weather.climate import climate_zone_for_latitude
-
         zone = climate_zone_for_latitude(lat)
         t_days = time_s / 86400.0
         phase = (

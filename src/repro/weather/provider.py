@@ -38,16 +38,64 @@ class QuantizedWeatherCache:
             raise ValueError("period must be positive")
         self.inner = inner
         self.period_s = period_s
+        #: Published bucket width.  Schedulers that memoize per-station
+        #: samples (``scheduling.scheduler._StationWeatherMemo``) key their
+        #: staleness stamps on ``int(when.timestamp() // quantize_s)`` so
+        #: that they re-sample exactly when this cache would miss anyway;
+        #: the memo then issues the *same first call per bucket* the
+        #: unmemoized loop would have issued, keeping cache contents (which
+        #: depend on the first ``when`` seen per bucket) bit-identical.
+        self.quantize_s = period_s
         self.max_entries = max_entries
         self._cache: dict[tuple, WeatherSample] = {}
+        #: Last (when, bucket) seen, compared by object identity: loops
+        #: sample many stations at one shared instant, and
+        #: ``datetime.timestamp()`` on naive datetimes costs a libc
+        #: ``mktime`` round-trip per call.  Identity on an immutable
+        #: datetime implies an equal timestamp, so this changes nothing.
+        self._when_memo: tuple[datetime, int] | None = None
         #: Lifetime hit/miss totals, read by the observability layer.
         self.hits = 0
         self.misses = 0
 
     def sample(self, lat_deg: float, lon_deg: float,
                when: datetime) -> WeatherSample:
-        bucket = int(when.timestamp() // self.period_s)
+        memo = self._when_memo
+        if memo is not None and memo[0] is when:
+            bucket = memo[1]
+        else:
+            bucket = int(when.timestamp() // self.period_s)
+            self._when_memo = (when, bucket)
         key = (round(lat_deg, 3), round(lon_deg, 3), bucket)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        value = self.inner.sample(lat_deg, lon_deg, when)
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[key] = value
+        return value
+
+    def sample_prequantized(self, lat_q: float, lon_q: float,
+                            lat_deg: float, lon_deg: float,
+                            when: datetime) -> WeatherSample:
+        """:meth:`sample` with the caller holding pre-rounded coordinates.
+
+        ``lat_q``/``lon_q`` must equal ``round(lat_deg, 3)`` /
+        ``round(lon_deg, 3)``; fixed-location callers (the scheduler's
+        per-station memo) round once instead of twice per sample.  Cache
+        keys, counters, and miss sampling (which uses the *unrounded*
+        coordinates, as :meth:`sample` does) are identical.
+        """
+        memo = self._when_memo
+        if memo is not None and memo[0] is when:
+            bucket = memo[1]
+        else:
+            bucket = int(when.timestamp() // self.period_s)
+            self._when_memo = (when, bucket)
+        key = (lat_q, lon_q, bucket)
         hit = self._cache.get(key)
         if hit is not None:
             self.hits += 1

@@ -258,3 +258,36 @@ class TestServe:
         assert out.startswith("served ")
         report = json.loads(report_path.read_text())
         assert report["delivered_bits"] >= 0.0
+
+
+class TestWindowIndexFlag:
+    def test_parsed_on_simulate_and_serve(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).no_window_index is False
+        assert parser.parse_args(
+            ["simulate", "--no-window-index"]
+        ).no_window_index is True
+        assert parser.parse_args(
+            ["serve", "--no-window-index"]
+        ).no_window_index is True
+
+    def test_reports_identical_with_and_without_index(self, tmp_path, capsys):
+        reports = {}
+        for name, flags in (("on", []), ("off", ["--no-window-index"])):
+            out = tmp_path / f"{name}.json"
+            assert main(["simulate", "--hours", "1", "--satellites", "6",
+                         "--stations", "10", "--json-out", str(out)]
+                        + flags) == 0
+            capsys.readouterr()
+            reports[name] = json.loads(out.read_text())
+            reports[name].pop("stage_timings", None)
+        assert reports["on"] == reports["off"]
+
+    def test_operational_error_one_line_exit_2(self, capsys):
+        """The flag composes with the CLI's operational-error contract."""
+        assert main(["simulate", "--hours", "0.5", "--satellites", "3",
+                     "--stations", "5", "--no-window-index",
+                     "--json-out", "/no/such/dir/report.json"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1

@@ -1,0 +1,184 @@
+"""Precomputed kernel statics vs the plain batch path, bit for bit.
+
+The contact-window index hoists the geometry-only link-budget terms
+(free-space loss, gaseous attenuation, the cloud model's elevation sine,
+and the rain model's slant-path geometry) out of the per-step loop.
+Every hoisted helper must reproduce the exact bits of the full batch
+path it replaces -- the window-index equivalence suites rest on that.
+"""
+
+import random
+
+import numpy as np
+
+from repro.linkbudget.budget import (
+    KernelStatics,
+    LinkBudget,
+    RadioConfig,
+    dgs_node_receiver,
+)
+from repro.linkbudget.itu import (
+    cloud_attenuation_db_batch,
+    cloud_attenuation_db_batch_presin,
+    rain_attenuation_db_batch,
+    rain_attenuation_db_batch_pregeom,
+    rain_height_km_batch,
+)
+
+FREQ_GHZ = 8.2
+
+
+def _samples(n=400, seed=7):
+    rng = random.Random(seed)
+    return {
+        "range_km": np.array([rng.uniform(300.0, 3000.0) for _ in range(n)]),
+        "elevation_deg": np.array(
+            [rng.uniform(-10.0, 90.0) for _ in range(n)]
+        ),
+        "station_latitude_deg": np.array(
+            [rng.uniform(-80.0, 80.0) for _ in range(n)]
+        ),
+        "rain_rate_mm_h": np.array(
+            [rng.choice([0.0, rng.uniform(0.0, 60.0)]) for _ in range(n)]
+        ),
+        "cloud_water_kg_m2": np.array(
+            [rng.choice([0.0, rng.uniform(0.0, 2.0)]) for _ in range(n)]
+        ),
+        "station_altitude_km": np.array(
+            [rng.uniform(0.0, 3.0) for _ in range(n)]
+        ),
+    }
+
+
+def _rain_geometry(elevation, latitude, altitude):
+    """The exact geometry columns ``precompute_statics`` derives."""
+    height = np.maximum(0.0, rain_height_km_batch(latitude) - altitude)
+    el = np.maximum(elevation, 5.0)
+    sin_el = np.sin(np.radians(el))
+    slant = np.where(height > 0.0, height / sin_el, 0.0)
+    lg = slant * np.cos(np.radians(el))
+    b_term = 0.38 * (1.0 - np.exp(-2.0 * lg))
+    return slant, lg, b_term
+
+
+class TestPregeomRain:
+    def test_bitwise_match_with_mixed_wet_dry(self):
+        s = _samples()
+        slant, lg, b_term = _rain_geometry(
+            s["elevation_deg"], s["station_latitude_deg"],
+            s["station_altitude_km"],
+        )
+        full = rain_attenuation_db_batch(
+            s["rain_rate_mm_h"], FREQ_GHZ, s["elevation_deg"],
+            s["station_latitude_deg"], s["station_altitude_km"],
+        )
+        pre = rain_attenuation_db_batch_pregeom(
+            s["rain_rate_mm_h"], FREQ_GHZ, slant, lg, b_term
+        )
+        assert np.array_equal(full, pre)
+
+    def test_all_dry_and_all_wet(self):
+        s = _samples(n=50)
+        for rain in (np.zeros(50), np.full(50, 12.5)):
+            slant, lg, b_term = _rain_geometry(
+                s["elevation_deg"][:50], s["station_latitude_deg"][:50],
+                s["station_altitude_km"][:50],
+            )
+            full = rain_attenuation_db_batch(
+                rain, FREQ_GHZ, s["elevation_deg"][:50],
+                s["station_latitude_deg"][:50], s["station_altitude_km"][:50],
+            )
+            pre = rain_attenuation_db_batch_pregeom(
+                rain, FREQ_GHZ, slant, lg, b_term
+            )
+            assert np.array_equal(full, pre)
+
+    def test_scalar_rain_broadcasts(self):
+        """A scalar rain rate must broadcast like the full batch helper."""
+        s = _samples(n=30)
+        slant, lg, b_term = _rain_geometry(
+            s["elevation_deg"][:30], s["station_latitude_deg"][:30],
+            s["station_altitude_km"][:30],
+        )
+        full = rain_attenuation_db_batch(
+            8.0, FREQ_GHZ, s["elevation_deg"][:30],
+            s["station_latitude_deg"][:30], s["station_altitude_km"][:30],
+        )
+        pre = rain_attenuation_db_batch_pregeom(
+            8.0, FREQ_GHZ, slant, lg, b_term
+        )
+        assert np.array_equal(full, pre)
+
+
+class TestPresinCloud:
+    def test_bitwise_match(self):
+        s = _samples()
+        sin_el = np.sin(np.radians(np.maximum(s["elevation_deg"], 5.0)))
+        full = cloud_attenuation_db_batch(
+            s["cloud_water_kg_m2"], FREQ_GHZ, s["elevation_deg"]
+        )
+        pre = cloud_attenuation_db_batch_presin(
+            s["cloud_water_kg_m2"], FREQ_GHZ, sin_el
+        )
+        assert np.array_equal(full, pre)
+
+    def test_scalar_cloud_broadcasts(self):
+        s = _samples(n=30)
+        sin_el = np.sin(np.radians(np.maximum(s["elevation_deg"][:30], 5.0)))
+        full = cloud_attenuation_db_batch(
+            0.4, FREQ_GHZ, s["elevation_deg"][:30]
+        )
+        pre = cloud_attenuation_db_batch_presin(0.4, FREQ_GHZ, sin_el)
+        assert np.array_equal(full, pre)
+
+
+class TestEvaluateBatchWithStatics:
+    BUDGET = LinkBudget(RadioConfig(), dgs_node_receiver())
+
+    def _assert_results_equal(self, a, b):
+        for name in ("esn0_db", "bitrate_bps", "modcod_index"):
+            assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+    def test_static_path_bit_identical(self):
+        s = _samples()
+        statics = self.BUDGET.precompute_statics(
+            s["range_km"], s["elevation_deg"],
+            s["station_latitude_deg"], s["station_altitude_km"],
+        )
+        plain = self.BUDGET.evaluate_batch(**s)
+        hoisted = self.BUDGET.evaluate_batch(**s, static=statics)
+        self._assert_results_equal(plain, hoisted)
+
+    def test_statics_without_rain_geometry(self):
+        """Latitude omitted: fspl/gas/sine hoisted, rain recomputed."""
+        s = _samples()
+        statics = self.BUDGET.precompute_statics(
+            s["range_km"], s["elevation_deg"]
+        )
+        assert statics.rain_slant is None
+        plain = self.BUDGET.evaluate_batch(**s)
+        hoisted = self.BUDGET.evaluate_batch(**s, static=statics)
+        self._assert_results_equal(plain, hoisted)
+
+    def test_narrow_and_take_match_recomputation(self):
+        s = _samples()
+        statics = self.BUDGET.precompute_statics(
+            s["range_km"], s["elevation_deg"],
+            s["station_latitude_deg"], s["station_altitude_km"],
+        )
+        lo, hi = 100, 250
+        narrow = statics.narrow(lo, hi)
+        assert isinstance(narrow, KernelStatics)
+        sliced = {k: v[lo:hi] for k, v in s.items()}
+        plain = self.BUDGET.evaluate_batch(**sliced)
+        hoisted = self.BUDGET.evaluate_batch(**sliced, static=narrow)
+        self._assert_results_equal(plain, hoisted)
+        # narrow() shares memory with the parent columns (zero-copy).
+        assert np.shares_memory(narrow.fspl_db, statics.fspl_db)
+
+        idx = np.array([5, 17, 17, 390, 2])
+        taken = statics.take(idx)
+        gathered = {k: v[idx] for k, v in s.items()}
+        plain = self.BUDGET.evaluate_batch(**gathered)
+        hoisted = self.BUDGET.evaluate_batch(**gathered, static=taken)
+        self._assert_results_equal(plain, hoisted)

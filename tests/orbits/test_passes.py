@@ -93,3 +93,37 @@ class TestContactWindow:
         assert window.contains(datetime(2020, 6, 1, 10, 4))
         assert not window.contains(datetime(2020, 6, 1, 10, 9))
         assert window.duration_seconds == 480.0
+
+
+class TestHalfOpenBoundary:
+    """Regression for the half-open ``[rise, set)`` interval contract."""
+
+    def test_rise_inclusive_set_exclusive(self):
+        window = ContactWindow(
+            rise_time=datetime(2020, 6, 1, 10, 0),
+            set_time=datetime(2020, 6, 1, 10, 8),
+            culmination_time=datetime(2020, 6, 1, 10, 4),
+            max_elevation_deg=42.0,
+        )
+        assert window.contains(window.rise_time)
+        assert not window.contains(window.set_time)
+
+    def test_shared_boundary_tick_belongs_to_exactly_one_window(self):
+        """Back-to-back windows never both claim the boundary instant."""
+        boundary = datetime(2020, 6, 1, 10, 8)
+        earlier = ContactWindow(
+            rise_time=datetime(2020, 6, 1, 10, 0),
+            set_time=boundary,
+            culmination_time=datetime(2020, 6, 1, 10, 4),
+            max_elevation_deg=42.0,
+        )
+        later = ContactWindow(
+            rise_time=boundary,
+            set_time=datetime(2020, 6, 1, 10, 15),
+            culmination_time=datetime(2020, 6, 1, 10, 11),
+            max_elevation_deg=17.0,
+        )
+        assert [w.contains(boundary) for w in (earlier, later)] == [
+            False, True,
+        ]
+        assert not earlier.overlaps(later)

@@ -131,6 +131,17 @@ class TestSpecSerialization:
         with pytest.raises(ValueError, match="warp_drive"):
             ScenarioSpec.from_dict(raw)
 
+    def test_contact_windows_knob_round_trips_and_hashes(self):
+        """The window-index knob is spec identity: serialized + hashed."""
+        on = tiny_spec()
+        off = tiny_spec(contact_windows=False)
+        assert on.to_dict()["contact_windows"] is True
+        assert off.to_dict()["contact_windows"] is False
+        clone = ScenarioSpec.from_dict(off.to_dict())
+        assert clone == off
+        assert clone.config_sha256() == off.config_sha256()
+        assert on.config_sha256() != off.config_sha256()
+
     def test_derive_seeds_is_deterministic(self):
         spec = tiny_spec()
         assert spec.derive_seeds(1).seeds() == spec.derive_seeds(1).seeds()

@@ -22,13 +22,14 @@ from repro.weather.provider import QuantizedWeatherCache
 EPOCH = datetime(2020, 6, 1)
 
 
-def build_sim(observability=None, duration_h=2.0, use_forecast=False):
+def build_sim(observability=None, duration_h=2.0, use_forecast=False,
+              contact_windows=True):
     tles = synthetic_leo_constellation(8, EPOCH, seed=21)
     sats = [Satellite(tle=t, chunk_size_gb=0.5) for t in tles]
     network = satnogs_like_network(20, seed=13)
     config = SimulationConfig(
         start=EPOCH, duration_s=duration_h * 3600.0, step_s=60.0,
-        use_forecast=use_forecast,
+        use_forecast=use_forecast, contact_windows=contact_windows,
     )
     weather = QuantizedWeatherCache(RainCellField(seed=3))
     return Simulation(
@@ -124,13 +125,25 @@ class TestTracedRun:
 
 class TestComponentStats:
     def test_weather_cache_counters_populate(self):
+        # With the contact-window index on, the scheduler's per-bucket
+        # weather memo absorbs repeat reads, so the provider sees only
+        # the one miss per (station, bucket) -- hits stay at zero.
         sim = build_sim(observability=ObsConfig())
         sim.run()
         gauges = sim.obs.gauges_snapshot()
-        assert gauges.get("weather_cache/truth_weather/hits", 0) > 0
+        assert gauges.get("weather_cache/truth_weather/misses", 0) > 0
         counters = sim.obs.counters_snapshot()
         assert counters.get("weather_samples", 0) > 0
         assert counters.get("contact_edges", 0) > 0
+        assert counters.get("window_index_hits", 0) > 0
+
+    def test_weather_cache_hits_without_window_index(self):
+        # The reference path re-reads the provider every step, so the
+        # quantized cache's hit counter populates.
+        sim = build_sim(observability=ObsConfig(), contact_windows=False)
+        sim.run()
+        gauges = sim.obs.gauges_snapshot()
+        assert gauges.get("weather_cache/truth_weather/hits", 0) > 0
 
     def test_profile_dump(self, tmp_path):
         sim = build_sim(observability=ObsConfig(

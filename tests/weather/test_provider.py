@@ -90,3 +90,45 @@ class TestQuantizedCache:
     def test_invalid_period(self):
         with pytest.raises(ValueError):
             QuantizedWeatherCache(ClearSkyProvider(), period_s=0.0)
+
+
+class TestPrequantizedSample:
+    """``sample_prequantized`` shares keys, counters, and values with
+    ``sample`` -- the scheduler's per-station memo rounds once up front."""
+
+    def test_interleaves_with_sample_on_one_cache(self):
+        inner = CountingProvider()
+        cache = QuantizedWeatherCache(inner, period_s=300.0)
+        lat, lon = 47.1234567, 8.7654321
+        first = cache.sample(lat, lon, EPOCH)
+        again = cache.sample_prequantized(
+            round(lat, 3), round(lon, 3), lat, lon,
+            EPOCH + timedelta(seconds=120),
+        )
+        assert again is first
+        assert inner.calls == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_samples_with_unrounded_coordinates(self):
+        class EchoProvider:
+            def sample(self, lat_deg, lon_deg, when):
+                return WeatherSample(lat_deg, lon_deg)
+
+        cache = QuantizedWeatherCache(EchoProvider(), period_s=300.0)
+        lat, lon = 47.1239, -12.0004
+        value = cache.sample_prequantized(
+            round(lat, 3), round(lon, 3), lat, lon, EPOCH
+        )
+        assert value.rain_rate_mm_h == lat  # unrounded, as sample() does
+        assert value.cloud_water_kg_m2 == lon
+        # The rounded key serves a later plain sample() at the same spot.
+        assert cache.sample(lat, lon, EPOCH) is value
+
+    def test_values_match_inner_field(self):
+        truth = RainCellField(seed=5)
+        cache = QuantizedWeatherCache(truth, period_s=1.0)
+        when = EPOCH + timedelta(hours=3)
+        got = cache.sample_prequantized(
+            round(47.05678, 3), round(8.01234, 3), 47.05678, 8.01234, when
+        )
+        assert got == truth.sample(47.05678, 8.01234, when)
